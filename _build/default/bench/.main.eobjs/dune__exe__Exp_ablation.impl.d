@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bench_common Compile Dblp List Optimizer Printf Rox_algebra Rox_classical Rox_core Rox_joingraph Rox_util Rox_workload Rox_xquery

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Array Bench_common Compile Printf Rox_algebra Rox_core Rox_joingraph Rox_xquery String Tail

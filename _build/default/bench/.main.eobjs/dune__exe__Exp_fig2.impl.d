@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Array Bench_common Buffer Compile Engine List Optimizer Printf Rox_core Rox_joingraph Rox_storage Rox_util Rox_xmldom Rox_xquery String Trace

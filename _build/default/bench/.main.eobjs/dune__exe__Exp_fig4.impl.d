@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Bench_common Compile Dblp List Printf Rox_joingraph Rox_workload Rox_xquery

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Bench_common Classical_opt Compile Dblp Enumerate Executor List Option Printf Rox_classical Rox_core Rox_util Rox_workload Rox_xquery

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Bench_common Combos Correlation Dblp List Printf Rox_util Rox_workload String

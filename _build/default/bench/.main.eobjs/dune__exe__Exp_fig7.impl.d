@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Bench_common Classical_opt Combos Correlation Dblp Enumerate List Midquery Option Printf Rox_algebra Rox_classical Rox_core Rox_util Rox_workload Rox_xquery

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Array Bench_common Combos Correlation Dblp List Printf Rox_algebra Rox_core Rox_util Rox_workload

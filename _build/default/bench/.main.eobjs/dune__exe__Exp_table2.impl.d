@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Bench_common Compile Edge Graph Hashtbl List Optimizer Printf Rox_algebra Rox_core Rox_joingraph Rox_util Rox_xquery Trace Vertex

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Array Bench_common Dblp List Printf Rox_util Rox_workload String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_bechamel Exp_fig1 Exp_fig2 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_table2 Exp_table3 List Printf Sys Unix

@@ -1,0 +1,112 @@
+(* Ablations of ROX's design choices (see DESIGN.md):
+   - re-sampling after each execution vs frozen Phase-1 weights
+     (independence assumption);
+   - chain sampling vs greedy smallest-weight edge;
+   - growing cut-off vs fixed tau cut-off (front-bias mitigation). *)
+
+open Rox_xquery
+open Rox_workload
+open Rox_core
+open Bench_common
+
+let variants =
+  [
+    ("ROX (full)", Optimizer.default_options);
+    ("no resample", { Optimizer.default_options with resample = false });
+    ("greedy (no chain)", { Optimizer.default_options with use_chain = false });
+    ("fixed cutoff", { Optimizer.default_options with grow_cutoff = false });
+    ("no operator race", { Optimizer.default_options with race_operators = false });
+  ]
+
+let measure compiled options =
+  let result = Optimizer.run ~options compiled in
+  let c = result.Optimizer.counter in
+  ( Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling,
+    Rox_algebra.Cost.read c Rox_algebra.Cost.Execution )
+
+let run () =
+  header "Ablations: chain sampling, re-sampling, cut-off growth";
+  (* XMark Q1 / Qm1. *)
+  let engine = xmark_engine ~factor:1.0 () in
+  let queries =
+    [ ("XMark Q1 (<145)", Compile.compile_string engine (q1_query "<" 145));
+      ("XMark Qm1 (>145)", Compile.compile_string engine (q1_query ">" 145)) ]
+  in
+  (* A correlated DBLP combo. *)
+  let venues = List.map Dblp.find_venue [ "VLDB"; "ICDE"; "ICIP"; "ADBIS" ] in
+  let ctx = load_dblp ~scale:10 venues in
+  let queries = queries @ [ ("DBLP VLDB,ICDE,ICIP,ADBIS x10", compile_combo ctx venues) ] in
+  let table =
+    List.concat_map
+      (fun (qname, compiled) ->
+        List.map
+          (fun (vname, options) ->
+            let sampling, execution = measure compiled options in
+            [
+              qname;
+              vname;
+              string_of_int sampling;
+              string_of_int execution;
+              string_of_int (sampling + execution);
+            ])
+          variants)
+      queries
+  in
+  Rox_util.Table_fmt.print
+    ~header:[ "workload"; "variant"; "sampling"; "execution"; "total" ]
+    table;
+  Printf.printf
+    "\n(execution column = plan quality; sampling column = optimization spend.\n\
+    \ 'no resample' and 'greedy' typically buy less sampling at the price of\n\
+    \ worse plans on correlated inputs.)\n";
+
+  (* Baseline ladder: synopsis-static < mid-query re-optimization < ROX. *)
+  subheader "optimizer ladder: static synopsis / mid-query re-opt / ROX";
+  let ladder =
+    List.map
+      (fun (qname, compiled) ->
+        let graph = compiled.Compile.graph in
+        let static_work =
+          let order = Rox_classical.Midquery.synopsis_order compiled.Compile.engine graph in
+          match Rox_classical.Executor.execute ~max_rows:3_000_000 compiled.Compile.engine graph order with
+          | run -> string_of_int (Rox_algebra.Cost.total run.Rox_classical.Executor.counter)
+          | exception Rox_joingraph.Runtime.Blowup _ -> "blowup"
+        in
+        let mq = Rox_classical.Midquery.execute compiled.Compile.engine graph in
+        let mq_work = Rox_algebra.Cost.total mq.Rox_classical.Midquery.counter in
+        let rox = Optimizer.run compiled in
+        let rox_work = Rox_algebra.Cost.total rox.Optimizer.counter in
+        [
+          qname;
+          static_work;
+          Printf.sprintf "%d (%d replans)" mq_work mq.Rox_classical.Midquery.replans;
+          string_of_int rox_work;
+        ])
+      queries
+  in
+  Rox_util.Table_fmt.print
+    ~header:[ "workload"; "static synopsis"; "mid-query re-opt"; "ROX total" ]
+    ladder;
+
+  (* Approximate mode: fraction of tables vs answer recall and work. *)
+  subheader "approximate (sample-driven) execution";
+  let compiled = List.assoc "XMark Qm1 (>145)" queries in
+  let exact, _ = Optimizer.answer compiled in
+  let exact_n = max 1 (Array.length exact) in
+  let rows =
+    List.map
+      (fun fraction ->
+        let options =
+          { Optimizer.default_options with table_fraction = Some fraction }
+        in
+        let approx, result = Optimizer.answer ~options compiled in
+        [
+          Printf.sprintf "%.2f" fraction;
+          string_of_int (Array.length approx);
+          Printf.sprintf "%.0f%%" (100.0 *. float_of_int (Array.length approx) /. float_of_int exact_n);
+          string_of_int (Rox_algebra.Cost.total result.Optimizer.counter);
+        ])
+      [ 0.1; 0.25; 0.5; 1.0 ]
+  in
+  Rox_util.Table_fmt.print ~header:[ "fraction"; "answers"; "recall"; "work" ] rows;
+  Printf.printf "(exact answer: %d nodes)\n" (Array.length exact)

@@ -1,0 +1,117 @@
+(* E10 — Table 1 validation: bechamel micro-benchmarks of the physical
+   operator kernels each experiment leans on. One Test.make per paper
+   artifact: the staircase joins (Table 1 / Figs 1-3), the value-index
+   lookups (Table 1), the index-NL equi-join (Figs 4-7 joins), cut-off
+   sampled execution (Table 2 / Fig 8), and relation maintenance (Fig 5
+   intermediates). *)
+
+open Bechamel
+open Bechamel.Toolkit
+open Rox_storage
+open Rox_algebra
+open Bench_common
+
+let make_tests () =
+  let engine = xmark_engine ~factor:0.5 () in
+  let r = Engine.get engine 0 in
+  let doc = r.Engine.doc in
+  let auctions = Element_index.lookup_name r.Engine.elements "open_auction" in
+  let bidders = Element_index.lookup_name r.Engine.elements "bidder" in
+  let persons = Element_index.lookup_name r.Engine.elements "person" in
+  let person_attrs = Element_index.lookup_attr_name r.Engine.elements "person" in
+  let rng = Rox_util.Xoshiro.create 5 in
+  let sample100 = Sampling.sample rng auctions 100 in
+  let id_name = Option.get (Engine.qname_id engine "id") in
+  let staircase_desc =
+    Test.make ~name:"staircase descendant (Fig1-3 steps)"
+      (Staged.stage (fun () ->
+           Staircase.join ~doc ~axis:Axis.Descendant ~context:sample100 bidders))
+  in
+  let staircase_child =
+    Test.make ~name:"staircase child (Table 1)"
+      (Staged.stage (fun () ->
+           Staircase.join ~doc ~axis:Axis.Child ~context:sample100 bidders))
+  in
+  let staircase_anc =
+    Test.make ~name:"staircase ancestor (Table 1)"
+      (Staged.stage (fun () ->
+           Staircase.join ~doc ~axis:Axis.Ancestor ~context:bidders auctions))
+  in
+  let index_lookup =
+    Test.make ~name:"element index lookup (Table 1 Delt)"
+      (Staged.stage (fun () -> Element_index.lookup_name r.Engine.elements "person"))
+  in
+  let value_join =
+    Test.make ~name:"index-NL value join (Fig 4-7 equi-joins)"
+      (Staged.stage (fun () ->
+           let inner =
+             { Value_join.docref = r; side = Value_join.Inner_attr id_name; restrict = None }
+           in
+           let n = ref 0 in
+           Value_join.iter_index_nl ~outer_doc:doc
+             ~outer:(Array.sub person_attrs 0 (min 100 (Array.length person_attrs)))
+             ~inner
+             (fun _ _ _ -> incr n);
+           !n))
+  in
+  let cutoff_sample =
+    Test.make ~name:"cut-off sampled step (Table 2 / Fig 8)"
+      (Staged.stage (fun () ->
+           Cutoff.run ~limit:100 ~outer_len:(Array.length sample100) ~iter:(fun emit ->
+               Staircase.iter_pairs ~doc ~axis:Axis.Descendant ~context:sample100
+                 ~candidates:bidders (fun cidx _ s -> emit cidx s))))
+  in
+  let relation_extend =
+    let base = Rox_joingraph.Relation.singleton ~vertex:0 auctions in
+    let pairs =
+      let lefts = Rox_util.Int_vec.create () and rights = Rox_util.Int_vec.create () in
+      Staircase.iter_pairs ~doc ~axis:Axis.Descendant ~context:auctions ~candidates:bidders
+        (fun _ c s ->
+          Rox_util.Int_vec.push lefts c;
+          Rox_util.Int_vec.push rights s);
+      { Rox_joingraph.Exec.left = Rox_util.Int_vec.to_array lefts;
+        right = Rox_util.Int_vec.to_array rights }
+    in
+    Test.make ~name:"relation extend (Fig 5 intermediates)"
+      (Staged.stage (fun () ->
+           Rox_joingraph.Relation.extend base ~on:0 ~new_vertex:1 pairs))
+  in
+  let sampling_draw =
+    Test.make ~name:"index sampling tau=100 (Sec 2.3)"
+      (Staged.stage (fun () -> Sampling.sample rng persons 100))
+  in
+  Test.make_grouped ~name:"kernels"
+    [ staircase_desc; staircase_child; staircase_anc; index_lookup; value_join;
+      cutoff_sample; relation_extend; sampling_draw ]
+
+let run () =
+  header "Bechamel micro-benchmarks of the physical operator kernels";
+  let tests = make_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows :=
+        [ name;
+          (if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+           else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+           else Printf.sprintf "%.0f ns" time_ns);
+          Printf.sprintf "%.4f" r2 ]
+        :: !rows)
+    results;
+  Rox_util.Table_fmt.print ~header:[ "kernel"; "time/run"; "r^2" ]
+    (List.sort compare !rows)

@@ -1,0 +1,35 @@
+(* E1 — Figure 1: the Join Graph and plan tail of the auction query Q. *)
+
+open Rox_xquery
+open Bench_common
+
+let query =
+  {|let $r := doc("xmark.xml")
+for $a in $r//open_auction[./reserve]/bidder//personref,
+    $b in $r//person[.//education]
+where $a/@person = $b/@id
+return $a|}
+
+let run () =
+  header "Figure 1: Join Graph and tail of query Q (auction.xml)";
+  let engine = xmark_engine ~factor:0.2 () in
+  Printf.printf "XQuery Q:\n%s\n\n" query;
+  let compiled = Compile.compile_string engine query in
+  print_string (Rox_joingraph.Pretty.to_string compiled.Compile.graph);
+  let tail = compiled.Compile.tail in
+  Printf.printf
+    "\nTail: pi_{personref.*, person.*} -> delta -> tau(sort by %s) -> pi_{return $a}\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun v ->
+               Rox_joingraph.Vertex.label (Rox_joingraph.Graph.vertex compiled.Compile.graph v))
+             tail.Tail.key_vertices)));
+  let (answer, result), dt = time_it (fun () -> Rox_core.Optimizer.answer compiled) in
+  let c = result.Rox_core.Optimizer.counter in
+  Printf.printf
+    "\nROX evaluation: %d result nodes; work units: sampling=%d execution=%d (%.3fs)\n"
+    (Array.length answer)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Execution)
+    dt

@@ -1,0 +1,16 @@
+(* E4 — Figure 4: the DBLP 4-document Join Graph, with the join-equivalence
+   (dotted/derived) edges ROX adds for plan flexibility. *)
+
+open Rox_xquery
+open Rox_workload
+open Bench_common
+
+let run () =
+  header "Figure 4: Join Graph of the DBLP query (with derived join equivalences)";
+  let venues = List.map Dblp.find_venue [ "VLDB"; "ICDE"; "SIGMOD"; "EDBT" ] in
+  let ctx = load_dblp venues in
+  let compiled = compile_combo ctx venues in
+  Printf.printf "query:\n%s\n\n" (Dblp.query_for (List.map Dblp.uri_of venues));
+  print_string (Rox_joingraph.Pretty.to_string compiled.Compile.graph);
+  subheader "graphviz";
+  print_string (Rox_joingraph.Pretty.to_dot compiled.Compile.graph)

@@ -1,0 +1,149 @@
+(* E7 — Figure 6: elapsed cost of ROX vs the four plan classes over document
+   combinations grouped by area distribution (2:2 / 3:1 / 4:0) and ordered
+   by the correlation measure C. Costs are deterministic work units,
+   normalized to the optimal plan of each combination. *)
+
+open Rox_workload
+open Bench_common
+
+type row = {
+  group : Combos.group;
+  names : string list;
+  correlation : float;
+  costs : plan_class_costs;
+}
+
+let combo_rows ctx ~per_group ~seed =
+  let venue_subset =
+    List.filter
+      (fun (_, vs) -> List.for_all (fun v -> List.mem_assoc v.Dblp.name ctx.by_name) vs)
+      (Combos.all_combinations Dblp.venues)
+  in
+  let nonempty =
+    List.filter
+      (fun (_, vs) ->
+        Correlation.nonempty_joint
+          (List.map (fun v -> List.assoc v.Dblp.name ctx.by_name) vs))
+      venue_subset
+  in
+  let chosen = Combos.sample_per_group ~seed ~per_group nonempty in
+  List.filter_map
+    (fun (group, vs) ->
+      let compiled = compile_combo ctx vs in
+      match plan_classes ctx compiled with
+      | None -> None
+      | Some costs ->
+        let docs = List.map (fun v -> List.assoc v.Dblp.name ctx.by_name) vs in
+        Some
+          { group; names = List.map (fun v -> v.Dblp.name) vs;
+            correlation = Correlation.measure docs; costs })
+    chosen
+
+let norm base v = float_of_int v /. float_of_int (max 1 base)
+
+let print_rows rows =
+  let table =
+    List.concat_map
+      (fun g ->
+        List.filter (fun r -> r.group = g) rows
+        |> List.sort (fun a b -> compare a.correlation b.correlation)
+        |> List.map (fun r ->
+               let n v = Printf.sprintf "%.2f" (norm r.costs.optimal v) in
+               [
+                 Combos.group_name r.group;
+                 String.concat "," r.names;
+                 Printf.sprintf "%.0f" r.correlation;
+                 n r.costs.largest;
+                 n r.costs.classical;
+                 n r.costs.rox_order;
+                 n r.costs.smallest;
+                 n r.costs.rox_full;
+                 n r.costs.rox_pure;
+               ]))
+      Combos.groups
+  in
+  Rox_util.Table_fmt.print
+    ~header:
+      [ "grp"; "documents"; "C"; "largest"; "classical"; "ROXorder"; "smallest";
+        "ROXfull"; "ROXpure" ]
+    table
+
+let print_aggregates rows =
+  subheader "per-group aggregates (normalized to optimal, geometric mean)";
+  let agg group =
+    let of_group = List.filter (fun r -> r.group = group) rows in
+    if of_group = [] then ()
+    else begin
+      let gm f =
+        Rox_util.Stats.geometric_mean
+          (Array.of_list (List.map (fun r -> max 1e-9 (norm r.costs.optimal (f r.costs))) of_group))
+      in
+      let classical_vs_rox =
+        Rox_util.Stats.geometric_mean
+          (Array.of_list
+             (List.map
+                (fun r -> float_of_int r.costs.classical /. float_of_int (max 1 r.costs.rox_full))
+                of_group))
+      in
+      Printf.printf
+        "  %s (%d combos): largest=%.1f classical=%.2f ROXorder=%.2f smallest=%.2f ROXfull=%.2f ROXpure=%.2f | classical/ROXfull=%.2f\n"
+        (Combos.group_name group) (List.length of_group)
+        (gm (fun c -> c.largest))
+        (gm (fun c -> c.classical))
+        (gm (fun c -> c.rox_order))
+        (gm (fun c -> c.smallest))
+        (gm (fun c -> c.rox_full))
+        (gm (fun c -> c.rox_pure))
+        classical_vs_rox
+    end
+  in
+  List.iter agg Combos.groups;
+  let overheads =
+    List.map
+      (fun r ->
+        float_of_int (r.costs.rox_full - r.costs.rox_pure)
+        /. float_of_int (max 1 r.costs.rox_pure))
+      rows
+  in
+  if overheads <> [] then
+    Printf.printf
+      "\nROX sampling overhead over pure plan: mean=%.0f%%, p90=%.0f%% (paper: ~30%% average, almost always < 2x)\n"
+      (100.0 *. Rox_util.Stats.mean (Array.of_list overheads))
+      (100.0 *. Rox_util.Stats.percentile (Array.of_list overheads) 90.0)
+
+(* The paper's scatter: combos on x (grouped 2:2 | 3:1 | 4:0, ordered by C
+   within each group), normalized cost on a log y axis. *)
+let print_scatter rows =
+  let ordered =
+    List.concat_map
+      (fun g ->
+        List.filter (fun r -> r.group = g) rows
+        |> List.sort (fun a b -> compare a.correlation b.correlation))
+      Combos.groups
+  in
+  let series label marker f =
+    { Rox_util.Ascii_plot.label; marker;
+      values =
+        Array.of_list (List.map (fun r -> norm r.costs.optimal (f r.costs)) ordered) }
+  in
+  subheader "normalized cost scatter (x: combos grouped 2:2 | 3:1 | 4:0, by C)";
+  Rox_util.Ascii_plot.print ~height:18
+    [
+      series "ROX pure" '*' (fun c -> c.rox_pure);
+      series "ROX full" 'o' (fun c -> c.rox_full);
+      series "classical" 'c' (fun c -> c.classical);
+      series "largest" 'x' (fun c -> c.largest);
+    ]
+
+let run ~full () =
+  header "Figure 6: ROX vs plan classes across document combinations";
+  let per_group = if full then 20 else 8 in
+  let scale = if full then 20 else 10 in
+  let ctx, dt = time_it (fun () -> load_dblp ~scale (Array.to_list Dblp.venues)) in
+  Printf.printf "loaded 23 documents at x%d (%.2fs); sweeping %d combos per group\n%!"
+    scale dt per_group;
+  let rows, dt = time_it (fun () -> combo_rows ctx ~per_group ~seed:17) in
+  print_rows rows;
+  print_scatter rows;
+  print_aggregates rows;
+  Printf.printf "\nsweep time: %.1fs\n" dt

@@ -1,0 +1,81 @@
+(* E3 — Figure 3 + Table 2: ROX on XMark Q1 (current < theta) and Qm1
+   (current > theta). Shows the initial sampled edge weights (Fig 3.1), the
+   chain-sampling (cost, sf) rounds (Table 2), and the final edge execution
+   orders (Figs 3.3 / 3.4), which differ between the two queries because of
+   the price <-> #bidders correlation. *)
+
+open Rox_xquery
+open Rox_joingraph
+open Rox_core
+open Bench_common
+
+let edge_desc graph id =
+  let e = Graph.edge graph id in
+  Printf.sprintf "%s %s %s"
+    (Vertex.label (Graph.vertex graph e.Edge.v1))
+    (Edge.label e)
+    (Vertex.label (Graph.vertex graph e.Edge.v2))
+
+let show_query label op =
+  subheader (Printf.sprintf "%s: current/text() %s 145" label op);
+  let engine = xmark_engine ~factor:1.0 () in
+  let compiled = Compile.compile_string engine (q1_query op 145) in
+  let graph = compiled.Compile.graph in
+  let trace = Trace.create () in
+  let (answer, result), dt = time_it (fun () -> Optimizer.answer ~trace compiled) in
+  (* Initial weights: the first Edge_weighted event per edge. *)
+  let initial = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Trace.Edge_weighted { edge; weight } ->
+        if not (Hashtbl.mem initial edge) then Hashtbl.replace initial edge weight
+      | _ -> ())
+    (Trace.events trace);
+  Printf.printf "initial edge weights (Fig 3.1 analog):\n";
+  Array.iter
+    (fun (e : Edge.t) ->
+      match Hashtbl.find_opt initial e.Edge.id with
+      | Some w ->
+        Printf.printf "  %-42s w = %s\n" (edge_desc graph e.Edge.id)
+          (Rox_util.Table_fmt.human_float w)
+      | None -> ())
+    (Graph.edges graph);
+  (* Chain rounds rooted at open_auction: the Table 2 analog. *)
+  let rounds = Trace.chain_rounds trace in
+  let interesting =
+    List.filter (fun (_, _, paths) -> List.length paths >= 2) rounds
+  in
+  Printf.printf "\nchain-sampling rounds with competing segments (Table 2 analog):\n";
+  List.iteri
+    (fun i (round, cutoff, paths) ->
+      if i < 12 then begin
+        Printf.printf "  round %d (cutoff=%d): " round cutoff;
+        List.iter
+          (fun p ->
+            Printf.printf "%s=(%s, %.2g) " p.Trace.label
+              (Rox_util.Table_fmt.human_float p.Trace.cost)
+              p.Trace.sf)
+          paths;
+        print_newline ()
+      end)
+    interesting;
+  Printf.printf "\nexecution order (Fig 3.3/3.4 analog):\n";
+  List.iteri
+    (fun i id -> Printf.printf "  %2d. %s\n" (i + 1) (edge_desc graph id))
+    result.Optimizer.edge_order;
+  let c = result.Optimizer.counter in
+  Printf.printf "\nanswer: %d nodes; sampling=%d execution=%d work units (%.3fs)\n"
+    (Array.length answer)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Execution)
+    dt;
+  result.Optimizer.edge_order
+
+let run () =
+  header "Figure 3 + Table 2: ROX adapts its plan to the price/bidder correlation";
+  let o1 = show_query "Q1" "<" in
+  let om1 = show_query "Qm1" ">" in
+  subheader "comparison";
+  Printf.printf
+    "Q1 and Qm1 executed %s edge orders — ROX reacted to the correlation\n"
+    (if o1 <> om1 then "DIFFERENT" else "identical (unexpected at this scale)")

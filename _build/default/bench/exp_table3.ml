@@ -1,0 +1,41 @@
+(* E5 — Table 3: the 23 DBLP venues: research areas, author-tag counts and
+   document sizes at x1 and x10 scale (x100 computed, since replication is
+   exactly linear — verified on the smallest venue). *)
+
+open Rox_workload
+open Bench_common
+
+let run ~full () =
+  header "Table 3: research areas, documents and their characteristics";
+  Printf.printf
+    "(counts are Table 3 / reduction=10; scaling replicates articles with\n\
+    \ serial-suffixed author names and titles, exactly as in the paper)\n";
+  let ctx1 = load_dblp ~scale:1 (Array.to_list Dblp.venues) in
+  let ctx10 = load_dblp ~scale:10 (Array.to_list Dblp.venues) in
+  let rows =
+    List.map2
+      (fun l1 l10 ->
+        let v = l1.Dblp.venue in
+        [
+          v.Dblp.name;
+          String.concat " " (List.map Dblp.area_name v.Dblp.areas);
+          string_of_int l1.Dblp.author_tag_count;
+          string_of_int l10.Dblp.author_tag_count;
+          string_of_int (100 * l1.Dblp.author_tag_count);
+          Rox_util.Table_fmt.human_int l1.Dblp.byte_size;
+          Rox_util.Table_fmt.human_int l10.Dblp.byte_size;
+        ])
+      ctx1.loaded ctx10.loaded
+  in
+  Rox_util.Table_fmt.print
+    ~header:[ "venue"; "area(s)"; "tags x1"; "tags x10"; "tags x100"; "bytes x1"; "bytes x10" ]
+    rows;
+  (* Verify linear scaling on one venue at x100. *)
+  if full then begin
+    let ctx100 = load_dblp ~scale:100 [ Dblp.find_venue "Fuzzy Logic in AI" ] in
+    let l100 = List.hd ctx100.loaded in
+    let l1 = List.find (fun l -> l.Dblp.venue.Dblp.name = "Fuzzy Logic in AI") ctx1.loaded in
+    Printf.printf "\nscaling check (Fuzzy Logic in AI): x1 tags=%d, x100 tags=%d (exactly 100x: %b)\n"
+      l1.Dblp.author_tag_count l100.Dblp.author_tag_count
+      (l100.Dblp.author_tag_count = 100 * l1.Dblp.author_tag_count)
+  end

@@ -1,0 +1,184 @@
+(* The ROX query processor CLI.
+
+     rox --doc data/xmark.xml query.xq
+     echo 'for $a in doc("x.xml")//author return $a' | rox --doc x.xml -
+     rox --doc a.xml --doc b.xml --graph --trace --optimizer rox query.xq
+
+   Documents are parsed, shredded and indexed; the query is compiled to a
+   Join Graph and evaluated with the selected optimizer. The answer
+   sequence is serialized to stdout (use --count to print only its size,
+   --limit to truncate). *)
+
+open Cmdliner
+
+type optimizer = Opt_rox | Opt_greedy | Opt_static | Opt_midquery
+
+let optimizer_conv =
+  Arg.enum
+    [ ("rox", Opt_rox); ("greedy", Opt_greedy); ("static", Opt_static);
+      ("midquery", Opt_midquery) ]
+
+let read_query = function
+  | "-" ->
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 1
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  | path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+let serialize_node engine (doc_id, pre) =
+  let doc = (Rox_storage.Engine.get engine doc_id).Rox_storage.Engine.doc in
+  match Rox_shred.Doc.kind doc pre with
+  | Rox_shred.Nodekind.Elem ->
+    let rec build p =
+      match Rox_shred.Doc.kind doc p with
+      | Rox_shred.Nodekind.Elem ->
+        let attrs =
+          Rox_shred.Navigation.attributes doc p
+          |> Array.to_list
+          |> List.map (fun a ->
+                 { Rox_xmldom.Tree.name = Rox_xmldom.Qname.of_string (Rox_shred.Doc.name doc a);
+                   value = Rox_shred.Doc.value doc a })
+        in
+        let children =
+          Rox_shred.Navigation.children doc p |> Array.to_list |> List.map build
+        in
+        Rox_xmldom.Tree.Element
+          { Rox_xmldom.Tree.tag = Rox_xmldom.Qname.of_string (Rox_shred.Doc.name doc p);
+            attrs; children }
+      | Rox_shred.Nodekind.Text -> Rox_xmldom.Tree.Text (Rox_shred.Doc.value doc p)
+      | Rox_shred.Nodekind.Comment -> Rox_xmldom.Tree.Comment (Rox_shred.Doc.value doc p)
+      | Rox_shred.Nodekind.Pi ->
+        Rox_xmldom.Tree.Pi (Rox_shred.Doc.name doc p, Rox_shred.Doc.value doc p)
+      | Rox_shred.Nodekind.Attr | Rox_shred.Nodekind.Doc ->
+        Rox_xmldom.Tree.Text ""
+    in
+    (match build pre with
+     | Rox_xmldom.Tree.Element _ as e ->
+       Rox_xmldom.Xml_writer.to_string (Rox_xmldom.Tree.document e)
+     | _ -> assert false)
+  | Rox_shred.Nodekind.Text -> Rox_xmldom.Xml_writer.escape_text (Rox_shred.Doc.value doc pre)
+  | Rox_shred.Nodekind.Attr ->
+    Printf.sprintf "%s=\"%s\"" (Rox_shred.Doc.name doc pre)
+      (Rox_xmldom.Xml_writer.escape_attr (Rox_shred.Doc.value doc pre))
+  | Rox_shred.Nodekind.Comment -> Printf.sprintf "<!--%s-->" (Rox_shred.Doc.value doc pre)
+  | Rox_shred.Nodekind.Pi ->
+    Printf.sprintf "<?%s %s?>" (Rox_shred.Doc.name doc pre) (Rox_shred.Doc.value doc pre)
+  | Rox_shred.Nodekind.Doc -> "<!-- document root -->"
+
+let run docs query_file show_graph show_trace optimizer tau seed count_only limit =
+  let engine = Rox_storage.Engine.create () in
+  List.iter
+    (fun path ->
+      let tree =
+        try Rox_xmldom.Xml_parser.parse_file path with
+        | Rox_xmldom.Xml_parser.Parse_error { line; column; message } ->
+          Printf.eprintf "%s:%d:%d: parse error: %s\n" path line column message;
+          exit 1
+        | Sys_error m ->
+          Printf.eprintf "%s\n" m;
+          exit 1
+      in
+      let uri = Filename.basename path in
+      ignore (Rox_storage.Engine.add_tree engine ~uri tree : Rox_storage.Engine.docref);
+      Printf.eprintf "loaded %s as doc(%S)\n" path uri)
+    docs;
+  let source = read_query query_file in
+  let compiled =
+    try Rox_xquery.Compile.compile_string engine source with
+    | Rox_xquery.Parser.Parse_error m ->
+      Printf.eprintf "query parse error: %s\n" m;
+      exit 1
+    | Rox_xquery.Compile.Unsupported m ->
+      Printf.eprintf "unsupported query: %s\n" m;
+      exit 1
+  in
+  if show_graph then prerr_string (Rox_joingraph.Pretty.to_string compiled.Rox_xquery.Compile.graph);
+  let t0 = Unix.gettimeofday () in
+  let answer, counter =
+    match optimizer with
+    | Opt_rox | Opt_greedy ->
+      let options =
+        { Rox_core.Optimizer.default_options with
+          tau; seed; use_chain = (optimizer = Opt_rox) }
+      in
+      let trace = Rox_core.Trace.create ~enabled:show_trace () in
+      let answer, result = Rox_core.Optimizer.answer ~options ~trace compiled in
+      if show_trace then begin
+        List.iter
+          (fun id ->
+            let e = Rox_joingraph.Graph.edge compiled.Rox_xquery.Compile.graph id in
+            Printf.eprintf "executed edge %d: %s\n" id
+              (Rox_joingraph.Pretty.edge_line compiled.Rox_xquery.Compile.graph e))
+          (Rox_core.Trace.execution_order trace)
+      end;
+      (answer, result.Rox_core.Optimizer.counter)
+    | Opt_static ->
+      let order =
+        Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
+      in
+      let answer, run = Rox_classical.Executor.answer compiled order in
+      (answer, run.Rox_classical.Executor.counter)
+    | Opt_midquery ->
+      let answer, run = Rox_classical.Midquery.answer compiled in
+      Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
+      (answer, run.Rox_classical.Midquery.counter)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.eprintf "answer: %d nodes; work: sampling=%d execution=%d; %.3fs\n"
+    (Array.length answer)
+    (Rox_algebra.Cost.read counter Rox_algebra.Cost.Sampling)
+    (Rox_algebra.Cost.read counter Rox_algebra.Cost.Execution)
+    dt;
+  if count_only then Printf.printf "%d\n" (Array.length answer)
+  else begin
+    let return_doc =
+      (Rox_joingraph.Graph.vertex compiled.Rox_xquery.Compile.graph
+         compiled.Rox_xquery.Compile.tail.Rox_xquery.Tail.return_vertex)
+        .Rox_joingraph.Vertex.doc_id
+    in
+    Array.iteri
+      (fun i pre ->
+        if limit = 0 || i < limit then
+          print_endline (serialize_node engine (return_doc, pre)))
+      answer;
+    if limit > 0 && Array.length answer > limit then
+      Printf.printf "... (%d more)\n" (Array.length answer - limit)
+  end
+
+let cmd =
+  let docs =
+    Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"FILE"
+           ~doc:"XML document to load (repeatable); referenced in the query as doc(\"basename\").")
+  in
+  let query_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"XQuery file, or - for stdin.")
+  in
+  let show_graph = Arg.(value & flag & info [ "graph" ] ~doc:"Print the isolated Join Graph to stderr.") in
+  let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the edge execution order to stderr.") in
+  let optimizer =
+    Arg.(value & opt optimizer_conv Opt_rox & info [ "optimizer" ] ~docv:"OPT"
+           ~doc:"Evaluation strategy: $(b,rox) (run-time optimization with chain sampling), $(b,greedy) (run-time, smallest-weight edge), $(b,static) (compile-time synopsis plan), or $(b,midquery) (static plan with validity-range re-optimization).")
+  in
+  let tau = Arg.(value & opt int 100 & info [ "tau" ] ~docv:"N" ~doc:"Sample size (default 100).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.") in
+  let count_only = Arg.(value & flag & info [ "count" ] ~doc:"Print only the answer cardinality.") in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K"
+           ~doc:"Serialize at most K answer nodes (0 = all; default 20).")
+  in
+  let doc = "ROX: run-time optimization of XQueries" in
+  Cmd.v (Cmd.info "rox" ~doc)
+    Term.(const run $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
+          $ count_only $ limit)
+
+let () = exit (Cmd.eval cmd)

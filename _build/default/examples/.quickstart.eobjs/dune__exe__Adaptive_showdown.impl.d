@@ -1,0 +1,1 @@
+examples/adaptive_showdown.ml: Compile Engine List Printf Rox_algebra Rox_classical Rox_core Rox_storage Rox_workload Rox_xquery

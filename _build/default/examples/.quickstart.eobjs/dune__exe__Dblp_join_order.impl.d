@@ -1,0 +1,1 @@
+examples/dblp_join_order.ml: Classical_opt Dblp Enumerate Executor List Option Printf Rox_algebra Rox_classical Rox_core Rox_joingraph Rox_storage Rox_workload Rox_xquery String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Rox_algebra Rox_core Rox_joingraph Rox_shred Rox_storage Rox_xmldom Rox_xquery String

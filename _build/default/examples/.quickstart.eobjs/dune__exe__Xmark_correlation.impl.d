@@ -1,0 +1,1 @@
+examples/xmark_correlation.ml: Array Compile Edge Element_index Engine Graph List Printf Rox_algebra Rox_core Rox_joingraph Rox_shred Rox_storage Rox_workload Rox_xquery Vertex

@@ -1,0 +1,63 @@
+(* The Section 3.2 scenario: the XMark auction data hides a correlation —
+   expensive auctions attract more bidders. The two queries Q1 (cheap
+   auctions) and Qm1 (expensive auctions) have near-identical shapes and
+   near-identical auction counts, yet their optimal plans differ. ROX
+   notices by re-sampling and picks different edge orders.
+
+     dune exec examples/xmark_correlation.exe *)
+
+open Rox_storage
+open Rox_xquery
+open Rox_joingraph
+
+let query op =
+  Printf.sprintf
+    {|let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() %s 145],
+    $p in $d//person[.//province],
+    $i in $d//item[./quantity = 1]
+where $o//bidder//personref/@person = $p/@id and
+      $o//itemref/@item = $i/@id
+return $o|}
+    op
+
+let describe_run engine name src =
+  let compiled = Compile.compile_string engine src in
+  let answer, result = Rox_core.Optimizer.answer compiled in
+  let graph = compiled.Compile.graph in
+  let c = result.Rox_core.Optimizer.counter in
+  Printf.printf "%s: %d auctions, sampling=%d execution=%d work units\n" name
+    (Array.length answer)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling)
+    (Rox_algebra.Cost.read c Rox_algebra.Cost.Execution);
+  Printf.printf "  edge order:\n";
+  List.iteri
+    (fun i id ->
+      let e = Graph.edge graph id in
+      Printf.printf "    %2d. %s %s %s\n" (i + 1)
+        (Vertex.label (Graph.vertex graph e.Edge.v1))
+        (Edge.label e)
+        (Vertex.label (Graph.vertex graph e.Edge.v2)))
+    result.Rox_core.Optimizer.edge_order;
+  result.Rox_core.Optimizer.edge_order
+
+let () =
+  let engine = Engine.create () in
+  let params = Rox_workload.Xmark.scaled 1.0 in
+  ignore (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml" : Engine.docref);
+  let r = Engine.get engine 0 in
+  Printf.printf "generated xmark.xml: %d nodes, %d auctions, %d persons, %d items\n\n"
+    (Rox_shred.Doc.node_count r.Engine.doc)
+    (Array.length (Element_index.lookup_name r.Engine.elements "open_auction"))
+    (Array.length (Element_index.lookup_name r.Engine.elements "person"))
+    (Array.length (Element_index.lookup_name r.Engine.elements "item"));
+  let o1 = describe_run engine "Q1  (current < 145, few bidders each)" (query "<") in
+  print_newline ();
+  let o2 = describe_run engine "Qm1 (current > 145, many bidders each)" (query ">") in
+  print_newline ();
+  if o1 <> o2 then
+    print_endline
+      "The two orders differ: ROX detected the price/bidder correlation at\n\
+       run-time — a static optimizer sees identical statistics for both queries."
+  else
+    print_endline "(orders coincide at this scale — rerun with a larger factor)"

@@ -1,0 +1,1 @@
+lib/algebra/axis.ml: Printf

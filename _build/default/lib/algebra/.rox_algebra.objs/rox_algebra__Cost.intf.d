@@ -1,0 +1,1 @@
+lib/algebra/cost.mli:

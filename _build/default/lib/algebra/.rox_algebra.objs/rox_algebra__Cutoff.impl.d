@@ -1,0 +1,1 @@
+lib/algebra/cutoff.ml: Int_vec Rox_util

@@ -1,0 +1,1 @@
+lib/algebra/nodeset.ml: Array Bin_search Int_vec Rox_util

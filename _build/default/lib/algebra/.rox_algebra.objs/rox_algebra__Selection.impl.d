@@ -1,0 +1,1 @@
+lib/algebra/selection.ml: Array Cost Doc Int_vec Printf Rox_shred Rox_util String

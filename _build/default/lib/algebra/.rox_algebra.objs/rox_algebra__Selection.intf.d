@@ -1,0 +1,1 @@
+lib/algebra/selection.mli: Cost Rox_shred

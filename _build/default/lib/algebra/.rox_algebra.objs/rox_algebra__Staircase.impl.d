@@ -1,0 +1,1 @@
+lib/algebra/staircase.ml: Array Axis Bin_search Cost Doc Int_vec Nodekind Rox_shred Rox_util

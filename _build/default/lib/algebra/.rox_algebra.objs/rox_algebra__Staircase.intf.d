@@ -1,0 +1,1 @@
+lib/algebra/staircase.mli: Axis Cost Doc Rox_shred

@@ -1,0 +1,1 @@
+lib/algebra/value_join.ml: Array Bin_search Cost Doc Engine Hashtbl Int_vec Rox_shred Rox_storage Rox_util Value_index

@@ -1,0 +1,1 @@
+lib/algebra/value_join.mli: Cost Engine Rox_shred Rox_storage

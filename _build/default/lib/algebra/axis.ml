@@ -1,0 +1,66 @@
+type t =
+  | Child
+  | Descendant
+  | Desc_or_self
+  | Parent
+  | Ancestor
+  | Anc_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+  | Self
+  | Attribute
+
+let reverse = function
+  | Child -> Parent
+  | Descendant -> Ancestor
+  | Desc_or_self -> Anc_or_self
+  | Parent -> Child
+  | Ancestor -> Descendant
+  | Anc_or_self -> Desc_or_self
+  | Following -> Preceding
+  | Preceding -> Following
+  | Following_sibling -> Preceding_sibling
+  | Preceding_sibling -> Following_sibling
+  | Self -> Self
+  | Attribute -> Parent
+
+let to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Desc_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Anc_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Self -> "self"
+  | Attribute -> "attribute"
+
+let of_string = function
+  | "child" -> Child
+  | "descendant" -> Descendant
+  | "descendant-or-self" -> Desc_or_self
+  | "parent" -> Parent
+  | "ancestor" -> Ancestor
+  | "ancestor-or-self" -> Anc_or_self
+  | "following" -> Following
+  | "preceding" -> Preceding
+  | "following-sibling" -> Following_sibling
+  | "preceding-sibling" -> Preceding_sibling
+  | "self" -> Self
+  | "attribute" -> Attribute
+  | s -> invalid_arg (Printf.sprintf "Axis.of_string: %s" s)
+
+let short_label = function
+  | Child -> "/"
+  | Descendant -> "//"
+  | Attribute -> "@"
+  | axis -> to_string axis
+
+let all =
+  [| Child; Descendant; Desc_or_self; Parent; Ancestor; Anc_or_self; Following;
+     Preceding; Following_sibling; Preceding_sibling; Self; Attribute |]

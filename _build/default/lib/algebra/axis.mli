@@ -1,0 +1,39 @@
+(** XPath axes supported by the staircase join.
+
+    The set of Section 2.2 — {anc, ancs, child, parent, desc, self, descs,
+    foll, folls, prec, precs} — plus the attribute axis (the paper reaches
+    attribute vertices through "/" edges; we name the axis explicitly).
+
+    [reverse] gives the axis that evaluates the same edge from the other
+    end: ROX "may very well decide to execute the step in the reverse
+    direction" (Section 2.1). *)
+
+type t =
+  | Child
+  | Descendant
+  | Desc_or_self
+  | Parent
+  | Ancestor
+  | Anc_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+  | Self
+  | Attribute
+
+val reverse : t -> t
+(** [reverse a] satisfies: s ∈ a(c) ⇔ c ∈ (reverse a)(s). The reverse of
+    [Attribute] is [Parent] (an attribute's parent is its owner element). *)
+
+val to_string : t -> string
+(** XPath syntax name, e.g. "descendant-or-self". *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on unknown axis names. *)
+
+val short_label : t -> string
+(** The paper's edge labels: "/" for child, "//" for descendant, "@" for
+    attribute, full name otherwise. *)
+
+val all : t array

@@ -1,0 +1,26 @@
+type counter = { mutable sampling : int; mutable execution : int }
+type bucket = Sampling | Execution
+type meter = { counter : counter; bucket : bucket }
+
+let new_counter () = { sampling = 0; execution = 0 }
+
+let reset c =
+  c.sampling <- 0;
+  c.execution <- 0
+
+let total c = c.sampling + c.execution
+let meter counter bucket = { counter; bucket }
+let sampling_meter counter = { counter; bucket = Sampling }
+let execution_meter counter = { counter; bucket = Execution }
+
+let charge m units =
+  match m with
+  | None -> ()
+  | Some { counter; bucket } ->
+    (match bucket with
+     | Sampling -> counter.sampling <- counter.sampling + units
+     | Execution -> counter.execution <- counter.execution + units)
+
+let read c = function
+  | Sampling -> c.sampling
+  | Execution -> c.execution

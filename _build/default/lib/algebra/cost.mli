@@ -1,0 +1,34 @@
+(** Work-unit cost accounting.
+
+    The paper reports elapsed times on one fixed testbed; this reproduction
+    additionally measures *work units* — tuples touched and produced,
+    charged by each physical operator according to the cost column of
+    Table 1. Work units are deterministic, so plan comparisons (Figures
+    5–7) and the sampling-overhead ratios (Figure 8) are exactly
+    reproducible.
+
+    A {!counter} keeps two buckets: work done while *sampling* (weight
+    estimation + chain sampling) and work done *executing* edges for real.
+    The ROX "full run" of the figures is [sampling + execution]; the "pure
+    plan" is [execution] alone. *)
+
+type counter = { mutable sampling : int; mutable execution : int }
+
+type bucket = Sampling | Execution
+
+type meter
+(** A counter plus the bucket to charge; operators take a meter so they
+    stay agnostic of what phase they run in. *)
+
+val new_counter : unit -> counter
+val reset : counter -> unit
+val total : counter -> int
+val meter : counter -> bucket -> meter
+val sampling_meter : counter -> meter
+val execution_meter : counter -> meter
+
+val charge : meter option -> int -> unit
+(** [charge m units] adds work; [None] meters are free (tests that don't
+    care about accounting). *)
+
+val read : counter -> bucket -> int

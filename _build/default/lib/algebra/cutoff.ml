@@ -1,0 +1,37 @@
+open Rox_util
+
+type t = {
+  out : int array;
+  produced : int;
+  consumed_outer : int;
+  fraction : float;
+  est : float;
+  completed : bool;
+}
+
+exception Cut
+
+let run ~limit ~outer_len ~iter =
+  let out = Int_vec.create ~capacity:(min limit 1024) () in
+  let last_outer = ref (-1) in
+  let emit oi node =
+    last_outer := max !last_outer oi;
+    Int_vec.push out node;
+    if Int_vec.length out >= limit then raise Cut
+  in
+  let completed =
+    try
+      iter emit;
+      true
+    with Cut -> false
+  in
+  let produced = Int_vec.length out in
+  let consumed_outer = if completed then outer_len else !last_outer + 1 in
+  let fraction =
+    if completed || outer_len = 0 then 1.0
+    else float_of_int (max 1 consumed_outer) /. float_of_int outer_len
+  in
+  let est = if completed then float_of_int produced else float_of_int produced /. fraction in
+  { out = Int_vec.to_array out; produced; consumed_outer; fraction; est; completed }
+
+let out_distinct t = Int_vec.sorted_dedup (Int_vec.of_array t.out)

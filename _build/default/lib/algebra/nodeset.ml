@@ -1,0 +1,78 @@
+open Rox_util
+
+let intersect a b =
+  let out = Int_vec.create ~capacity:(min (Array.length a) (Array.length b) + 1) () in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      Int_vec.push out x;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Int_vec.to_array out
+
+let union a b =
+  let out = Int_vec.create ~capacity:(Array.length a + Array.length b) () in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      Int_vec.push out x;
+      incr i;
+      incr j
+    end
+    else if x < y then begin
+      Int_vec.push out x;
+      incr i
+    end
+    else begin
+      Int_vec.push out y;
+      incr j
+    end
+  done;
+  while !i < Array.length a do
+    Int_vec.push out a.(!i);
+    incr i
+  done;
+  while !j < Array.length b do
+    Int_vec.push out b.(!j);
+    incr j
+  done;
+  Int_vec.to_array out
+
+let difference a b =
+  let out = Int_vec.create () in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a do
+    if !j >= Array.length b then begin
+      Int_vec.push out a.(!i);
+      incr i
+    end
+    else begin
+      let x = a.(!i) and y = b.(!j) in
+      if x = y then begin
+        incr i;
+        incr j
+      end
+      else if x < y then begin
+        Int_vec.push out x;
+        incr i
+      end
+      else incr j
+    end
+  done;
+  Int_vec.to_array out
+
+let mem = Bin_search.mem
+
+let is_sorted_dedup a =
+  let rec check i = i >= Array.length a || (a.(i - 1) < a.(i) && check (i + 1)) in
+  Array.length a = 0 || check 1
+
+let of_unsorted a = Int_vec.sorted_dedup (Int_vec.of_array a)
+
+let equal a b = a = b

@@ -1,0 +1,15 @@
+(** Operations on node sequences: sorted, duplicate-free [int array]s.
+
+    The ROX state-update step (Algorithm 1, lines 14–17) intersects a
+    vertex table with the nodes that survived an edge execution; these are
+    the merge-based primitives for that. *)
+
+val intersect : int array -> int array -> int array
+val union : int array -> int array -> int array
+val difference : int array -> int array -> int array
+val mem : int array -> int -> bool
+val is_sorted_dedup : int array -> bool
+val of_unsorted : int array -> int array
+(** Sort + dedup a scratch array (copy; input untouched). *)
+
+val equal : int array -> int array -> bool

@@ -1,0 +1,42 @@
+open Rox_util
+open Rox_shred
+
+type t =
+  | Eq of string
+  | Lt of float
+  | Le of float
+  | Gt of float
+  | Ge of float
+  | Between of float * float
+
+let to_string = function
+  | Eq s -> Printf.sprintf "= %S" s
+  | Lt f -> Printf.sprintf "< %g" f
+  | Le f -> Printf.sprintf "<= %g" f
+  | Gt f -> Printf.sprintf "> %g" f
+  | Ge f -> Printf.sprintf ">= %g" f
+  | Between (lo, hi) -> Printf.sprintf "in [%g, %g]" lo hi
+
+let matches doc pred node =
+  match pred with
+  | Eq s -> String.equal (Doc.value doc node) s
+  | Lt _ | Le _ | Gt _ | Ge _ | Between _ ->
+    (match float_of_string_opt (Doc.value doc node) with
+     | None -> false
+     | Some v ->
+       (match pred with
+        | Lt bound -> v < bound
+        | Le bound -> v <= bound
+        | Gt bound -> v > bound
+        | Ge bound -> v >= bound
+        | Between (lo, hi) -> lo <= v && v <= hi
+        | Eq _ -> assert false))
+
+let filter ?meter ~doc ~pred nodes =
+  let out = Int_vec.create () in
+  Array.iter
+    (fun n ->
+      Cost.charge meter 1;
+      if matches doc pred n then Int_vec.push out n)
+    nodes;
+  Int_vec.to_array out

@@ -1,0 +1,25 @@
+(** Value predicates on text / attribute nodes.
+
+    Join-graph vertices carry optional range-selection predicates ("a text
+    node with possibly a range-selection predicate", Definition 1). String
+    equality goes through the value index when possible; order predicates
+    compare numerically, matching XQuery general-comparison semantics on
+    untyped numeric data (the XMark [current/text() < 145]). *)
+
+type t =
+  | Eq of string
+  | Lt of float
+  | Le of float
+  | Gt of float
+  | Ge of float
+  | Between of float * float  (** inclusive bounds *)
+
+val to_string : t -> string
+
+val matches : Rox_shred.Doc.t -> t -> int -> bool
+(** Does the node's value satisfy the predicate? Non-numeric values never
+    satisfy a numeric predicate. *)
+
+val filter :
+  ?meter:Cost.meter -> doc:Rox_shred.Doc.t -> pred:t -> int array -> int array
+(** The scan operator [σ(C)]: cost |C|. *)

@@ -1,0 +1,164 @@
+open Rox_util
+open Rox_shred
+
+(* All loops below keep the invariant that candidates are probed through
+   galloping searches from a monotonically advancing cursor, so total probe
+   cost is O(|consumed C| + |touched S| + |R|) — the Table 1 costs. *)
+
+let iter_pairs ?meter ~doc ~axis ~context ~candidates f =
+  let ncand = Array.length candidates in
+  (* Emit all candidates within [lo, hi] satisfying [pred]. *)
+  let emit_range cidx c lo hi pred =
+    if hi >= lo then begin
+      let start = Bin_search.lower_bound candidates lo in
+      let i = ref start in
+      while !i < ncand && candidates.(!i) <= hi do
+        let s = candidates.(!i) in
+        Cost.charge meter 1;
+        if pred s then f cidx c s;
+        incr i
+      done
+    end
+  in
+  let per_context work =
+    Array.iteri
+      (fun cidx c ->
+        Cost.charge meter 1;
+        work cidx c)
+      context
+  in
+  match axis with
+  | Axis.Descendant ->
+    per_context (fun cidx c -> emit_range cidx c (c + 1) (c + Doc.size doc c) (fun _ -> true))
+  | Axis.Desc_or_self ->
+    per_context (fun cidx c -> emit_range cidx c c (c + Doc.size doc c) (fun _ -> true))
+  | Axis.Child ->
+    per_context (fun cidx c ->
+        emit_range cidx c (c + 1) (c + Doc.size doc c) (fun s ->
+            Doc.parent doc s = c
+            && (match Doc.kind doc s with Nodekind.Attr -> false | _ -> true)))
+  | Axis.Attribute ->
+    per_context (fun cidx c ->
+        emit_range cidx c (c + 1) (c + Doc.size doc c) (fun s ->
+            Doc.parent doc s = c
+            && (match Doc.kind doc s with Nodekind.Attr -> true | _ -> false)))
+  | Axis.Self -> per_context (fun cidx c -> emit_range cidx c c c (fun _ -> true))
+  | Axis.Parent ->
+    per_context (fun cidx c ->
+        let p = Doc.parent doc c in
+        if p >= 0 then begin
+          Cost.charge meter 1;
+          if Bin_search.mem candidates p then f cidx c p
+        end)
+  | Axis.Ancestor ->
+    per_context (fun cidx c ->
+        let p = ref (Doc.parent doc c) in
+        while !p >= 0 do
+          Cost.charge meter 1;
+          if Bin_search.mem candidates !p then f cidx c !p;
+          p := Doc.parent doc !p
+        done)
+  | Axis.Anc_or_self ->
+    per_context (fun cidx c ->
+        let p = ref c in
+        while !p >= 0 do
+          Cost.charge meter 1;
+          if Bin_search.mem candidates !p then f cidx c !p;
+          p := Doc.parent doc !p
+        done)
+  | Axis.Following ->
+    per_context (fun cidx c ->
+        let bound = c + Doc.size doc c in
+        let start = Bin_search.lower_bound candidates (bound + 1) in
+        for i = start to ncand - 1 do
+          Cost.charge meter 1;
+          f cidx c candidates.(i)
+        done)
+  | Axis.Preceding ->
+    per_context (fun cidx c ->
+        let stop = Bin_search.lower_bound candidates c in
+        for i = 0 to stop - 1 do
+          let s = candidates.(i) in
+          Cost.charge meter 1;
+          if s + Doc.size doc s < c then f cidx c s
+        done)
+  | Axis.Following_sibling ->
+    (* Attributes have no siblings and are never siblings (XPath). *)
+    let is_attr n = match Doc.kind doc n with Nodekind.Attr -> true | _ -> false in
+    per_context (fun cidx c ->
+        let p = Doc.parent doc c in
+        if p >= 0 && not (is_attr c) then
+          emit_range cidx c (c + Doc.size doc c + 1) (p + Doc.size doc p) (fun s ->
+              Doc.parent doc s = p && not (is_attr s)))
+  | Axis.Preceding_sibling ->
+    let is_attr n = match Doc.kind doc n with Nodekind.Attr -> true | _ -> false in
+    per_context (fun cidx c ->
+        let p = Doc.parent doc c in
+        if p >= 0 && not (is_attr c) then
+          emit_range cidx c (p + 1) (c - 1) (fun s ->
+              Doc.parent doc s = p && not (is_attr s)))
+
+(* Context pruning for containment axes: a context inside the subtree of a
+   previous context contributes no new descendants. *)
+let prune_covered doc context =
+  let out = Int_vec.create ~capacity:(Array.length context) () in
+  let covered_until = ref (-1) in
+  Array.iter
+    (fun c ->
+      if c > !covered_until then begin
+        Int_vec.push out c;
+        covered_until := c + Doc.size doc c
+      end)
+    context;
+  Int_vec.to_array out
+
+let join ?meter ~doc ~axis ~context candidates =
+  match axis with
+  | Axis.Descendant | Axis.Desc_or_self ->
+    (* Pruned contexts have disjoint subtrees, so ranges never overlap and
+       the concatenated output is already sorted and duplicate-free. *)
+    let pruned = prune_covered doc context in
+    let out = Int_vec.create () in
+    iter_pairs ?meter ~doc ~axis ~context:pruned ~candidates (fun _ _ s -> Int_vec.push out s);
+    Int_vec.to_array out
+  | Axis.Following ->
+    (* Union over contexts is the suffix after the earliest subtree end. *)
+    if Array.length context = 0 then [||]
+    else begin
+      let bound =
+        Array.fold_left (fun acc c -> min acc (c + Doc.size doc c)) max_int context
+      in
+      let start = Bin_search.lower_bound candidates (bound + 1) in
+      let out = Array.sub candidates start (Array.length candidates - start) in
+      Cost.charge meter (Array.length context + Array.length out);
+      out
+    end
+  | Axis.Preceding ->
+    (* Union over contexts = preceding of the last context. *)
+    if Array.length context = 0 then [||]
+    else begin
+      let c = context.(Array.length context - 1) in
+      let out = Int_vec.create () in
+      iter_pairs ?meter ~doc ~axis ~context:[| c |] ~candidates (fun _ _ s ->
+          Int_vec.push out s);
+      Int_vec.to_array out
+    end
+  | Axis.Child | Axis.Attribute | Axis.Self ->
+    (* Distinct contexts yield distinct result ranges per context, but a
+       candidate can be reached from only one parent, so output is already
+       duplicate-free; context order keeps it sorted for Self, while Child /
+       Attribute ranges of successive contexts can interleave with nesting —
+       dedup-sort to be safe. *)
+    let out = Int_vec.create () in
+    iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ s -> Int_vec.push out s);
+    Int_vec.sorted_dedup out
+  | Axis.Parent | Axis.Ancestor | Axis.Anc_or_self | Axis.Following_sibling
+  | Axis.Preceding_sibling ->
+    let out = Int_vec.create () in
+    iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ s -> Int_vec.push out s);
+    Int_vec.sorted_dedup out
+
+let count ?meter ~doc ~axis ~context candidates =
+  let n = ref 0 in
+  iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ _ -> incr n);
+  !n

@@ -1,0 +1,57 @@
+(** Staircase join: the structural join of Section 2.2.
+
+    [Dk/axis(C, S)] pairs a context node sequence [C] with candidate nodes
+    [S] (both sorted on pre, duplicate-free; [S] typically comes from an
+    element / kind / value index, which encodes the paper's kind-and-name
+    restriction) and selects the [s ∈ S] standing in [axis] relation to
+    some [c ∈ C].
+
+    Two evaluation modes:
+
+    - {!iter_pairs} enumerates the *pairs* (c, s) in context order — the
+      basis both for extending materialized join-graph relations and for
+      cut-off sampling (context order makes the reduction factor [f] of
+      Section 2.3 well-defined);
+    - {!join} returns the duplicate-free, document-ordered [s]-side result
+      (the classic staircase output), applying context pruning for the
+      containment axes.
+
+    The operator is zero-investment with respect to [C]: work is linear in
+    the consumed prefix of [C] plus produced results — never in unseen
+    parts of either input — which is what licenses its use under ROX
+    sampling (Section 2.3). *)
+
+open Rox_shred
+
+val iter_pairs :
+  ?meter:Cost.meter ->
+  doc:Doc.t ->
+  axis:Axis.t ->
+  context:int array ->
+  candidates:int array ->
+  (int -> int -> int -> unit) ->
+  unit
+(** [iter_pairs ~doc ~axis ~context ~candidates f] calls [f cidx c s] for
+    every qualifying pair, grouped by ascending context index [cidx]. The
+    callback may raise to stop early (cut-off); partial work is still
+    charged to the meter. *)
+
+val join :
+  ?meter:Cost.meter ->
+  doc:Doc.t ->
+  axis:Axis.t ->
+  context:int array ->
+  int array ->
+  int array
+(** [join ~doc ~axis ~context candidates]: duplicate-free document-ordered
+    result nodes. *)
+
+val count :
+  ?meter:Cost.meter ->
+  doc:Doc.t ->
+  axis:Axis.t ->
+  context:int array ->
+  int array ->
+  int
+(** Number of pairs (not distinct results) — the intermediate-result
+    cardinality a step contributes. *)

@@ -1,0 +1,109 @@
+open Rox_util
+open Rox_shred
+open Rox_storage
+
+type inner_side =
+  | Inner_text
+  | Inner_attr of int
+
+type inner_spec = {
+  docref : Engine.docref;
+  side : inner_side;
+  restrict : int array option;
+}
+
+let inner_lookup inner value_id =
+  match inner.side with
+  | Inner_text -> Value_index.text_eq inner.docref.Engine.values value_id
+  | Inner_attr name_id -> Value_index.attr_eq inner.docref.Engine.values ~name_id ~value_id
+
+let iter_index_nl ?meter ~outer_doc ~outer ~inner f =
+  Array.iteri
+    (fun cidx onode ->
+      Cost.charge meter 1;
+      let v = Doc.value_id outer_doc onode in
+      if v >= 0 then begin
+        let bucket = inner_lookup inner v in
+        match inner.restrict with
+        | None ->
+          Array.iter
+            (fun inode ->
+              Cost.charge meter 1;
+              f cidx onode inode)
+            bucket
+        | Some table ->
+          Array.iter
+            (fun inode ->
+              Cost.charge meter 1;
+              if Bin_search.mem table inode then f cidx onode inode)
+            bucket
+      end)
+    outer
+
+let iter_hash ?meter ~outer_doc ~outer ~inner_doc ~inner f =
+  (* Build on the inner side — the paper's hash join costs |C| + |S| + |R|. *)
+  let table : (int, Int_vec.t) Hashtbl.t = Hashtbl.create (Array.length inner) in
+  Array.iter
+    (fun inode ->
+      Cost.charge meter 1;
+      let v = Doc.value_id inner_doc inode in
+      if v >= 0 then begin
+        let vec =
+          match Hashtbl.find_opt table v with
+          | Some vec -> vec
+          | None ->
+            let vec = Int_vec.create ~capacity:2 () in
+            Hashtbl.replace table v vec;
+            vec
+        in
+        Int_vec.push vec inode
+      end)
+    inner;
+  Array.iteri
+    (fun cidx onode ->
+      Cost.charge meter 1;
+      let v = Doc.value_id outer_doc onode in
+      if v >= 0 then
+        match Hashtbl.find_opt table v with
+        | None -> ()
+        | Some vec ->
+          Int_vec.iter
+            (fun inode ->
+              Cost.charge meter 1;
+              f cidx onode inode)
+            vec)
+    outer
+
+let by_value doc nodes =
+  let tagged = Array.map (fun n -> (Doc.value_id doc n, n)) nodes in
+  Array.sort (fun (a, pa) (b, pb) -> match compare a b with 0 -> compare pa pb | c -> c) tagged;
+  tagged
+
+let iter_merge ?meter ~outer_doc ~outer ~inner_doc ~inner f =
+  let a = by_value outer_doc outer in
+  let b = by_value inner_doc inner in
+  Cost.charge meter (min (Array.length a) (Array.length b));
+  let i = ref 0 and j = ref 0 in
+  let na = Array.length a and nb = Array.length b in
+  while !i < na && !j < nb do
+    let va, _ = a.(!i) and vb, _ = b.(!j) in
+    if va < vb || va < 0 then incr i
+    else if vb < va || vb < 0 then incr j
+    else begin
+      (* Emit the cross product of the two equal-value groups. *)
+      let j_end = ref !j in
+      while !j_end < nb && fst b.(!j_end) = va do incr j_end done;
+      let i_end = ref !i in
+      while !i_end < na && fst a.(!i_end) = va do incr i_end done;
+      for ii = !i to !i_end - 1 do
+        let _, onode = a.(ii) in
+        for jj = !j to !j_end - 1 do
+          let _, inode = b.(jj) in
+          Cost.charge meter 1;
+          f ii onode inode
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done

@@ -1,0 +1,1 @@
+lib/classical/classical_opt.ml: Array Edge Enumerate Exec Graph Hashtbl List Rox_joingraph Runtime Vertex

@@ -1,0 +1,1 @@
+lib/classical/classical_opt.mli: Edge Enumerate Graph Rox_joingraph Rox_storage

@@ -1,0 +1,1 @@
+lib/classical/enumerate.ml: Array Edge Graph Hashtbl List Option Printf Rox_joingraph Runtime String Vertex

@@ -1,0 +1,1 @@
+lib/classical/enumerate.mli: Edge Graph Rox_joingraph

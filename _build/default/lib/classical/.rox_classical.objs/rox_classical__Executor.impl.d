@@ -1,0 +1,1 @@
+lib/classical/executor.ml: Cost Edge Graph List Printf Relation Rox_algebra Rox_joingraph Rox_xquery Runtime

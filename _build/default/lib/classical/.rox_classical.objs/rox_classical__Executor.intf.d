@@ -1,0 +1,1 @@
+lib/classical/executor.mli: Rox_algebra Rox_joingraph Rox_storage Rox_xquery

@@ -1,0 +1,1 @@
+lib/classical/midquery.ml: Array Cost Edge Engine Exec Graph Hashtbl List Relation Rox_algebra Rox_joingraph Rox_storage Rox_xquery Runtime Synopsis Vertex

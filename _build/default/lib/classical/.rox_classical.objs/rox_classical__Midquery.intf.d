@@ -1,0 +1,1 @@
+lib/classical/midquery.mli: Edge Graph Relation Rox_algebra Rox_joingraph Rox_storage Rox_xquery

@@ -1,0 +1,1 @@
+lib/classical/synopsis.ml: Array Doc Engine Hashtbl List Nodekind Option Rox_algebra Rox_joingraph Rox_shred Rox_storage Vertex

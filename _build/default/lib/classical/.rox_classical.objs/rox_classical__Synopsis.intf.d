@@ -1,0 +1,1 @@
+lib/classical/synopsis.mli: Rox_algebra Rox_joingraph Rox_storage

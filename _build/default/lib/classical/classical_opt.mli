@@ -1,0 +1,28 @@
+(** The "classical" compile-time optimizer of Section 4.2.
+
+    A static optimizer "equipped with an accurate cardinality estimation
+    module": it correctly estimates the result size of any operator
+    executed in the context of a *single* document (we grant it exact
+    counts, computed off the books), but cannot estimate operations joining
+    two different documents and falls back on a smallest-input-first
+    heuristic, producing a linear join order from the two smallest
+    author-text sets up to the largest. *)
+
+open Rox_joingraph
+
+val input_size : Rox_storage.Engine.t -> Graph.t -> Enumerate.slot -> int
+(** Exact cardinality of the document's join input (its step chain run to
+    the join vertex) — the single-document estimate the classical
+    optimizer is granted. Uncharged: planning is free. *)
+
+val join_order :
+  Rox_storage.Engine.t -> Graph.t -> Enumerate.template -> Enumerate.join_order
+(** Smallest-input-first linear order. *)
+
+val static_order : Rox_storage.Engine.t -> Graph.t -> Edge.t list
+(** Generic static plan for arbitrary Join Graphs (used by the XMark
+    demonstrations): greedy connected expansion by statically estimated
+    edge output — exact counts for single-document operators over *base*
+    tables (no feedback from intermediate results), smallest-input-first
+    for cross-document joins. This is precisely the optimizer that cannot
+    see correlations. *)

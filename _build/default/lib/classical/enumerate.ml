@@ -1,0 +1,193 @@
+open Rox_joingraph
+
+type placement = SJ | JS | S_J
+
+let placements = [ SJ; JS; S_J ]
+
+let placement_name = function
+  | SJ -> "SJ"
+  | JS -> "JS"
+  | S_J -> "S_J"
+
+type join_order =
+  | Linear of int list
+  | Bushy of (int * int) * (int * int)
+
+let order_name = function
+  | Linear (a :: b :: rest) ->
+    Printf.sprintf "(%d-%d)%s" (a + 1) (b + 1)
+      (String.concat "" (List.map (fun d -> Printf.sprintf "-%d" (d + 1)) rest))
+  | Linear _ -> invalid_arg "Enumerate.order_name: degenerate linear order"
+  | Bushy ((a, b), (c, d)) -> Printf.sprintf "(%d-%d)-(%d-%d)" (a + 1) (b + 1) (c + 1) (d + 1)
+
+let normalize = function
+  | Linear (a :: b :: rest) -> Linear (min a b :: max a b :: rest)
+  | Linear l -> Linear l
+  | Bushy ((a, b), (c, d)) -> Bushy ((min a b, max a b), (min c d, max c d))
+
+let equal_order o1 o2 = normalize o1 = normalize o2
+
+let all_join_orders ~ndocs =
+  if ndocs < 2 then invalid_arg "Enumerate.all_join_orders: need at least 2 documents";
+  let docs = List.init ndocs (fun i -> i) in
+  let pairs =
+    List.concat_map (fun a -> List.filter_map (fun b -> if b > a then Some (a, b) else None) docs) docs
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+        xs
+  in
+  let linear =
+    List.concat_map
+      (fun (a, b) ->
+        let rest = List.filter (fun d -> d <> a && d <> b) docs in
+        List.map (fun perm -> Linear (a :: b :: perm)) (permutations rest))
+      pairs
+  in
+  let bushy =
+    if ndocs <> 4 then []
+    else
+      List.map
+        (fun (a, b) ->
+          match List.filter (fun d -> d <> a && d <> b) docs with
+          | [ c; d ] -> Bushy ((a, b), (c, d))
+          | _ -> assert false)
+        pairs
+  in
+  linear @ bushy
+
+type slot = {
+  doc_pos : int;
+  step_edges : Edge.t list;
+  join_vertex : int;
+}
+
+type template = { slots : slot array }
+
+let analyze graph =
+  (* Group non-root vertices by document and detect a linear step chain per
+     document ending in the vertex that carries the equi-joins. *)
+  let edges = Graph.edges graph in
+  let join_vertices = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : Edge.t) ->
+      match e.Edge.op with
+      | Edge.Equijoin ->
+        Hashtbl.replace join_vertices e.Edge.v1 ();
+        Hashtbl.replace join_vertices e.Edge.v2 ()
+      | Edge.Step _ -> ())
+    edges;
+  let doc_ids =
+    Array.to_list (Graph.vertices graph)
+    |> List.map (fun (v : Vertex.t) -> v.Vertex.doc_id)
+    |> List.sort_uniq compare
+  in
+  let slot_of pos doc_id =
+    (* Non-trivial step edges of this document, chained root-outward. *)
+    let doc_steps =
+      Array.to_list edges
+      |> List.filter (fun (e : Edge.t) ->
+             (not (Runtime.is_trivial_edge graph e))
+             && (match e.Edge.op with Edge.Step _ -> true | Edge.Equijoin -> false)
+             && (Graph.vertex graph e.Edge.v1).Vertex.doc_id = doc_id)
+    in
+    let joins_here =
+      Hashtbl.fold
+        (fun v () acc ->
+          if (Graph.vertex graph v).Vertex.doc_id = doc_id then v :: acc else acc)
+        join_vertices []
+    in
+    match joins_here with
+    | [ join_vertex ] ->
+      (* Order steps by walking from the join vertex back towards the root:
+         a linear chain means each vertex is the target of exactly one
+         step. *)
+      let rec chain v acc =
+        match List.find_opt (fun (e : Edge.t) -> e.Edge.v2 = v) doc_steps with
+        | Some e -> chain e.Edge.v1 (e :: acc)
+        | None -> acc
+      in
+      let ordered = chain join_vertex [] in
+      if List.length ordered = List.length doc_steps then
+        Some { doc_pos = pos; step_edges = ordered; join_vertex }
+      else None
+    | _ -> None
+  in
+  let slots = List.mapi slot_of doc_ids in
+  if List.for_all Option.is_some slots && List.length slots >= 2 then
+    Some { slots = Array.of_list (List.map Option.get slots) }
+  else None
+
+let connecting_edge graph template ~joined ~incoming =
+  (* Any equi-join edge between the incoming document's join vertex and an
+     already-joined one; the equi-closure guarantees one exists. *)
+  let vin = template.slots.(incoming).join_vertex in
+  let rec find = function
+    | [] -> invalid_arg "Enumerate.plan_edges: no connecting equi-join edge"
+    | d :: rest ->
+      (match Graph.find_edge graph template.slots.(d).join_vertex vin with
+       | Some e -> e
+       | None -> find rest)
+  in
+  find joined
+
+(* A plan atom: one join edge plus the documents it introduces. *)
+type plan_atom = Join of Edge.t * int list
+
+let atoms graph template = function
+  | Linear (a :: b :: rest) ->
+    let j1 = connecting_edge graph template ~joined:[ a ] ~incoming:b in
+    let first = [ Join (j1, [ a; b ]) ] in
+    let _, joins =
+      List.fold_left
+        (fun (joined, acc) d ->
+          let e = connecting_edge graph template ~joined ~incoming:d in
+          (d :: joined, Join (e, [ d ]) :: acc))
+        ([ b; a ], []) rest
+    in
+    first @ List.rev joins
+  | Linear _ -> invalid_arg "Enumerate.plan_edges: degenerate linear order"
+  | Bushy ((a, b), (c, d)) ->
+    let j1 = connecting_edge graph template ~joined:[ a ] ~incoming:b in
+    let j2 = connecting_edge graph template ~joined:[ c ] ~incoming:d in
+    let j3 = connecting_edge graph template ~joined:[ a; b ] ~incoming:c in
+    [ Join (j1, [ a; b ]); Join (j2, [ c; d ]); Join (j3, []) ]
+
+let plan_edges graph template ~order ~placement =
+  let joins = atoms graph template order in
+  let appearance = List.concat_map (function Join (_, docs) -> docs) joins in
+  let steps_of d = template.slots.(d).step_edges in
+  match placement with
+  | SJ ->
+    List.concat_map steps_of appearance
+    @ List.map (function Join (e, _) -> e) joins
+  | JS ->
+    (match appearance with
+     | first :: rest ->
+       steps_of first
+       @ List.map (function Join (e, _) -> e) joins
+       @ List.concat_map steps_of rest
+     | [] -> invalid_arg "Enumerate.plan_edges: no documents")
+  | S_J ->
+    List.concat_map
+      (function
+        | Join (e, docs) ->
+          (* The first document of a fresh component steps before its join;
+             the others right after. *)
+          (match docs with
+           | d1 :: others when List.length docs >= 2 ->
+             steps_of d1 @ [ e ] @ List.concat_map steps_of others
+           | docs -> [ e ] @ List.concat_map steps_of docs))
+      joins
+
+let canonical_plans graph template =
+  let ndocs = Array.length template.slots in
+  List.concat_map
+    (fun order ->
+      List.map
+        (fun placement -> (order, placement, plan_edges graph template ~order ~placement))
+        placements)
+    (all_join_orders ~ndocs)

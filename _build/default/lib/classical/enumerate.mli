@@ -1,0 +1,62 @@
+(** Plan-space enumeration for the k-document equi-join template (Section
+    4.2).
+
+    The DBLP query joins the author text sets of k documents; its plan
+    space factors into (a) the equi-join order — linear or bushy — and (b)
+    the placement of the per-document XPath step chains among the joins.
+    For k = 4 there are the paper's 18 join orders, and we reproduce its 3
+    canonical placements:
+
+    - [SJ] — all steps first (in join order), then the joins;
+    - [JS] — one step, all joins over otherwise unrestricted text sets,
+      remaining steps last;
+    - [S_J] — each document's steps right after the join that introduces
+      that document.  *)
+
+open Rox_joingraph
+
+type placement = SJ | JS | S_J
+
+val placements : placement list
+val placement_name : placement -> string
+
+type join_order =
+  | Linear of int list
+      (** Document slots in join order: [[a;b;c;d]] = ((a⋈b)⋈c)⋈d. *)
+  | Bushy of (int * int) * (int * int)
+      (** (a⋈b), then (c⋈d), then the connecting join. *)
+
+val order_name : join_order -> string
+(** The paper's legend notation with 1-based slots: "(2-1)-3-4". *)
+
+val normalize : join_order -> join_order
+(** Leading (and bushy second) pairs are unordered: sort them so equivalent
+    orders compare equal. *)
+
+val equal_order : join_order -> join_order -> bool
+
+val all_join_orders : ndocs:int -> join_order list
+(** All linear orders with an unordered leading pair, plus (for 4
+    documents) the bushy shapes: 18 orders for ndocs = 4. *)
+
+type slot = {
+  doc_pos : int;               (** 0-based slot *)
+  step_edges : Edge.t list;    (** non-trivial step edges, root-outward *)
+  join_vertex : int;           (** the vertex carrying the equi-joins *)
+}
+
+type template = { slots : slot array }
+
+val analyze : Graph.t -> template option
+(** Recognize the template: per-document linear step chains whose terminal
+    vertices form the equi-join component. [None] if the graph has another
+    shape. *)
+
+val plan_edges :
+  Graph.t -> template -> order:join_order -> placement:placement -> Edge.t list
+(** The concrete edge order implementing the plan; feed to
+    {!Executor.execute}. *)
+
+val canonical_plans :
+  Graph.t -> template -> (join_order * placement * Edge.t list) list
+(** Every join order × every canonical placement. *)

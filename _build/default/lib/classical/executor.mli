@@ -1,0 +1,40 @@
+(** Fixed-plan executor.
+
+    Executes a Join Graph in a *given* edge order through the very same
+    {!Rox_joingraph.Runtime} machinery as ROX — same operators, same cost
+    accounting — but with no sampling and no adaptation. This is the
+    workhorse behind every non-ROX plan class of Figures 5–7 (smallest,
+    largest, classical, and the canonical step placements of the ROX join
+    order). *)
+
+type run = {
+  relation : Rox_joingraph.Relation.t;
+  edge_rows : (int * int) list;
+      (** (edge id, component rows after execution), in execution order. *)
+  counter : Rox_algebra.Cost.counter;
+  cumulative_rows : int;  (** Σ component rows over all executed edges. *)
+  join_rows : int;
+      (** Σ component rows over equi-join edges only — the "cumulative
+          (intermediate) join result cardinality" of Figure 5. *)
+}
+
+exception Plan_error of string
+(** The order misses an edge or repeats one. *)
+
+val execute :
+  ?max_rows:int ->
+  Rox_storage.Engine.t ->
+  Rox_joingraph.Graph.t ->
+  Rox_joingraph.Edge.t list ->
+  run
+(** The order must cover every non-trivial edge exactly once (trivial
+    root-descendant edges may be included; they are skipped).
+    @raise Plan_error on malformed orders.
+    @raise Rox_joingraph.Runtime.Blowup when materialization explodes. *)
+
+val answer :
+  ?max_rows:int ->
+  Rox_xquery.Compile.compiled ->
+  Rox_joingraph.Edge.t list ->
+  int array * run
+(** Execute and apply the query tail. *)

@@ -1,0 +1,149 @@
+open Rox_storage
+open Rox_algebra
+open Rox_joingraph
+
+(* Per-document synopses, built once per engine. *)
+let synopses engine =
+  Array.init (Engine.doc_count engine) (fun i -> Synopsis.build (Engine.get engine i))
+
+(* Estimated cardinality of an edge's result given current per-vertex
+   estimates, under independence. Cross-document equi-joins are not
+   estimable from per-document synopses: rank them smallest-input-first
+   behind every estimable operator. *)
+let edge_estimate synopses graph est (e : Edge.t) =
+  let v1 = Graph.vertex graph e.Edge.v1 in
+  let v2 = Graph.vertex graph e.Edge.v2 in
+  match e.Edge.op with
+  | Edge.Step axis when v1.Vertex.doc_id = v2.Vertex.doc_id ->
+    let syn = synopses.(v1.Vertex.doc_id) in
+    `Estimated
+      (Synopsis.estimate_step syn ~context_card:est.(e.Edge.v1) ~context:v1.Vertex.annot
+         ~axis ~target:v2.Vertex.annot)
+  | Edge.Step _ -> `Estimated (est.(e.Edge.v1) *. est.(e.Edge.v2))
+  | Edge.Equijoin ->
+    if v1.Vertex.doc_id = v2.Vertex.doc_id then
+      (* Same-document value join: assume a modest hit ratio. *)
+      `Estimated (min est.(e.Edge.v1) est.(e.Edge.v2))
+    else `Unknown (est.(e.Edge.v1) +. est.(e.Edge.v2))
+
+(* Greedy connected plan over [edges], starting from the given per-vertex
+   estimates; returns the order and the per-edge predictions. *)
+let greedy_plan synopses engine graph est edges =
+  let est = Array.copy est in
+  ignore engine;
+  let covered = Hashtbl.create 16 in
+  let order = ref [] in
+  let remaining = ref edges in
+  while !remaining <> [] do
+    let touches (e : Edge.t) =
+      Hashtbl.length covered = 0 || Hashtbl.mem covered e.Edge.v1 || Hashtbl.mem covered e.Edge.v2
+    in
+    let eligible =
+      match List.filter touches !remaining with [] -> !remaining | l -> l
+    in
+    let score e =
+      match edge_estimate synopses graph est e with
+      | `Estimated c -> c
+      | `Unknown rank -> 1e12 +. rank
+    in
+    let best =
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | Some (_, bs) when bs <= score e -> acc
+          | _ -> Some (e, score e))
+        None eligible
+    in
+    match best with
+    | None -> remaining := []
+    | Some (e, s) ->
+      let predicted = if s >= 1e12 then s -. 1e12 else s in
+      order := (e, predicted) :: !order;
+      Hashtbl.replace covered e.Edge.v1 ();
+      Hashtbl.replace covered e.Edge.v2 ();
+      (* Independence update: the result bounds both endpoint estimates. *)
+      est.(e.Edge.v1) <- max 1.0 (min est.(e.Edge.v1) predicted);
+      est.(e.Edge.v2) <- max 1.0 (min est.(e.Edge.v2) predicted);
+      remaining := List.filter (fun e' -> e'.Edge.id <> e.Edge.id) !remaining
+  done;
+  List.rev !order
+
+let base_estimates engine graph =
+  Array.map
+    (fun (v : Vertex.t) -> float_of_int (Exec.vertex_domain_count engine v))
+    (Graph.vertices graph)
+
+let plannable_edges runtime =
+  Runtime.unexecuted_edges runtime
+
+let synopsis_order engine graph =
+  let syn = synopses engine in
+  let runtime = Runtime.create engine graph in
+  let plan = greedy_plan syn engine graph (base_estimates engine graph) (plannable_edges runtime) in
+  List.map fst plan
+
+type run = {
+  relation : Relation.t;
+  edge_order : int list;
+  replans : int;
+  counter : Cost.counter;
+}
+
+let execute ?max_rows ?(validity_factor = 5.0) engine graph =
+  let syn = synopses engine in
+  let runtime = Runtime.create ?max_rows engine graph in
+  let counter = Cost.new_counter () in
+  let meter = Cost.execution_meter counter in
+  let replans = ref 0 in
+  let executed_order = ref [] in
+  (* Current per-vertex statistics: base counts, overridden by observed
+     table sizes as execution proceeds. *)
+  let current_estimates () =
+    Array.mapi
+      (fun i base ->
+        match Runtime.table runtime i with
+        | Some t -> float_of_int (Array.length t)
+        | None -> base)
+      (base_estimates engine graph)
+  in
+  let rec drive plan =
+    match plan with
+    | [] ->
+      (match plannable_edges runtime with
+       | [] -> ()
+       | rest -> drive (greedy_plan syn engine graph (current_estimates ()) rest))
+    | (e, predicted) :: rest ->
+      if Runtime.executed runtime e then drive rest
+      else begin
+        let info = Runtime.execute_edge ~meter runtime e in
+        executed_order := e.Edge.id :: !executed_order;
+        let observed = float_of_int info.Runtime.rel_rows in
+        let invalid =
+          predicted > 0.0
+          && (observed > predicted *. validity_factor
+             || observed < predicted /. validity_factor)
+        in
+        if invalid && plannable_edges runtime <> [] then begin
+          (* Outside the validity range: re-plan the remainder with the
+             observed statistics. *)
+          incr replans;
+          drive (greedy_plan syn engine graph (current_estimates ()) (plannable_edges runtime))
+        end
+        else drive rest
+      end
+  in
+  drive (greedy_plan syn engine graph (base_estimates engine graph) (plannable_edges runtime));
+  let relation = Runtime.final_relation ~meter runtime in
+  { relation; edge_order = List.rev !executed_order; replans = !replans; counter }
+
+let answer ?max_rows ?validity_factor (compiled : Rox_xquery.Compile.compiled) =
+  let run =
+    execute ?max_rows ?validity_factor compiled.Rox_xquery.Compile.engine
+      compiled.Rox_xquery.Compile.graph
+  in
+  let nodes =
+    Rox_xquery.Tail.apply
+      ~meter:(Cost.execution_meter run.counter)
+      compiled.Rox_xquery.Compile.tail run.relation
+  in
+  (nodes, run)

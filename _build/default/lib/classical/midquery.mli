@@ -1,0 +1,44 @@
+(** Mid-query re-optimization baseline (Section 5's [24, 25]: Kabra &
+    DeWitt's re-optimization, Markl et al.'s progressive optimization).
+
+    A synopsis-driven static plan executes edge by edge; after every edge
+    the observed cardinality is compared against the optimizer's
+    prediction, and when it falls outside the validity range
+    [predicted/f, predicted·f], the remainder of the plan is re-planned
+    with the observed table sizes as corrected statistics.
+
+    This is the strongest classical contender the paper discusses — it
+    reacts to mis-estimates, but only *after* paying for them, and its
+    re-planning still assumes independence. ROX's continuous sampling
+    avoids both weaknesses; the benchmark harness compares the three. *)
+
+open Rox_joingraph
+
+val synopsis_order : Rox_storage.Engine.t -> Graph.t -> Edge.t list
+(** Static greedy plan from per-document synopses: exact base counts,
+    estimated step fan-outs under independence, smallest-input-first for
+    cross-document equi-joins. *)
+
+type run = {
+  relation : Relation.t;
+  edge_order : int list;
+  replans : int;              (** how many times the validity check fired *)
+  counter : Rox_algebra.Cost.counter;
+}
+
+val execute :
+  ?max_rows:int ->
+  ?validity_factor:float ->
+  Rox_storage.Engine.t ->
+  Graph.t ->
+  run
+(** Execute with re-optimization; [validity_factor] defaults to 5.0.
+    Planning and re-planning are uncharged (the paper's convention:
+    optimizer time is not operator work); every executed operator is
+    charged to the execution bucket. *)
+
+val answer :
+  ?max_rows:int ->
+  ?validity_factor:float ->
+  Rox_xquery.Compile.compiled ->
+  int array * run

@@ -1,0 +1,237 @@
+open Rox_shred
+open Rox_storage
+
+let n_buckets = 16
+
+type histogram = {
+  h_min : float;
+  h_max : float;
+  buckets : int array;
+  total : int;          (* numeric text children *)
+  distinct : int;       (* distinct numeric values (approx: distinct ids) *)
+}
+
+type t = {
+  elem_counts : (string, int) Hashtbl.t;
+  child_pairs : (string * string, int) Hashtbl.t;
+  desc_pairs : (string * string, int) Hashtbl.t;
+  text_children : (string, int) Hashtbl.t;
+  attr_counts : (string * string, int) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  total_elements : int;
+  total_texts : int;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let build (r : Engine.docref) =
+  let doc = r.Engine.doc in
+  let elem_counts = Hashtbl.create 64 in
+  let child_pairs = Hashtbl.create 256 in
+  let desc_pairs = Hashtbl.create 256 in
+  let text_children = Hashtbl.create 64 in
+  let attr_counts = Hashtbl.create 64 in
+  let numeric_acc : (string, float list ref * (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let total_elements = ref 0 in
+  let total_texts = ref 0 in
+  (* One pre-order walk with an ancestor-name stack; each ancestor name is
+     counted at most once per node (set semantics for the pair counts). *)
+  let stack = ref [] in (* (pre_end, name) innermost first *)
+  for pre = 1 to Doc.node_count doc - 1 do
+    (* Pop ancestors whose subtree ended. *)
+    let rec pop () =
+      match !stack with
+      | (pre_end, _) :: rest when pre > pre_end ->
+        stack := rest;
+        pop ()
+      | _ -> ()
+    in
+    pop ();
+    let parent_name =
+      let parent = Doc.parent doc pre in
+      if parent <= 0 then "#root" else Doc.name doc parent
+    in
+    (match Doc.kind doc pre with
+     | Nodekind.Elem ->
+       let name = Doc.name doc pre in
+       incr total_elements;
+       bump elem_counts name 1;
+       bump child_pairs (parent_name, name) 1;
+       let seen = Hashtbl.create 8 in
+       List.iter
+         (fun (_, anc) ->
+           if not (Hashtbl.mem seen anc) then begin
+             Hashtbl.replace seen anc ();
+             bump desc_pairs (anc, name) 1
+           end)
+         !stack;
+       stack := (pre + Doc.size doc pre, name) :: !stack
+     | Nodekind.Text ->
+       incr total_texts;
+       bump text_children parent_name 1;
+       (match float_of_string_opt (Doc.value doc pre) with
+        | Some v ->
+          let values, distinct =
+            match Hashtbl.find_opt numeric_acc parent_name with
+            | Some pair -> pair
+            | None ->
+              let pair = (ref [], Hashtbl.create 16) in
+              Hashtbl.replace numeric_acc parent_name pair;
+              pair
+          in
+          values := v :: !values;
+          Hashtbl.replace distinct (Doc.value_id doc pre) ()
+        | None -> ())
+     | Nodekind.Attr -> bump attr_counts (parent_name, Doc.name doc pre) 1
+     | Nodekind.Doc | Nodekind.Comment | Nodekind.Pi -> ())
+  done;
+  let histograms = Hashtbl.create (Hashtbl.length numeric_acc) in
+  Hashtbl.iter
+    (fun name (values, distinct) ->
+      let values = Array.of_list !values in
+      let h_min = Array.fold_left min values.(0) values in
+      let h_max = Array.fold_left max values.(0) values in
+      let buckets = Array.make n_buckets 0 in
+      let width = (h_max -. h_min) /. float_of_int n_buckets in
+      Array.iter
+        (fun v ->
+          let b =
+            if width <= 0.0 then 0
+            else min (n_buckets - 1) (int_of_float ((v -. h_min) /. width))
+          in
+          buckets.(b) <- buckets.(b) + 1)
+        values;
+      Hashtbl.replace histograms name
+        { h_min; h_max; buckets; total = Array.length values;
+          distinct = Hashtbl.length distinct })
+    numeric_acc;
+  {
+    elem_counts;
+    child_pairs;
+    desc_pairs;
+    text_children;
+    attr_counts;
+    histograms;
+    total_elements = !total_elements;
+    total_texts = !total_texts;
+  }
+
+let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+let element_count t name = get t.elem_counts name
+let child_pair_count t ~parent ~child = get t.child_pairs (parent, child)
+let desc_pair_count t ~anc ~desc = get t.desc_pairs (anc, desc)
+let text_child_count t ~parent = get t.text_children parent
+let attr_count t ~elem ~attr = get t.attr_counts (elem, attr)
+
+(* Histogram mass satisfying the predicate, assuming uniform distribution
+   within a bucket and uniform frequency over distinct values for
+   equality. *)
+let selectivity t ~elem pred =
+  match Hashtbl.find_opt t.histograms elem with
+  | None ->
+    (* No numeric data: equality may still match string values — fall back
+       to a guessy but bounded default. *)
+    (match pred with Rox_algebra.Selection.Eq _ -> 0.1 | _ -> 0.0)
+  | Some h ->
+    let range_mass lo hi =
+      (* Inclusive [lo, hi] over the histogram. *)
+      let lo = max lo h.h_min and hi = min hi h.h_max in
+      if hi < lo || h.total = 0 then 0.0
+      else begin
+        let width = (h.h_max -. h.h_min) /. float_of_int n_buckets in
+        if width <= 0.0 then if lo <= h.h_min && h.h_min <= hi then 1.0 else 0.0
+        else begin
+          let mass = ref 0.0 in
+          for b = 0 to n_buckets - 1 do
+            let b_lo = h.h_min +. (float_of_int b *. width) in
+            let b_hi = b_lo +. width in
+            let overlap = max 0.0 (min hi b_hi -. max lo b_lo) in
+            if overlap > 0.0 then
+              mass := !mass +. (float_of_int h.buckets.(b) *. overlap /. width)
+          done;
+          !mass /. float_of_int h.total
+        end
+      end
+    in
+    (match pred with
+     | Rox_algebra.Selection.Eq _ -> 1.0 /. float_of_int (max 1 h.distinct)
+     | Rox_algebra.Selection.Lt f -> range_mass neg_infinity (f -. epsilon_float)
+     | Rox_algebra.Selection.Le f -> range_mass neg_infinity f
+     | Rox_algebra.Selection.Gt f -> range_mass (f +. epsilon_float) infinity
+     | Rox_algebra.Selection.Ge f -> range_mass f infinity
+     | Rox_algebra.Selection.Between (lo, hi) -> range_mass lo hi)
+
+let vertex_name = function
+  | Rox_joingraph.Vertex.Root -> "#root"
+  | Rox_joingraph.Vertex.Element q -> q
+  | Rox_joingraph.Vertex.Text _ -> "#text"
+  | Rox_joingraph.Vertex.Attr (q, _) -> "@" ^ q
+
+let estimate_step t ~context_card ~context ~axis ~target =
+  let open Rox_joingraph in
+  let cname = vertex_name context in
+  (* Fan-out of the forward step per context node, and the total target
+     population for predicate scaling. *)
+  let pair_total ~anc_name ~target' =
+    match target' with
+    | Vertex.Element q ->
+      (match axis with
+       | Rox_algebra.Axis.Child -> float_of_int (child_pair_count t ~parent:anc_name ~child:q)
+       | _ -> float_of_int (desc_pair_count t ~anc:anc_name ~desc:q))
+    | Vertex.Text _ ->
+      (* Text pairs are only tracked per direct parent; approximate
+         descendant text by scaling with the subtree element ratio. *)
+      (match axis with
+       | Rox_algebra.Axis.Child -> float_of_int (text_child_count t ~parent:cname)
+       | _ ->
+         let elems_below =
+           Hashtbl.fold
+             (fun (anc, _) n acc -> if anc = cname then acc + n else acc)
+             t.desc_pairs 0
+         in
+         float_of_int (text_child_count t ~parent:cname)
+         +. (float_of_int elems_below
+            *. float_of_int t.total_texts
+            /. float_of_int (max 1 t.total_elements)))
+    | Vertex.Attr (q, _) -> float_of_int (attr_count t ~elem:cname ~attr:q)
+    | Vertex.Root -> 0.0
+  in
+  let context_population =
+    match context with
+    | Vertex.Root -> 1.0
+    | Vertex.Element q -> float_of_int (max 1 (element_count t q))
+    | Vertex.Text _ -> float_of_int (max 1 t.total_texts)
+    | Vertex.Attr (q, _) ->
+      float_of_int
+        (max 1
+           (Hashtbl.fold
+              (fun (_, attr) n acc -> if attr = q then acc + n else acc)
+              t.attr_counts 0))
+  in
+  let forward_pairs =
+    match (context, axis) with
+    | Vertex.Root, (Rox_algebra.Axis.Descendant | Rox_algebra.Axis.Desc_or_self) ->
+      (* Everything descends from the root. *)
+      (match target with
+       | Vertex.Element q -> float_of_int (element_count t q)
+       | Vertex.Text _ -> float_of_int t.total_texts
+       | Vertex.Attr (q, _) ->
+         float_of_int
+           (Hashtbl.fold
+              (fun (_, attr) n acc -> if attr = q then acc + n else acc)
+              t.attr_counts 0)
+       | Vertex.Root -> 1.0)
+    | _ -> pair_total ~anc_name:cname ~target':target
+  in
+  let pred_selectivity =
+    match target with
+    | Vertex.Text (Some pred) -> selectivity t ~elem:cname pred
+    | Vertex.Attr (_, Some _) -> 0.1
+    | _ -> 1.0
+  in
+  (* Independence: the context estimate covers a fraction of the context
+     population; pairs scale linearly with it. *)
+  forward_pairs *. (context_card /. context_population) *. pred_selectivity

@@ -1,0 +1,49 @@
+(** Path synopsis: static cardinality estimation for XML steps.
+
+    The related work the paper positions against ([1, 8, 13, 14, 28, 30,
+    31]) estimates intermediate cardinalities from per-document structural
+    summaries built at load time. This synopsis records, exactly:
+
+    - element counts per qualified name;
+    - parent/child pair counts (elements, text children, attributes);
+    - ancestor/descendant pair counts per name pair (a DataGuide-style
+      path summary, collected in one shredding walk);
+    - an equi-width histogram of the numeric text values under each
+      element name, for range-selectivity estimation.
+
+    Estimates for *steps within one document* derive from these counts
+    under the attribute-value-independence heuristic — precisely the
+    assumption ROX's run-time re-sampling does away with, and the reason
+    the synopsis-driven optimizer mis-plans on correlated data
+    (Section 5: estimation techniques "are based on the attribute value
+    independence heuristic"). Cross-document equi-join selectivities are
+    *not* estimable from per-document synopses at all; callers fall back
+    to heuristics. *)
+
+type t
+
+val build : Rox_storage.Engine.docref -> t
+
+val element_count : t -> string -> int
+val child_pair_count : t -> parent:string -> child:string -> int
+val desc_pair_count : t -> anc:string -> desc:string -> int
+val text_child_count : t -> parent:string -> int
+val attr_count : t -> elem:string -> attr:string -> int
+
+val estimate_step :
+  t ->
+  context_card:float ->
+  context :Rox_joingraph.Vertex.annot ->
+  axis:Rox_algebra.Axis.t ->
+  target:Rox_joingraph.Vertex.annot ->
+  float
+(** Expected result cardinality of one step from an estimated context set,
+    under independence: the per-context fan-out ratio times the context
+    cardinality, with the target's value-predicate selectivity folded in.
+    Supported axes: child / attribute / descendant and their reverses;
+    other axes fall back to the descendant ratio. *)
+
+val selectivity : t -> elem:string -> Rox_algebra.Selection.t -> float
+(** Fraction of the element name's text children satisfying the
+    predicate, from the histogram (equality uses a distinct-value
+    uniformity assumption). In [0, 1]. *)

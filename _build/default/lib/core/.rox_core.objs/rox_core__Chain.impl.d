@@ -1,0 +1,1 @@
+lib/core/chain.ml: Edge Exec Graph List Option Printf Rox_algebra Rox_joingraph Runtime State Trace Vertex

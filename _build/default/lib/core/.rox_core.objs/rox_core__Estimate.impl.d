@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Edge Exec Hashtbl List Option Rox_algebra Rox_joingraph Runtime State

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Chain Edge Estimate Exec Graph List Race Relation Rox_algebra Rox_joingraph Rox_xquery Runtime State Trace Vertex

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Rox_algebra Rox_joingraph Rox_storage Rox_xquery State Trace

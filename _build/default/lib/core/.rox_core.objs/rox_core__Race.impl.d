@@ -1,0 +1,1 @@
+lib/core/race.ml: Array Cost Cutoff Edge Exec Graph List Option Rox_algebra Rox_joingraph Runtime State Vertex

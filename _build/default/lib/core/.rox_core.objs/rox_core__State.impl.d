@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Cost Edge Exec Graph List Option Rox_algebra Rox_joingraph Rox_storage Rox_util Runtime Sampling Trace Xoshiro

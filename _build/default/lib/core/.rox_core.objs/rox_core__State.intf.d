@@ -1,0 +1,1 @@
+lib/core/state.mli: Edge Graph Rox_algebra Rox_joingraph Rox_storage Rox_util Runtime Trace

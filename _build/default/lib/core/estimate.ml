@@ -1,0 +1,48 @@
+open Rox_joingraph
+
+let edge_weight state (e : Edge.t) =
+  let pick_side () =
+    let s1 = State.sample state e.Edge.v1 in
+    let s2 = State.sample state e.Edge.v2 in
+    match (s1, s2) with
+    | None, None -> None
+    | Some _, None -> Some (Exec.From_v1, e.Edge.v1)
+    | None, Some _ -> Some (Exec.From_v2, e.Edge.v2)
+    | Some _, Some _ ->
+      let c1 = Option.value ~default:infinity (State.card state e.Edge.v1) in
+      let c2 = Option.value ~default:infinity (State.card state e.Edge.v2) in
+      (* The smaller side yields the more representative sample. *)
+      if c1 <= c2 then Some (Exec.From_v1, e.Edge.v1) else Some (Exec.From_v2, e.Edge.v2)
+  in
+  match pick_side () with
+  | None -> None
+  | Some (outer, v) ->
+    let sample = Option.get (State.sample state v) in
+    let card = Option.get (State.card state v) in
+    if Array.length sample = 0 then Some 0.0
+    else begin
+      let v' = Edge.other_end e v in
+      let inner_table = Runtime.table (State.runtime state) v' in
+      let cut =
+        Exec.sampled
+          ~meter:(State.sampling_meter state)
+          (State.engine state) (State.graph state) e ~outer ~sample ~inner_table
+          ~limit:(State.tau state)
+      in
+      Some (card /. float_of_int (Array.length sample) *. cut.Rox_algebra.Cutoff.est)
+    end
+
+let reweigh_incident state vertices =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem seen e.Edge.id) then begin
+            Hashtbl.replace seen e.Edge.id ();
+            match edge_weight state e with
+            | Some w -> State.set_weight state e w
+            | None -> ()
+          end)
+        (Runtime.unexecuted_incident (State.runtime state) v))
+    vertices

@@ -1,0 +1,17 @@
+(** EstimateCard (Section 3, Phase 1): weight an edge by sampled execution.
+
+    [EstimateCard(e) = card(v)/|S(v)| × est] where v is the endpoint with
+    the smaller cardinality, S(v) its materialized sample, and est the
+    cut-off-extrapolated pair cardinality of executing e's operator with
+    S(v) against the other endpoint's table (or its index domain while
+    unmaterialized — the zero-investment inner input). *)
+
+val edge_weight : State.t -> Rox_joingraph.Edge.t -> float option
+(** [None] when neither endpoint has a sample yet ("an edge whose both
+    vertices do not have a materialized sample will stay unweighted"). All
+    work is charged to the sampling bucket. *)
+
+val reweigh_incident : State.t -> int list -> unit
+(** Re-sample the weights of every un-executed edge incident to the given
+    vertices (Algorithm 1, lines 18–19) — the re-sampling that lets ROX
+    "detect arbitrary correlations between edges". *)

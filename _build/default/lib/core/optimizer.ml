@@ -1,0 +1,133 @@
+open Rox_joingraph
+
+type options = {
+  seed : int;
+  tau : int;
+  max_rows : int;
+  use_chain : bool;
+  resample : bool;
+  grow_cutoff : bool;
+  race_operators : bool;
+  table_fraction : float option;
+}
+
+let default_options =
+  { seed = 42; tau = 100; max_rows = 50_000_000; use_chain = true; resample = true;
+    grow_cutoff = true; race_operators = true; table_fraction = None }
+
+type result = {
+  state : State.t;
+  relation : Relation.t;
+  edge_order : int list;
+  edge_rows : (int * int) list;
+  counter : Rox_algebra.Cost.counter;
+}
+
+let phase1 state =
+  let graph = State.graph state in
+  Array.iter
+    (fun (v : Vertex.t) -> ignore (State.init_vertex_from_index state v.Vertex.id : bool))
+    (Graph.vertices graph);
+  List.iter
+    (fun e ->
+      match Estimate.edge_weight state e with
+      | Some w -> State.set_weight state e w
+      | None -> ())
+    (Runtime.unexecuted_edges (State.runtime state))
+
+let execute_one state ~options ~order ~rows e =
+  (* Operator racing (Section 6): sample the applicable zero-investment
+     variants and execute with the cheapest. *)
+  let step_direction, equi_algo =
+    if options.race_operators then
+      match Race.choose state e with
+      | Race.Step_dir d -> (Some d, None)
+      | Race.Equi_dir d -> (None, Some (Exec.Algo_index_nl d))
+      | Race.Default -> (None, None)
+    else (None, None)
+  in
+  let info =
+    Runtime.execute_edge ?step_direction ?equi_algo
+      ~meter:(State.execution_meter state) (State.runtime state) e
+  in
+  incr order;
+  rows := (e.Edge.id, info.Runtime.rel_rows) :: !rows;
+  Trace.emit (State.trace state)
+    (Trace.Edge_executed
+       { edge = e.Edge.id; order = !order; pairs = info.Runtime.pair_count;
+         rel_rows = info.Runtime.rel_rows });
+  (* Refresh samples/cards of every vertex whose table shrank, then
+     re-sample the weights of the un-executed edges incident to the executed
+     edge's endpoints (lines 14-19; Fig 3.2: "the weights of other edges are
+     unchanged" — they are re-sampled when their own vertices execute). *)
+  List.iter (State.refresh_vertex state) info.Runtime.changed;
+  if options.resample then Estimate.reweigh_incident state [ e.Edge.v1; e.Edge.v2 ]
+
+(* The chosen path segment "is treated as a separate Join Graph, optimized,
+   and executed in the most optimal order found" (Section 3.2): execute its
+   edges greedily by current weight, which refreshes after each step. *)
+let execute_segment state ~options ~order ~rows edges =
+  let remaining = ref edges in
+  while !remaining <> [] do
+    let weight_of e =
+      match State.weight state e with Some w -> w | None -> infinity
+    in
+    let best =
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | None -> Some e
+          | Some b -> if weight_of e < weight_of b then Some e else acc)
+        None !remaining
+    in
+    match best with
+    | None -> remaining := []
+    | Some e ->
+      remaining := List.filter (fun e' -> e'.Edge.id <> e.Edge.id) !remaining;
+      if not (Runtime.executed (State.runtime state) e) then
+        execute_one state ~options ~order ~rows e
+  done
+
+let run_graph ?(options = default_options) ?trace engine graph =
+  let state =
+    State.create ~seed:options.seed ~tau:options.tau ~max_rows:options.max_rows
+      ?table_fraction:options.table_fraction ?trace engine graph
+  in
+  phase1 state;
+  let order = ref 0 in
+  let rows = ref [] in
+  let continue = ref true in
+  while !continue do
+    if Runtime.all_executed (State.runtime state) then continue := false
+    else if options.use_chain then begin
+      match Chain.run ~grow_cutoff:options.grow_cutoff state with
+      | None -> continue := false
+      | Some { Chain.edges; _ } -> execute_segment state ~options ~order ~rows edges
+    end
+    else begin
+      match State.min_weight_edge state with
+      | None -> continue := false
+      | Some e -> execute_one state ~options ~order ~rows e
+    end
+  done;
+  let relation = Runtime.final_relation ~meter:(State.execution_meter state) (State.runtime state) in
+  {
+    state;
+    relation;
+    edge_order = List.rev_map fst !rows;
+    edge_rows = List.rev !rows;
+    counter = State.counter state;
+  }
+
+let run ?options ?trace (compiled : Rox_xquery.Compile.compiled) =
+  run_graph ?options ?trace compiled.Rox_xquery.Compile.engine
+    compiled.Rox_xquery.Compile.graph
+
+let answer ?options ?trace (compiled : Rox_xquery.Compile.compiled) =
+  let result = run ?options ?trace compiled in
+  let nodes =
+    Rox_xquery.Tail.apply
+      ~meter:(Rox_algebra.Cost.execution_meter result.counter)
+      compiled.Rox_xquery.Compile.tail result.relation
+  in
+  (nodes, result)

@@ -1,0 +1,60 @@
+(** The ROX run-time optimizer — Algorithm 1.
+
+    Phase 1 initializes samples and cardinalities of every index-selectable
+    vertex and weights every edge with at least one sampled endpoint by
+    cut-off sampled execution. Phase 2 alternates chain sampling
+    (Algorithm 2) with the execution of the winning path segment, fully
+    materializing results and re-sampling the weights of edges incident to
+    every vertex whose table shrank — the re-sampling (rather than
+    independence-scaling) that makes ROX robust to correlations.
+
+    Ablation switches (the design choices benchmarked in
+    [bench/main.ml]):
+    - [use_chain:false] — greedy smallest-weight-edge execution, no
+      look-ahead;
+    - [resample:false] — weights are never refreshed after Phase 1 (the
+      independence assumption a classical optimizer is stuck with);
+    - [grow_cutoff:false] — chain sampling keeps a fixed cut-off τ;
+    - [race_operators:false] — skip the per-edge physical-operator race. *)
+
+type options = {
+  seed : int;
+  tau : int;            (** sample size τ (default 100) *)
+  max_rows : int;       (** materialization guard *)
+  use_chain : bool;
+  resample : bool;
+  grow_cutoff : bool;
+  race_operators : bool;
+      (** sample the applicable physical variants of each edge before
+          executing it and pick the cheapest (Section 6) *)
+  table_fraction : float option;
+      (** approximate mode (Section 6): materialize vertex tables as
+          uniform samples of this fraction; the answer becomes a sound
+          subset computed over proportionally small intermediates *)
+}
+
+val default_options : options
+
+type result = {
+  state : State.t;
+  relation : Rox_joingraph.Relation.t;  (** fully joined non-root relation *)
+  edge_order : int list;                (** execution order (edge ids) *)
+  edge_rows : (int * int) list;
+      (** (edge id, component rows after executing it) in execution order —
+          the per-edge intermediate result sizes behind Figure 5. *)
+  counter : Rox_algebra.Cost.counter;
+}
+
+val run_graph :
+  ?options:options ->
+  ?trace:Trace.t ->
+  Rox_storage.Engine.t ->
+  Rox_joingraph.Graph.t ->
+  result
+
+val run : ?options:options -> ?trace:Trace.t -> Rox_xquery.Compile.compiled -> result
+
+val answer :
+  ?options:options -> ?trace:Trace.t -> Rox_xquery.Compile.compiled -> int array * result
+(** Run and apply the π/δ/τ tail: the query answer as return-vertex nodes
+    in XQuery order. *)

@@ -1,0 +1,17 @@
+(** Physical operator racing.
+
+    "The current ROX prototype, after deciding to execute an edge, tries
+    all applicable physical operators on a sample to see which one is
+    fastest" (Section 6). Before a full edge execution, each applicable
+    zero-investment variant — the two step directions, or the two
+    index-probe directions of an equi-join — is run with a τ-sample and
+    its measured work extrapolated to the full input; the cheapest variant
+    performs the real execution. The probing cost is charged to the
+    sampling bucket. *)
+
+type choice =
+  | Step_dir of Rox_joingraph.Exec.direction
+  | Equi_dir of Rox_joingraph.Exec.direction
+  | Default  (** no variant could be sampled; let the runtime decide *)
+
+val choose : State.t -> Rox_joingraph.Edge.t -> choice

@@ -1,0 +1,94 @@
+open Rox_util
+open Rox_storage
+open Rox_algebra
+open Rox_joingraph
+
+type t = {
+  runtime : Runtime.t;
+  tau : int;
+  rng : Xoshiro.t;
+  counter : Cost.counter;
+  trace : Trace.t;
+  samples : int array option array;
+  cards : float option array;
+  weights : float option array;
+}
+
+let create ?(seed = 42) ?(tau = 100) ?max_rows ?table_fraction ?trace engine graph =
+  let trace = match trace with Some t -> t | None -> Trace.create ~enabled:false () in
+  let table_sampler =
+    match table_fraction with
+    | None -> None
+    | Some fraction ->
+      (* An isolated stream so approximate-mode draws do not perturb the
+         optimizer's sampling decisions. *)
+      let rng = Xoshiro.create (seed lxor 0x5eed) in
+      Some (fun _vertex table -> Sampling.sample_fraction rng table fraction)
+  in
+  {
+    runtime = Runtime.create ?max_rows ?table_sampler engine graph;
+    tau;
+    rng = Xoshiro.create seed;
+    counter = Cost.new_counter ();
+    trace;
+    samples = Array.make (Graph.vertex_count graph) None;
+    cards = Array.make (Graph.vertex_count graph) None;
+    weights = Array.make (Graph.edge_count graph) None;
+  }
+
+let runtime t = t.runtime
+let graph t = Runtime.graph t.runtime
+let engine t = Runtime.engine t.runtime
+let tau t = t.tau
+let rng t = t.rng
+let counter t = t.counter
+let trace t = t.trace
+let sample t v = t.samples.(v)
+let card t v = t.cards.(v)
+let sampling_meter t = Cost.sampling_meter t.counter
+let execution_meter t = Cost.execution_meter t.counter
+
+let set_sample_from t v table =
+  let s = Sampling.sample t.rng table t.tau in
+  (* Drawing the sample touches |s| tuples. *)
+  Cost.charge (Some (sampling_meter t)) (Array.length s);
+  t.samples.(v) <- Some s;
+  t.cards.(v) <- Some (float_of_int (Array.length table))
+
+let set_table t v table =
+  (* Runtime tables are refreshed by Runtime.execute_edge itself; this
+     entry point is for the rare direct installs (tests). *)
+  ignore (Runtime.ensure_table t.runtime v : int array);
+  set_sample_from t v table
+
+let refresh_vertex t v =
+  match Runtime.table t.runtime v with
+  | Some table -> set_sample_from t v table
+  | None -> ()
+
+let init_vertex_from_index t v =
+  let vertex = Graph.vertex (graph t) v in
+  if Exec.can_index_init vertex then begin
+    let domain = Exec.vertex_domain (engine t) vertex in
+    set_sample_from t v domain;
+    Trace.emit t.trace (Trace.Vertex_initialized { vertex = v; card = Array.length domain });
+    true
+  end
+  else false
+
+let weight t (e : Edge.t) = t.weights.(e.Edge.id)
+
+let set_weight t (e : Edge.t) w =
+  t.weights.(e.Edge.id) <- Some w;
+  Trace.emit t.trace (Trace.Edge_weighted { edge = e.Edge.id; weight = w })
+
+let min_weight_edge t =
+  let best = ref None in
+  List.iter
+    (fun e ->
+      let w = match t.weights.(e.Edge.id) with Some w -> w | None -> infinity in
+      match !best with
+      | None -> best := Some (e, w)
+      | Some (_, bw) -> if w < bw then best := Some (e, w))
+    (Runtime.unexecuted_edges t.runtime);
+  Option.map fst !best

@@ -1,0 +1,62 @@
+(** ROX optimizer state: the Join Graph knowledge base of Algorithm 1.
+
+    Wraps the shared execution {!Rox_joingraph.Runtime} with the sampling
+    side of ROX: per-vertex random samples S(v) and cardinalities card(v),
+    per-edge weights w(e), the cost counter with its sampling / execution
+    buckets, and the event trace. *)
+
+open Rox_joingraph
+
+type t
+
+val create :
+  ?seed:int ->
+  ?tau:int ->
+  ?max_rows:int ->
+  ?table_fraction:float ->
+  ?trace:Trace.t ->
+  Rox_storage.Engine.t ->
+  Graph.t ->
+  t
+(** [table_fraction] switches on approximate (sample-driven) execution:
+    tables materialize as uniform samples of that fraction of their index
+    domains, so every intermediate stays proportionally small and the
+    answer is a sound subset of the exact one (Section 6's "run ROX with
+    samples instead of the complete data"). *)
+
+val runtime : t -> Runtime.t
+val graph : t -> Graph.t
+val engine : t -> Rox_storage.Engine.t
+val tau : t -> int
+val rng : t -> Rox_util.Xoshiro.t
+val counter : t -> Rox_algebra.Cost.counter
+val trace : t -> Trace.t
+
+val sample : t -> int -> int array option
+(** S(v). *)
+
+val card : t -> int -> float option
+(** card(v); [None] while unknown. *)
+
+val set_table : t -> int -> int array -> unit
+(** Install T(v) and refresh S(v) (a fresh τ-sample) and card(v). *)
+
+val refresh_vertex : t -> int -> unit
+(** Re-derive S(v) / card(v) from the runtime's current T(v). *)
+
+val init_vertex_from_index : t -> int -> bool
+(** Phase-1 initialization (Algorithm 1 lines 1–2): when the vertex is
+    index-selectable (root, element, or equality-predicate text/attribute),
+    set S(v) and card(v) from an index lookup *without* materializing T(v),
+    and return true. The index supplies the count for free; only the
+    τ-sample is charged. *)
+
+val weight : t -> Edge.t -> float option
+val set_weight : t -> Edge.t -> float -> unit
+
+val min_weight_edge : t -> Edge.t option
+(** Un-executed edge of smallest weight (unweighted edges lose against any
+    weighted one; among only-unweighted edges, the first). *)
+
+val sampling_meter : t -> Rox_algebra.Cost.meter
+val execution_meter : t -> Rox_algebra.Cost.meter

@@ -1,0 +1,1 @@
+lib/joingraph/edge.ml: Rox_algebra

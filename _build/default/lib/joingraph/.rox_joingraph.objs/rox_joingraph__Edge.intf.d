@@ -1,0 +1,1 @@
+lib/joingraph/edge.mli: Rox_algebra

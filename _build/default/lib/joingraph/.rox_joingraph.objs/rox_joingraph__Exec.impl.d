@@ -1,0 +1,1 @@
+lib/joingraph/exec.ml: Array Axis Cutoff Edge Element_index Engine Float Graph Int_vec Kind_index Rox_algebra Rox_shred Rox_storage Rox_util Selection Staircase Value_index Value_join Vertex

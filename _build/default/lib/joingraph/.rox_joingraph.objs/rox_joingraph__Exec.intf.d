@@ -1,0 +1,1 @@
+lib/joingraph/exec.mli: Edge Engine Graph Rox_algebra Rox_storage Vertex

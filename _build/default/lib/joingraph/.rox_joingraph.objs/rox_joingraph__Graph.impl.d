@@ -1,0 +1,1 @@
+lib/joingraph/graph.ml: Array Edge List Vertex

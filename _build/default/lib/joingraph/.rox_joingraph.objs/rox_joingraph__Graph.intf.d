@@ -1,0 +1,1 @@
+lib/joingraph/graph.mli: Edge Vertex

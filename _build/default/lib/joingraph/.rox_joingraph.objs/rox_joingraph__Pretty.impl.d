@@ -1,0 +1,1 @@
+lib/joingraph/pretty.ml: Array Buffer Edge Graph Printf Rox_algebra String Vertex

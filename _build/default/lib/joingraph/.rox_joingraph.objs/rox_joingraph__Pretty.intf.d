@@ -1,0 +1,1 @@
+lib/joingraph/pretty.mli: Edge Graph

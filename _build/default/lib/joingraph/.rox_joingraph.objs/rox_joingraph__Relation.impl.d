@@ -1,0 +1,1 @@
+lib/joingraph/relation.ml: Array Cost Exec Hashtbl Int_vec Rox_algebra Rox_util

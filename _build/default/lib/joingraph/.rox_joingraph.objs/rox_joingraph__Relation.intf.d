@@ -1,0 +1,1 @@
+lib/joingraph/relation.mli: Exec Rox_algebra

@@ -1,0 +1,1 @@
+lib/joingraph/runtime.ml: Array Axis Edge Engine Exec Graph List Relation Rox_algebra Rox_storage Vertex

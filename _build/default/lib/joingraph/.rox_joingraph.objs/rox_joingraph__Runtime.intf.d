@@ -1,0 +1,1 @@
+lib/joingraph/runtime.mli: Edge Engine Exec Graph Relation Rox_algebra Rox_storage

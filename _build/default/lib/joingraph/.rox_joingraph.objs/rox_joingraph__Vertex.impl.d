@@ -1,0 +1,1 @@
+lib/joingraph/vertex.ml: Rox_algebra

@@ -1,0 +1,1 @@
+lib/joingraph/vertex.mli: Rox_algebra

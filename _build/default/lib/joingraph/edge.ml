@@ -1,0 +1,17 @@
+type op =
+  | Step of Rox_algebra.Axis.t
+  | Equijoin
+
+type t = { id : int; v1 : int; v2 : int; op : op; derived : bool }
+
+let other_end t v =
+  if t.v1 = v then t.v2
+  else if t.v2 = v then t.v1
+  else invalid_arg "Edge.other_end: vertex not on edge"
+
+let touches t v = t.v1 = v || t.v2 = v
+
+let label t =
+  match t.op with
+  | Step axis -> Rox_algebra.Axis.short_label axis
+  | Equijoin -> "="

@@ -1,0 +1,28 @@
+(** Join Graph edges: XPath step joins and value equi-joins.
+
+    A step edge [v1 ◦ax— v2] reads "the nodes of v2 reachable from context
+    v1 along axis ax"; the stored direction is representational — the
+    engine may execute the reverse axis from v2 (Section 2.1). A [derived]
+    edge is a join-equivalence added by ROX's transitive closure over
+    equi-joins (the dotted edges of Figure 4). *)
+
+type op =
+  | Step of Rox_algebra.Axis.t  (** context = v1, result = v2 *)
+  | Equijoin
+
+type t = {
+  id : int;
+  v1 : int;
+  v2 : int;
+  op : op;
+  derived : bool;
+}
+
+val other_end : t -> int -> int
+(** The opposite endpoint. @raise Invalid_argument if the vertex is not an
+    endpoint of the edge. *)
+
+val touches : t -> int -> bool
+
+val label : t -> string
+(** "//", "/", "@", "=", or the long axis name. *)

@@ -1,0 +1,172 @@
+open Rox_util
+open Rox_storage
+open Rox_algebra
+
+type direction = From_v1 | From_v2
+
+let docref engine (v : Vertex.t) = Engine.get engine v.Vertex.doc_id
+
+(* Translate an exclusive numeric bound into the value index's inclusive
+   range using adjacent floats: v < f  ⇔  v <= pred(f). *)
+let range_of_pred = function
+  | Selection.Lt f -> Some (None, Some (Float.pred f))
+  | Selection.Le f -> Some (None, Some f)
+  | Selection.Gt f -> Some (Some (Float.succ f), None)
+  | Selection.Ge f -> Some (Some f, None)
+  | Selection.Between (lo, hi) -> Some (Some lo, Some hi)
+  | Selection.Eq _ -> None
+
+let vertex_domain engine (v : Vertex.t) =
+  let r = docref engine v in
+  match v.Vertex.annot with
+  | Vertex.Root -> [| 0 |]
+  | Vertex.Element q ->
+    (match Engine.qname_id engine q with
+     | Some id -> Element_index.lookup r.Engine.elements id
+     | None -> [||])
+  | Vertex.Text None -> Kind_index.lookup r.Engine.kinds Rox_shred.Nodekind.Text
+  | Vertex.Text (Some (Selection.Eq s)) ->
+    (match Engine.value_id engine s with
+     | Some id -> Value_index.text_eq r.Engine.values id
+     | None -> [||])
+  | Vertex.Text (Some pred) ->
+    (match range_of_pred pred with
+     | Some (lo, hi) -> Value_index.text_range r.Engine.values ?lo ?hi ()
+     | None -> assert false)
+  | Vertex.Attr (q, pred) ->
+    (match Engine.qname_id engine q with
+     | None -> [||]
+     | Some name_id ->
+       (match pred with
+        | None -> Element_index.lookup_attr r.Engine.elements name_id
+        | Some (Selection.Eq s) ->
+          (match Engine.value_id engine s with
+           | Some value_id -> Value_index.attr_eq r.Engine.values ~name_id ~value_id
+           | None -> [||])
+        | Some p ->
+          Selection.filter ~doc:r.Engine.doc ~pred:p
+            (Element_index.lookup_attr r.Engine.elements name_id)))
+
+let vertex_domain_count engine v = Array.length (vertex_domain engine v)
+
+let can_index_init (v : Vertex.t) =
+  match v.Vertex.annot with
+  | Vertex.Root | Vertex.Element _ -> true
+  | Vertex.Text (Some (Selection.Eq _)) | Vertex.Attr (_, Some (Selection.Eq _)) -> true
+  | Vertex.Text _ | Vertex.Attr _ -> false
+
+type pairs = { left : int array; right : int array }
+
+let pair_count p = Array.length p.left
+
+type equi_algo = Algo_hash | Algo_merge | Algo_index_nl of direction
+
+let inner_spec engine (v : Vertex.t) restrict =
+  let r = docref engine v in
+  let side =
+    match v.Vertex.annot with
+    | Vertex.Text _ -> Value_join.Inner_text
+    | Vertex.Attr (q, _) ->
+      (match Engine.qname_id engine q with
+       | Some id -> Value_join.Inner_attr id
+       | None -> Value_join.Inner_attr (-1))
+    | Vertex.Root | Vertex.Element _ ->
+      invalid_arg "Exec: equi-join endpoint must be a text or attribute vertex"
+  in
+  (* Index buckets ignore the vertex predicate; compensate through the
+     restrict table when none was supplied. *)
+  let restrict =
+    match (restrict, Vertex.predicate v) with
+    | (Some _ as r), _ -> r
+    | None, None -> None
+    | None, Some _ -> Some (vertex_domain engine v)
+  in
+  { Value_join.docref = r; side; restrict }
+
+let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
+  let v1 = Graph.vertex graph e.Edge.v1 in
+  let v2 = Graph.vertex graph e.Edge.v2 in
+  match e.Edge.op with
+  | Edge.Step axis ->
+    let dir =
+      match step_direction with
+      | Some d -> d
+      | None -> if Array.length t1 <= Array.length t2 then From_v1 else From_v2
+    in
+    let lefts = Int_vec.create () and rights = Int_vec.create () in
+    (match dir with
+     | From_v1 ->
+       let doc = (docref engine v1).Engine.doc in
+       Staircase.iter_pairs ?meter ~doc ~axis ~context:t1 ~candidates:t2 (fun _ c s ->
+           Int_vec.push lefts c;
+           Int_vec.push rights s)
+     | From_v2 ->
+       let doc = (docref engine v2).Engine.doc in
+       Staircase.iter_pairs ?meter ~doc ~axis:(Axis.reverse axis) ~context:t2 ~candidates:t1
+         (fun _ c s ->
+           Int_vec.push lefts s;
+           Int_vec.push rights c));
+    { left = Int_vec.to_array lefts; right = Int_vec.to_array rights }
+  | Edge.Equijoin ->
+    let algo =
+      match equi_algo with
+      | Some a -> a
+      | None -> Algo_hash
+    in
+    let lefts = Int_vec.create () and rights = Int_vec.create () in
+    let doc1 = (docref engine v1).Engine.doc in
+    let doc2 = (docref engine v2).Engine.doc in
+    (match algo with
+     | Algo_hash ->
+       (* Build on the smaller side. *)
+       if Array.length t2 <= Array.length t1 then
+         Value_join.iter_hash ?meter ~outer_doc:doc1 ~outer:t1 ~inner_doc:doc2 ~inner:t2
+           (fun _ o i ->
+             Int_vec.push lefts o;
+             Int_vec.push rights i)
+       else
+         Value_join.iter_hash ?meter ~outer_doc:doc2 ~outer:t2 ~inner_doc:doc1 ~inner:t1
+           (fun _ o i ->
+             Int_vec.push lefts i;
+             Int_vec.push rights o)
+     | Algo_merge ->
+       Value_join.iter_merge ?meter ~outer_doc:doc1 ~outer:t1 ~inner_doc:doc2 ~inner:t2
+         (fun _ o i ->
+           Int_vec.push lefts o;
+           Int_vec.push rights i)
+     | Algo_index_nl dir ->
+       (match dir with
+        | From_v1 ->
+          let inner = inner_spec engine v2 (Some t2) in
+          Value_join.iter_index_nl ?meter ~outer_doc:doc1 ~outer:t1 ~inner (fun _ o i ->
+              Int_vec.push lefts o;
+              Int_vec.push rights i)
+        | From_v2 ->
+          let inner = inner_spec engine v1 (Some t1) in
+          Value_join.iter_index_nl ?meter ~outer_doc:doc2 ~outer:t2 ~inner (fun _ o i ->
+              Int_vec.push lefts i;
+              Int_vec.push rights o)));
+    { left = Int_vec.to_array lefts; right = Int_vec.to_array rights }
+
+let sampled ?meter engine graph (e : Edge.t) ~outer ~sample ~inner_table ~limit =
+  let v1 = Graph.vertex graph e.Edge.v1 in
+  let v2 = Graph.vertex graph e.Edge.v2 in
+  let outer_v, inner_v = match outer with From_v1 -> (v1, v2) | From_v2 -> (v2, v1) in
+  match e.Edge.op with
+  | Edge.Step axis ->
+    let axis = match outer with From_v1 -> axis | From_v2 -> Axis.reverse axis in
+    let doc = (docref engine outer_v).Engine.doc in
+    let candidates =
+      match inner_table with
+      | Some t -> t
+      | None -> vertex_domain engine inner_v
+    in
+    Cutoff.run ~limit ~outer_len:(Array.length sample) ~iter:(fun emit ->
+        Staircase.iter_pairs ?meter ~doc ~axis ~context:sample ~candidates (fun cidx _ s ->
+            emit cidx s))
+  | Edge.Equijoin ->
+    let outer_doc = (docref engine outer_v).Engine.doc in
+    let inner = inner_spec engine inner_v inner_table in
+    Cutoff.run ~limit ~outer_len:(Array.length sample) ~iter:(fun emit ->
+        Value_join.iter_index_nl ?meter ~outer_doc ~outer:sample ~inner (fun cidx _ i ->
+            emit cidx i))

@@ -1,0 +1,64 @@
+(** Edge evaluation: maps Join Graph edges onto the physical operators.
+
+    Both the ROX optimizer and the classical-baseline executor run edges
+    through this module, so cost accounting and semantics are identical —
+    plans differ only in *order*, exactly as in the paper's experiments.
+
+    Every node-set argument and result is a sorted duplicate-free pre
+    array; pair results are parallel arrays oriented as (v1-node,
+    v2-node) regardless of the execution direction chosen. *)
+
+open Rox_storage
+
+type direction = From_v1 | From_v2
+(** Which endpoint provides the context (outer / sampled) input. *)
+
+val vertex_domain : Engine.t -> Vertex.t -> int array
+(** The full base node set of a vertex, through the best index: element
+    index for elements, value index for equality / range predicates, kind
+    or attribute-name index otherwise. Includes the vertex predicate. *)
+
+val vertex_domain_count : Engine.t -> Vertex.t -> int
+(** Like [vertex_domain] but only the count — index lookups expose counts
+    for free (Section 2.2). *)
+
+val can_index_init : Vertex.t -> bool
+(** Algorithm 1 (lines 1-2, 9-12) initializes only root vertices, elements
+    and text/attribute nodes with an equality predicate. *)
+
+type pairs = { left : int array; right : int array }
+(** Parallel arrays: [left.(i)] is the v1-side node of pair [i]. *)
+
+val pair_count : pairs -> int
+
+type equi_algo = Algo_hash | Algo_merge | Algo_index_nl of direction
+
+val full_pairs :
+  ?meter:Rox_algebra.Cost.meter ->
+  ?equi_algo:equi_algo ->
+  ?step_direction:direction ->
+  Engine.t ->
+  Graph.t ->
+  Edge.t ->
+  t1:int array ->
+  t2:int array ->
+  pairs
+(** Complete evaluation of an edge against materialized endpoint tables.
+    Steps default to taking the smaller side as context; equi-joins default
+    to a hash join building on the smaller side. *)
+
+val sampled :
+  ?meter:Rox_algebra.Cost.meter ->
+  Engine.t ->
+  Graph.t ->
+  Edge.t ->
+  outer:direction ->
+  sample:int array ->
+  inner_table:int array option ->
+  limit:int ->
+  Rox_algebra.Cutoff.t
+(** Zero-investment cut-off sampled evaluation: the [↓l(exec(e, S, T))] of
+    Algorithms 1 and 2. [sample] is a (document-ordered) sample of the
+    outer vertex; [inner_table] restricts the inner side to its current
+    materialized table, or [None] to use the vertex domain. The result's
+    [out] holds inner-side nodes in generation order. *)

@@ -1,0 +1,57 @@
+let vertex_name graph vid =
+  let v = Graph.vertex graph vid in
+  let label = Vertex.label v in
+  Printf.sprintf "%s[d%d]" label v.Vertex.doc_id
+
+let edge_line ?weight graph (e : Edge.t) =
+  let connector =
+    match e.Edge.op with
+    | Edge.Equijoin -> "=="
+    | Edge.Step axis -> Printf.sprintf "o-%s->" (Rox_algebra.Axis.short_label axis)
+  in
+  let base =
+    Printf.sprintf "%s %s %s" (vertex_name graph e.Edge.v1) connector
+      (vertex_name graph e.Edge.v2)
+  in
+  let base = if e.Edge.derived then base ^ " (derived)" else base in
+  match weight with
+  | Some w -> Printf.sprintf "%s  [w=%s]" base w
+  | None -> base
+
+let to_string ?weights graph =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Join Graph: %d vertices, %d edges\n" (Graph.vertex_count graph)
+       (Graph.edge_count graph));
+  Array.iter
+    (fun e ->
+      let weight = match weights with Some f -> f e | None -> None in
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (edge_line ?weight graph e);
+      Buffer.add_char buf '\n')
+    (Graph.edges graph);
+  Buffer.contents buf
+
+let to_dot ?weights graph =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph joingraph {\n";
+  Array.iter
+    (fun (v : Vertex.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=\"%s\"];\n" v.Vertex.id
+           (String.concat "\\\"" (String.split_on_char '"' (Vertex.label v)))))
+    (Graph.vertices graph);
+  Array.iter
+    (fun (e : Edge.t) ->
+      let style = if e.Edge.derived then ", style=dashed" else "" in
+      let weight =
+        match weights with
+        | Some f -> (match f e with Some w -> ", " ^ w | None -> "")
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -- v%d [label=\"%s\"%s%s];\n" e.Edge.v1 e.Edge.v2
+           (Edge.label e) style weight))
+    (Graph.edges graph);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

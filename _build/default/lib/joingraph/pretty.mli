@@ -1,0 +1,15 @@
+(** Textual rendering of Join Graphs.
+
+    Prints graphs in the paper's notation — one line per edge, e.g.
+    [open_auction ◦//– bidder] — optionally decorated with edge weights
+    (the sampled cardinality estimates of Figures 3.1/3.2), plus a Graphviz
+    dot form for documentation. *)
+
+val edge_line : ?weight:string -> Graph.t -> Edge.t -> string
+(** One edge in paper notation. *)
+
+val to_string : ?weights:(Edge.t -> string option) -> Graph.t -> string
+
+val to_dot : ?weights:(Edge.t -> string option) -> Graph.t -> string
+(** Graphviz rendering; derived (join-equivalence) edges are dashed like
+    the dotted edges of Figure 4. *)

@@ -1,0 +1,219 @@
+open Rox_util
+open Rox_algebra
+
+type t = {
+  verts : int array;
+  data : int array; (* row-major *)
+  nrows : int;
+}
+
+exception Too_large of int
+
+let width t = Array.length t.verts
+let rows t = t.nrows
+let vertices t = t.verts
+
+let col_index t v =
+  let rec find i =
+    if i >= Array.length t.verts then None else if t.verts.(i) = v then Some i else find (i + 1)
+  in
+  find 0
+
+let has_vertex t v = col_index t v <> None
+
+let col_index_exn t v =
+  match col_index t v with
+  | Some i -> i
+  | None -> invalid_arg "Relation: vertex not in relation"
+
+let singleton ~vertex nodes =
+  { verts = [| vertex |]; data = Array.copy nodes; nrows = Array.length nodes }
+
+let of_pairs ~v1 ~v2 (p : Exec.pairs) =
+  let n = Array.length p.Exec.left in
+  let data = Array.make (2 * n) 0 in
+  for i = 0 to n - 1 do
+    data.(2 * i) <- p.Exec.left.(i);
+    data.((2 * i) + 1) <- p.Exec.right.(i)
+  done;
+  { verts = [| v1; v2 |]; data; nrows = n }
+
+let column t v =
+  let c = col_index_exn t v in
+  let w = width t in
+  Array.init t.nrows (fun i -> t.data.((i * w) + c))
+
+let column_distinct t v = Int_vec.sorted_dedup (Int_vec.of_array (column t v))
+
+(* Multimap from pair left node to its right nodes. *)
+let pairs_multimap (p : Exec.pairs) =
+  let map : (int, Int_vec.t) Hashtbl.t = Hashtbl.create (Array.length p.Exec.left) in
+  Array.iteri
+    (fun i l ->
+      let vec =
+        match Hashtbl.find_opt map l with
+        | Some v -> v
+        | None ->
+          let v = Int_vec.create ~capacity:2 () in
+          Hashtbl.replace map l v;
+          v
+      in
+      Int_vec.push vec p.Exec.right.(i))
+    p.Exec.left;
+  map
+
+let extend ?meter ?(max_rows = max_int) t ~on ~new_vertex (p : Exec.pairs) =
+  let c = col_index_exn t on in
+  let w = width t in
+  let map = pairs_multimap p in
+  let out = Int_vec.create () in
+  let nrows = ref 0 in
+  for i = 0 to t.nrows - 1 do
+    match Hashtbl.find_opt map t.data.((i * w) + c) with
+    | None -> ()
+    | Some matches ->
+      Int_vec.iter
+        (fun m ->
+          for j = 0 to w - 1 do
+            Int_vec.push out t.data.((i * w) + j)
+          done;
+          Int_vec.push out m;
+          incr nrows;
+          if !nrows > max_rows then raise (Too_large !nrows))
+        matches
+  done;
+  Cost.charge meter !nrows;
+  { verts = Array.append t.verts [| new_vertex |]; data = Int_vec.to_array out; nrows = !nrows }
+
+let rows_by_key t c =
+  let w = width t in
+  let map : (int, Int_vec.t) Hashtbl.t = Hashtbl.create (max 16 t.nrows) in
+  for i = 0 to t.nrows - 1 do
+    let key = t.data.((i * w) + c) in
+    let vec =
+      match Hashtbl.find_opt map key with
+      | Some v -> v
+      | None ->
+        let v = Int_vec.create ~capacity:2 () in
+        Hashtbl.replace map key v;
+        v
+    in
+    Int_vec.push vec i
+  done;
+  map
+
+let fuse ?meter ?(max_rows = max_int) left right ~on_left ~on_right (p : Exec.pairs) =
+  let cl = col_index_exn left on_left in
+  let cr = col_index_exn right on_right in
+  let wl = width left and wr = width right in
+  let left_rows = rows_by_key left cl in
+  let right_rows = rows_by_key right cr in
+  let out = Int_vec.create () in
+  let nrows = ref 0 in
+  Array.iteri
+    (fun i lnode ->
+      let rnode = p.Exec.right.(i) in
+      match (Hashtbl.find_opt left_rows lnode, Hashtbl.find_opt right_rows rnode) with
+      | Some lrows, Some rrows ->
+        Int_vec.iter
+          (fun li ->
+            Int_vec.iter
+              (fun ri ->
+                for j = 0 to wl - 1 do
+                  Int_vec.push out left.data.((li * wl) + j)
+                done;
+                for j = 0 to wr - 1 do
+                  Int_vec.push out right.data.((ri * wr) + j)
+                done;
+                incr nrows;
+                if !nrows > max_rows then raise (Too_large !nrows))
+              rrows)
+          lrows
+      | _ -> ())
+    p.Exec.left;
+  Cost.charge meter !nrows;
+  {
+    verts = Array.append left.verts right.verts;
+    data = Int_vec.to_array out;
+    nrows = !nrows;
+  }
+
+let filter_pairs ?meter t ~c1 ~c2 (p : Exec.pairs) =
+  let i1 = col_index_exn t c1 and i2 = col_index_exn t c2 in
+  let w = width t in
+  let set : (int * int, unit) Hashtbl.t = Hashtbl.create (Array.length p.Exec.left) in
+  Array.iteri (fun i l -> Hashtbl.replace set (l, p.Exec.right.(i)) ()) p.Exec.left;
+  let out = Int_vec.create () in
+  let nrows = ref 0 in
+  for i = 0 to t.nrows - 1 do
+    Cost.charge meter 1;
+    let key = (t.data.((i * w) + i1), t.data.((i * w) + i2)) in
+    if Hashtbl.mem set key then begin
+      for j = 0 to w - 1 do
+        Int_vec.push out t.data.((i * w) + j)
+      done;
+      incr nrows
+    end
+  done;
+  { t with data = Int_vec.to_array out; nrows = !nrows }
+
+let project t keep =
+  let cols = Array.map (col_index_exn t) keep in
+  let w = width t in
+  let nw = Array.length cols in
+  let data = Array.make (t.nrows * nw) 0 in
+  for i = 0 to t.nrows - 1 do
+    Array.iteri (fun j c -> data.((i * nw) + j) <- t.data.((i * w) + c)) cols
+  done;
+  { verts = Array.copy keep; data; nrows = t.nrows }
+
+let row_array t i =
+  let w = width t in
+  Array.sub t.data (i * w) w
+
+let distinct ?meter t =
+  let seen : (int array, unit) Hashtbl.t = Hashtbl.create (max 16 t.nrows) in
+  let out = Int_vec.create () in
+  let nrows = ref 0 in
+  for i = 0 to t.nrows - 1 do
+    Cost.charge meter 1;
+    let row = row_array t i in
+    if not (Hashtbl.mem seen row) then begin
+      Hashtbl.replace seen row ();
+      Array.iter (Int_vec.push out) row;
+      incr nrows
+    end
+  done;
+  { t with data = Int_vec.to_array out; nrows = !nrows }
+
+let sort_rows t =
+  let rows = Array.init t.nrows (row_array t) in
+  Array.sort compare rows;
+  let w = width t in
+  let data = Array.make (t.nrows * w) 0 in
+  Array.iteri (fun i row -> Array.blit row 0 data (i * w) w) rows;
+  { t with data }
+
+let iter_rows t f =
+  let w = width t in
+  let buf = Array.make w 0 in
+  for i = 0 to t.nrows - 1 do
+    Array.blit t.data (i * w) buf 0 w;
+    f buf
+  done
+
+let cross ?meter ?(max_rows = max_int) a b =
+  let wa = width a and wb = width b in
+  let nrows = a.nrows * b.nrows in
+  if nrows > max_rows then raise (Too_large nrows);
+  Cost.charge meter nrows;
+  let data = Array.make (nrows * (wa + wb)) 0 in
+  let r = ref 0 in
+  for i = 0 to a.nrows - 1 do
+    for j = 0 to b.nrows - 1 do
+      Array.blit a.data (i * wa) data (!r * (wa + wb)) wa;
+      Array.blit b.data (j * wb) data ((!r * (wa + wb)) + wa) wb;
+      incr r
+    done
+  done;
+  { verts = Array.append a.verts b.verts; data; nrows }

@@ -1,0 +1,74 @@
+(** Materialized intermediate results over Join Graph vertices.
+
+    ROX "executes the operations in the Join Graph one by one, fully
+    materializing partial results" (Section 1.1). A relation is the joined
+    table over the vertices of one already-executed connected subgraph: one
+    column per vertex, each cell a node (pre rank) of that vertex's
+    document. Executing an edge either creates a fresh binary relation,
+    extends one component, fuses two components, or filters a component
+    whose endpoints it already spans.
+
+    The per-vertex tables T(v) of Algorithm 1 are distinct column
+    projections of these relations. *)
+
+type t
+
+exception Too_large of int
+(** Raised by the constructing operations when [max_rows] is exceeded —
+    *before* the oversized relation is fully materialized. The payload is
+    the row count reached. *)
+
+val width : t -> int
+val rows : t -> int
+val vertices : t -> int array
+(** Column order. *)
+
+val has_vertex : t -> int -> bool
+val singleton : vertex:int -> int array -> t
+(** One-column relation from a node set. *)
+
+val of_pairs : v1:int -> v2:int -> Exec.pairs -> t
+
+val column : t -> int -> int array
+(** All cells of the vertex's column, with duplicates, in row order. *)
+
+val column_distinct : t -> int -> int array
+(** Sorted duplicate-free column — the updated T(v). *)
+
+val extend :
+  ?meter:Rox_algebra.Cost.meter ->
+  ?max_rows:int ->
+  t -> on:int -> new_vertex:int -> Exec.pairs -> t
+(** [extend r ~on ~new_vertex pairs] joins [r] with the pair list on [r]'s
+    [on] column (pairs are oriented (on-node, new-node)). Work charged:
+    result rows. *)
+
+val fuse :
+  ?meter:Rox_algebra.Cost.meter ->
+  ?max_rows:int ->
+  t -> t -> on_left:int -> on_right:int -> Exec.pairs -> t
+(** Join two components through an edge whose endpoints live one in each:
+    pairs oriented (left-component node, right-component node). *)
+
+val filter_pairs :
+  ?meter:Rox_algebra.Cost.meter -> t -> c1:int -> c2:int -> Exec.pairs -> t
+(** Keep rows whose (c1, c2) cell pair appears in the pair list — an edge
+    both of whose endpoints are already in the component. *)
+
+val project : t -> int array -> t
+(** Restrict to the given vertex columns (in the given order). *)
+
+val distinct : ?meter:Rox_algebra.Cost.meter -> t -> t
+(** Duplicate row elimination (the δ of the plan tail). *)
+
+val sort_rows : t -> t
+(** Lexicographic row order over the columns — the τ numbering of the plan
+    tail sorts by node identity column by column. *)
+
+val iter_rows : t -> (int array -> unit) -> unit
+(** Calls with a scratch row buffer (do not retain). *)
+
+val cross : ?meter:Rox_algebra.Cost.meter -> ?max_rows:int -> t -> t -> t
+(** Cartesian product (needed only when a plan joins two components on an
+    edge spanning them — via [fuse] — never blindly; exposed for tests and
+    the plan-space enumerator). *)

@@ -1,0 +1,276 @@
+open Rox_storage
+open Rox_algebra
+
+exception Blowup of { edge : int; rows : int; limit : int }
+
+type t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  max_rows : int;
+  (* Applied when a vertex table is first materialized from its index
+     domain — the hook behind approximate (sample-driven) execution. *)
+  table_sampler : (int -> int array -> int array) option;
+  tables : int array option array;
+  executed_edges : bool array;
+  implied_edges : bool array;
+  (* Component id per vertex (-1 = none); components.(cid) = Some relation. *)
+  comp_of : int array;
+  mutable components : Relation.t option array;
+  mutable ncomponents : int;
+  (* Union-find over vertices linked by *executed* equi-joins: an equi-join
+     edge whose endpoints are already equi-connected is transitively implied
+     (the closure edges of Figure 4 are alternatives, not extra work) and
+     completes as a no-op. *)
+  equi_uf : int array;
+}
+
+let engine t = t.engine
+let graph t = t.graph
+
+let is_trivial_edge graph (e : Edge.t) =
+  match e.Edge.op with
+  | Edge.Step (Axis.Descendant | Axis.Desc_or_self) ->
+    Vertex.is_root (Graph.vertex graph e.Edge.v1)
+  | Edge.Step _ | Edge.Equijoin -> false
+
+let create ?(max_rows = 50_000_000) ?table_sampler engine graph =
+  let t =
+    {
+      engine;
+      graph;
+      max_rows;
+      table_sampler;
+      tables = Array.make (Graph.vertex_count graph) None;
+      executed_edges = Array.make (Graph.edge_count graph) false;
+      implied_edges = Array.make (Graph.edge_count graph) false;
+      comp_of = Array.make (Graph.vertex_count graph) (-1);
+      components = Array.make 8 None;
+      ncomponents = 0;
+      equi_uf = Array.init (Graph.vertex_count graph) (fun i -> i);
+    }
+  in
+  Array.iter
+    (fun e -> if is_trivial_edge graph e then t.executed_edges.(e.Edge.id) <- true)
+    (Graph.edges graph);
+  t
+
+let executed t (e : Edge.t) = t.executed_edges.(e.Edge.id)
+let implied t (e : Edge.t) = t.implied_edges.(e.Edge.id)
+let mark_executed t (e : Edge.t) = t.executed_edges.(e.Edge.id) <- true
+
+let unexecuted_edges t =
+  Array.to_list (Graph.edges t.graph) |> List.filter (fun e -> not (executed t e))
+
+let unexecuted_incident t v =
+  Graph.incident t.graph v |> List.filter (fun e -> not (executed t e))
+
+let all_executed t = Array.for_all (fun b -> b) t.executed_edges
+
+let table t v = t.tables.(v)
+
+let table_or_domain t v =
+  match t.tables.(v) with
+  | Some tab -> tab
+  | None -> Exec.vertex_domain t.engine (Graph.vertex t.graph v)
+
+let ensure_table t v =
+  match t.tables.(v) with
+  | Some tab -> tab
+  | None ->
+    let tab = Exec.vertex_domain t.engine (Graph.vertex t.graph v) in
+    let tab = match t.table_sampler with Some f -> f v tab | None -> tab in
+    t.tables.(v) <- Some tab;
+    tab
+
+let component_rows t =
+  let out = ref [] in
+  for i = t.ncomponents - 1 downto 0 do
+    match t.components.(i) with
+    | Some rel -> out := Relation.rows rel :: !out
+    | None -> ()
+  done;
+  Array.of_list !out
+
+let new_component t rel =
+  if t.ncomponents >= Array.length t.components then begin
+    let bigger = Array.make (2 * Array.length t.components) None in
+    Array.blit t.components 0 bigger 0 t.ncomponents;
+    t.components <- bigger
+  end;
+  let cid = t.ncomponents in
+  t.components.(cid) <- Some rel;
+  t.ncomponents <- cid + 1;
+  cid
+
+let set_component t cid rel =
+  t.components.(cid) <- Some rel;
+  Array.iter (fun v -> t.comp_of.(v) <- cid) (Relation.vertices rel)
+
+type exec_info = {
+  pair_count : int;
+  rel_rows : int;
+  changed : int list;
+}
+
+let rec uf_find t v = if t.equi_uf.(v) = v then v else (t.equi_uf.(v) <- uf_find t t.equi_uf.(v); t.equi_uf.(v))
+
+let equi_connected t a b = uf_find t a = uf_find t b
+
+let equi_union t a b =
+  let ra = uf_find t a and rb = uf_find t b in
+  if ra <> rb then t.equi_uf.(ra) <- rb
+
+(* Mark every equi-join edge whose endpoints became equi-connected as
+   executed — it is transitively implied. *)
+let sweep_implied t =
+  Array.iter
+    (fun (e : Edge.t) ->
+      if (not t.executed_edges.(e.Edge.id))
+         && (match e.Edge.op with Edge.Equijoin -> true | Edge.Step _ -> false)
+         && equi_connected t e.Edge.v1 e.Edge.v2
+      then begin
+        t.executed_edges.(e.Edge.id) <- true;
+        t.implied_edges.(e.Edge.id) <- true
+      end)
+    (Graph.edges t.graph)
+
+(* After the affected component changed, refresh T(v) for all its vertices;
+   report which ones actually shrank. *)
+let refresh_tables t rel =
+  let changed = ref [] in
+  Array.iter
+    (fun v ->
+      let fresh = Relation.column_distinct rel v in
+      let dirty =
+        match t.tables.(v) with
+        | Some old -> Array.length old <> Array.length fresh
+        | None -> true
+      in
+      t.tables.(v) <- Some fresh;
+      if dirty then changed := v :: !changed)
+    (Relation.vertices rel);
+  List.rev !changed
+
+let is_value_vertex t v =
+  match (Graph.vertex t.graph v).Vertex.annot with
+  | Vertex.Text _ | Vertex.Attr _ -> true
+  | Vertex.Root | Vertex.Element _ -> false
+
+(* Size of the vertex's node set without materializing anything: index
+   lookups expose counts for free (Section 2.2). *)
+let known_size t v =
+  match t.tables.(v) with
+  | Some tab -> Array.length tab
+  | None -> Exec.vertex_domain_count t.engine (Graph.vertex t.graph v)
+
+(* Materializing a table from its index costs |R| (Table 1's Delt / value
+   lookups); a table that already exists was paid for when it was built. *)
+let charged_table ?meter t v =
+  match t.tables.(v) with
+  | Some tab -> tab
+  | None ->
+    let tab = ensure_table t v in
+    Rox_algebra.Cost.charge meter (Array.length tab);
+    tab
+
+let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
+  if executed t e then invalid_arg "Runtime.execute_edge: edge already executed";
+  let v1 = e.Edge.v1 and v2 = e.Edge.v2 in
+  (match e.Edge.op with
+   | Edge.Equijoin ->
+     equi_union t v1 v2;
+     sweep_implied t
+   | Edge.Step _ -> ());
+  (* Only the outer (context / probing) side is materialized and paid for;
+     the inner side is served by the indices — the zero-investment
+     discipline the paper's Join Graph execution lives by. *)
+  let outer_first = known_size t v1 <= known_size t v2 in
+  let pairs =
+    match e.Edge.op with
+    | Edge.Step _ ->
+      let dir =
+        match step_direction with
+        | Some d -> d
+        | None -> if outer_first then Exec.From_v1 else Exec.From_v2
+      in
+      let t1, t2 =
+        match dir with
+        | Exec.From_v1 -> (charged_table ?meter t v1, table_or_domain t v2)
+        | Exec.From_v2 -> (table_or_domain t v1, charged_table ?meter t v2)
+      in
+      Exec.full_pairs ?meter ~step_direction:dir t.engine t.graph e ~t1 ~t2
+    | Edge.Equijoin ->
+      (* Index nested-loop from the smaller side when the inner endpoint
+         has a value-index access path; hash join otherwise. *)
+      let algo =
+        match equi_algo with
+        | Some a -> a
+        | None ->
+          if outer_first && is_value_vertex t v2 then Exec.Algo_index_nl Exec.From_v1
+          else if is_value_vertex t v1 then Exec.Algo_index_nl Exec.From_v2
+          else Exec.Algo_hash
+      in
+      let t1, t2 =
+        match algo with
+        | Exec.Algo_index_nl Exec.From_v1 ->
+          (charged_table ?meter t v1, table_or_domain t v2)
+        | Exec.Algo_index_nl Exec.From_v2 ->
+          (table_or_domain t v1, charged_table ?meter t v2)
+        | Exec.Algo_hash | Exec.Algo_merge ->
+          (charged_table ?meter t v1, charged_table ?meter t v2)
+      in
+      Exec.full_pairs ?meter ~equi_algo:algo t.engine t.graph e ~t1 ~t2
+  in
+  let c1 = t.comp_of.(v1) and c2 = t.comp_of.(v2) in
+  let get cid = match t.components.(cid) with Some r -> r | None -> assert false in
+  let rel =
+    match
+      if c1 < 0 && c2 < 0 then Relation.of_pairs ~v1 ~v2 pairs
+      else if c1 >= 0 && c2 < 0 then
+        Relation.extend ?meter ~max_rows:t.max_rows (get c1) ~on:v1 ~new_vertex:v2 pairs
+      else if c1 < 0 && c2 >= 0 then
+        Relation.extend ?meter ~max_rows:t.max_rows (get c2) ~on:v2 ~new_vertex:v1
+          { Exec.left = pairs.Exec.right; right = pairs.Exec.left }
+      else if c1 = c2 then Relation.filter_pairs ?meter (get c1) ~c1:v1 ~c2:v2 pairs
+      else
+        Relation.fuse ?meter ~max_rows:t.max_rows (get c1) (get c2) ~on_left:v1
+          ~on_right:v2 pairs
+    with
+    | rel -> rel
+    | exception Relation.Too_large rows ->
+      raise (Blowup { edge = e.Edge.id; rows; limit = t.max_rows })
+  in
+  if Relation.rows rel > t.max_rows then
+    raise (Blowup { edge = e.Edge.id; rows = Relation.rows rel; limit = t.max_rows });
+  (* Install the new component, retiring any merged ones. *)
+  let cid =
+    if c1 >= 0 then c1
+    else if c2 >= 0 then c2
+    else new_component t rel
+  in
+  if c1 >= 0 && c2 >= 0 && c1 <> c2 then t.components.(c2) <- None;
+  set_component t cid rel;
+  mark_executed t e;
+  let changed = refresh_tables t rel in
+  { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed }
+
+let final_relation ?meter t =
+  if not (all_executed t) then
+    invalid_arg "Runtime.final_relation: unexecuted edges remain";
+  let live = ref [] in
+  for i = t.ncomponents - 1 downto 0 do
+    match t.components.(i) with
+    | Some rel -> live := rel :: !live
+    | None -> ()
+  done;
+  (* Non-root vertices with no component (graphs whose only edges were
+     trivial) enter as their domains. *)
+  Array.iter
+    (fun (v : Vertex.t) ->
+      if (not (Vertex.is_root v)) && t.comp_of.(v.Vertex.id) < 0 then
+        live :=
+          Relation.singleton ~vertex:v.Vertex.id (table_or_domain t v.Vertex.id) :: !live)
+    (Graph.vertices t.graph);
+  match !live with
+  | [] -> invalid_arg "Runtime.final_relation: empty graph"
+  | first :: rest -> List.fold_left (fun acc r -> Relation.cross ?meter acc r) first rest

@@ -1,0 +1,1 @@
+lib/shred/doc.ml: Array Buffer Bytes Char Int_vec List Nodekind Qname Rox_util Rox_xmldom Str_pool Tree

@@ -1,0 +1,1 @@
+lib/shred/doc.mli: Nodekind Rox_util Rox_xmldom

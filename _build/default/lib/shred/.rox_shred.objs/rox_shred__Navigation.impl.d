@@ -1,0 +1,1 @@
+lib/shred/navigation.ml: Array Doc Int_vec List Nodekind Qname Rox_util Rox_xmldom Tree

@@ -1,0 +1,1 @@
+lib/shred/navigation.mli: Doc Rox_xmldom

@@ -1,0 +1,1 @@
+lib/shred/nodekind.mli:

@@ -1,0 +1,103 @@
+open Rox_util
+
+let subtree_bounds doc pre = (pre + 1, pre + Doc.size doc pre)
+
+let children doc pre =
+  let out = Int_vec.create () in
+  let first, last = subtree_bounds doc pre in
+  let i = ref first in
+  while !i <= last do
+    (match Doc.kind doc !i with
+     | Nodekind.Attr -> ()
+     | Nodekind.Doc | Nodekind.Elem | Nodekind.Text | Nodekind.Comment | Nodekind.Pi ->
+       Int_vec.push out !i);
+    i := !i + Doc.size doc !i + 1
+  done;
+  Int_vec.to_array out
+
+let attributes doc pre =
+  let out = Int_vec.create () in
+  let first, last = subtree_bounds doc pre in
+  let i = ref first in
+  let continue = ref true in
+  (* Attributes are ranked before any content child, contiguously. *)
+  while !continue && !i <= last do
+    (match Doc.kind doc !i with
+     | Nodekind.Attr -> Int_vec.push out !i
+     | Nodekind.Doc | Nodekind.Elem | Nodekind.Text | Nodekind.Comment | Nodekind.Pi ->
+       continue := false);
+    incr i
+  done;
+  Int_vec.to_array out
+
+let ancestors doc pre =
+  let out = Int_vec.create () in
+  let p = ref (Doc.parent doc pre) in
+  while !p >= 0 do
+    Int_vec.push out !p;
+    p := Doc.parent doc !p
+  done;
+  Int_vec.to_array out
+
+let following_first doc pre = pre + Doc.size doc pre + 1
+
+(* Attributes have no siblings (XPath), and attribute nodes are never
+   siblings of content nodes. *)
+let is_attr doc pre =
+  match Doc.kind doc pre with Nodekind.Attr -> true | _ -> false
+
+let next_sibling doc pre =
+  let parent = Doc.parent doc pre in
+  if parent < 0 || is_attr doc pre then None
+  else begin
+    let candidate = following_first doc pre in
+    let _, last = subtree_bounds doc parent in
+    (* Attributes precede all content, so the candidate is never one. *)
+    if candidate <= last then Some candidate else None
+  end
+
+let prev_sibling doc pre =
+  let parent = Doc.parent doc pre in
+  if parent < 0 || is_attr doc pre then None
+  else begin
+    let sibs = children doc parent in
+    let rec find i =
+      if i >= Array.length sibs then None
+      else if sibs.(i) = pre then (if i = 0 then None else Some sibs.(i - 1))
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let root_element doc =
+  let kids = children doc 0 in
+  let rec first_elem i =
+    if i >= Array.length kids then invalid_arg "Navigation.root_element: no element child"
+    else
+      match Doc.kind doc kids.(i) with
+      | Nodekind.Elem -> kids.(i)
+      | _ -> first_elem (i + 1)
+  in
+  first_elem 0
+
+let unshred doc =
+  let open Rox_xmldom in
+  let rec build pre =
+    match Doc.kind doc pre with
+    | Nodekind.Elem ->
+      let attrs =
+        attributes doc pre
+        |> Array.to_list
+        |> List.map (fun a ->
+               { Tree.name = Qname.of_string (Doc.name doc a); value = Doc.value doc a })
+      in
+      let kids = children doc pre |> Array.to_list |> List.map build in
+      Tree.Element { Tree.tag = Qname.of_string (Doc.name doc pre); attrs; children = kids }
+    | Nodekind.Text -> Tree.Text (Doc.value doc pre)
+    | Nodekind.Comment -> Tree.Comment (Doc.value doc pre)
+    | Nodekind.Pi -> Tree.Pi (Doc.name doc pre, Doc.value doc pre)
+    | Nodekind.Attr | Nodekind.Doc -> invalid_arg "Navigation.unshred: unexpected kind"
+  in
+  match build (root_element doc) with
+  | Tree.Element _ as e -> Tree.document e
+  | _ -> assert false

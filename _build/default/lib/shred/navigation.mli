@@ -1,0 +1,36 @@
+(** Per-node traversal primitives over a shredded document.
+
+    These are the building blocks the physical operators and the tests use:
+    child enumeration by subtree-size skipping, ancestor chains via the
+    parent column, and subtree bounds for the containment test. They also
+    power [unshred], the encoding-to-tree inverse used in round-trip
+    tests. *)
+
+val subtree_bounds : Doc.t -> Doc.pre -> Doc.pre * Doc.pre
+(** [(first, last)] pre ranks of the nodes strictly inside the subtree;
+    [first > last] for a leaf. *)
+
+val children : Doc.t -> Doc.pre -> Doc.pre array
+(** Non-attribute children in document order. Skips over grandchild
+    subtrees in O(#children). *)
+
+val attributes : Doc.t -> Doc.pre -> Doc.pre array
+(** Attribute nodes of an element, document order. *)
+
+val ancestors : Doc.t -> Doc.pre -> Doc.pre array
+(** Proper ancestors, nearest first, excluding the virtual doc root's
+    absent parent (the virtual root itself is included last). *)
+
+val following_first : Doc.t -> Doc.pre -> Doc.pre
+(** Pre rank of the first node after the subtree of the given node
+    (= [pre + size + 1]); may be one past the last row. *)
+
+val next_sibling : Doc.t -> Doc.pre -> Doc.pre option
+val prev_sibling : Doc.t -> Doc.pre -> Doc.pre option
+(** Siblings share a parent; attributes are not siblings of content. *)
+
+val root_element : Doc.t -> Doc.pre
+(** The (unique) element child of the virtual root. *)
+
+val unshred : Doc.t -> Rox_xmldom.Tree.t
+(** Rebuild the tree; inverse of {!Doc.of_tree}. *)

@@ -1,0 +1,39 @@
+type t = Doc | Elem | Attr | Text | Comment | Pi
+
+let to_int = function
+  | Doc -> 0
+  | Elem -> 1
+  | Attr -> 2
+  | Text -> 3
+  | Comment -> 4
+  | Pi -> 5
+
+let of_int = function
+  | 0 -> Doc
+  | 1 -> Elem
+  | 2 -> Attr
+  | 3 -> Text
+  | 4 -> Comment
+  | 5 -> Pi
+  | n -> invalid_arg (Printf.sprintf "Nodekind.of_int %d" n)
+
+let to_string = function
+  | Doc -> "doc"
+  | Elem -> "elem"
+  | Attr -> "attr"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "pi"
+
+let equal a b = to_int a = to_int b
+
+type test = Any | Kind of t
+
+let matches test k =
+  match test with
+  | Any -> true
+  | Kind k' -> equal k k'
+
+let test_to_string = function
+  | Any -> "*"
+  | Kind k -> to_string k

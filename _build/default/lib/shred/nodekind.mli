@@ -1,0 +1,22 @@
+(** Node kinds of the relational XML encoding.
+
+    Mirrors the kind set of the staircase join definition in Section 2.2:
+    [k ∈ {*, doc, elem, text, attr, comment, pi}]. [Any] is the wildcard
+    kind test; it never appears as a stored kind. *)
+
+type t = Doc | Elem | Attr | Text | Comment | Pi
+
+val to_int : t -> int
+(** Dense code, stable across runs: Doc=0, Elem=1, Attr=2, Text=3,
+    Comment=4, Pi=5. *)
+
+val of_int : int -> t
+(** @raise Invalid_argument outside [0,5]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+type test = Any | Kind of t
+
+val matches : test -> t -> bool
+val test_to_string : test -> string

@@ -1,0 +1,1 @@
+lib/storage/element_index.mli: Rox_shred

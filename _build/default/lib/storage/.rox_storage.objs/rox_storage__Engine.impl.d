@@ -1,0 +1,1 @@
+lib/storage/engine.ml: Array Doc Element_index Hashtbl Kind_index Rox_shred Rox_util Str_pool Value_index

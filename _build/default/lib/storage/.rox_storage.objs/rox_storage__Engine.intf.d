@@ -1,0 +1,1 @@
+lib/storage/engine.mli: Element_index Kind_index Rox_shred Rox_util Rox_xmldom Value_index

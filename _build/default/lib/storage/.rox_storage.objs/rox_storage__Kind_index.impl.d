@@ -1,0 +1,1 @@
+lib/storage/kind_index.ml: Array Doc Int_vec Nodekind Rox_shred Rox_util

@@ -1,0 +1,1 @@
+lib/storage/kind_index.mli: Rox_shred

@@ -1,0 +1,1 @@
+lib/storage/sampling.ml: Array Rox_util Xoshiro

@@ -1,0 +1,1 @@
+lib/storage/sampling.mli: Rox_util

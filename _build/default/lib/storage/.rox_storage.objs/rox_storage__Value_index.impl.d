@@ -1,0 +1,1 @@
+lib/storage/value_index.ml: Array Doc Hashtbl Int_vec Nodekind Rox_shred Rox_util

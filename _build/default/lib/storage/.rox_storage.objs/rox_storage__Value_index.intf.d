@@ -1,0 +1,1 @@
+lib/storage/value_index.mli: Rox_shred

@@ -1,0 +1,30 @@
+(** Element index: qualified name → document-ordered element node sequence.
+
+    The paper's [Delt(q)] relational sub-query (Table 1): given a qname it
+    returns all matching elements, duplicate-free and sorted on [pre], and —
+    crucially for ROX — the *count* of matches is available at zero
+    marginal cost, as is uniform sampling (Section 2.3). *)
+
+type t
+
+val build : Rox_shred.Doc.t -> t
+
+val lookup : t -> int -> int array
+(** [lookup idx qname_id] is the shared (do not mutate) sorted pre array;
+    [||] when the name does not occur. *)
+
+val lookup_name : t -> string -> int array
+(** Resolves the string through the document's qname pool first. *)
+
+val count : t -> int -> int
+(** Number of elements with the given interned qname — O(1). *)
+
+val names : t -> int array
+(** All element qname ids present in the document. *)
+
+val lookup_attr : t -> int -> int array
+(** Attribute nodes with the given interned attribute name — the analogous
+    access path for "@name" vertices. *)
+
+val lookup_attr_name : t -> string -> int array
+val count_attr : t -> int -> int

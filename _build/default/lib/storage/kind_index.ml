@@ -1,0 +1,17 @@
+open Rox_util
+open Rox_shred
+
+type t = { by_kind : int array array; everything : int array }
+
+let build doc =
+  let vecs = Array.init 6 (fun _ -> Int_vec.create ()) in
+  let all = Int_vec.create ~capacity:(Doc.node_count doc) () in
+  for pre = 1 to Doc.node_count doc - 1 do
+    Int_vec.push vecs.(Nodekind.to_int (Doc.kind doc pre)) pre;
+    Int_vec.push all pre
+  done;
+  { by_kind = Array.map Int_vec.to_array vecs; everything = Int_vec.to_array all }
+
+let lookup t kind = t.by_kind.(Nodekind.to_int kind)
+let all t = t.everything
+let count t kind = Array.length (lookup t kind)

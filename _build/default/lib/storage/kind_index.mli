@@ -1,0 +1,17 @@
+(** Kind index: node kind → document-ordered node sequence.
+
+    Provides the [D_k] inner inputs of the staircase join (Section 2.2):
+    "the entire document [D*], or a kind restriction [D_k]". Text-node
+    steps ([text()]) and attribute steps are the common users. *)
+
+type t
+
+val build : Rox_shred.Doc.t -> t
+
+val lookup : t -> Rox_shred.Nodekind.t -> int array
+(** Shared sorted pre array of all nodes of that kind. *)
+
+val all : t -> int array
+(** Every node except the virtual doc root — the [D*] input. *)
+
+val count : t -> Rox_shred.Nodekind.t -> int

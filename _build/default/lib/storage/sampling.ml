@@ -1,0 +1,17 @@
+open Rox_util
+
+let sample rng table tau =
+  let n = Array.length table in
+  if tau >= n then Array.copy table
+  else begin
+    let idx = Xoshiro.sample_without_replacement rng n tau in
+    Array.map (fun i -> table.(i)) idx
+  end
+
+let sample_fraction rng table frac =
+  let n = Array.length table in
+  if n = 0 then [||]
+  else begin
+    let k = max 1 (int_of_float (frac *. float_of_int n)) in
+    sample rng table k
+  end

@@ -1,0 +1,15 @@
+(** Uniform sampling from materialized node sequences and indices.
+
+    ROX's start samples are "a set of tuples sampled from indices" (Section
+    2.3); efficient index sampling is what partial-sum trees give
+    MonetDB/XQuery, and what direct positional access gives our dense
+    arrays. Samples keep document order so they remain valid staircase-join
+    context inputs. *)
+
+val sample : Rox_util.Xoshiro.t -> int array -> int -> int array
+(** [sample rng table tau] draws [min tau (length table)] elements without
+    replacement, returned sorted (document order — the input is sorted). *)
+
+val sample_fraction : Rox_util.Xoshiro.t -> int array -> float -> int array
+(** Sample a fraction in [0,1] of the table (at least 1 element when the
+    table is non-empty). *)

@@ -1,0 +1,108 @@
+open Rox_util
+open Rox_shred
+
+type t = {
+  text_by_value : (int, int array) Hashtbl.t;
+  attr_by_name_value : (int * int, int array) Hashtbl.t;
+  attr_by_value : (int, int array) Hashtbl.t;
+  (* Numeric access path: parallel arrays sorted by numeric value. *)
+  num_values : float array;
+  num_pres : int array;
+}
+
+let build doc =
+  let text_acc : (int, Int_vec.t) Hashtbl.t = Hashtbl.create 1024 in
+  let attr_nv_acc : (int * int, Int_vec.t) Hashtbl.t = Hashtbl.create 1024 in
+  let attr_v_acc : (int, Int_vec.t) Hashtbl.t = Hashtbl.create 1024 in
+  let nums = ref [] in
+  let num_count = ref 0 in
+  let push tbl key pre =
+    let vec =
+      match Hashtbl.find_opt tbl key with
+      | Some v -> v
+      | None ->
+        let v = Int_vec.create ~capacity:2 () in
+        Hashtbl.replace tbl key v;
+        v
+    in
+    Int_vec.push vec pre
+  in
+  for pre = 1 to Doc.node_count doc - 1 do
+    match Doc.kind doc pre with
+    | Nodekind.Text ->
+      let v = Doc.value_id doc pre in
+      push text_acc v pre;
+      (match float_of_string_opt (Doc.value doc pre) with
+       | Some f ->
+         nums := (f, pre) :: !nums;
+         incr num_count
+       | None -> ())
+    | Nodekind.Attr ->
+      let v = Doc.value_id doc pre in
+      let n = Doc.name_id doc pre in
+      push attr_nv_acc (n, v) pre;
+      push attr_v_acc v pre
+    | Nodekind.Doc | Nodekind.Elem | Nodekind.Comment | Nodekind.Pi -> ()
+  done;
+  let freeze tbl =
+    let out = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace out k (Int_vec.to_array v)) tbl;
+    out
+  in
+  let num_pairs = Array.of_list !nums in
+  Array.sort (fun (a, pa) (b, pb) -> match compare a b with 0 -> compare pa pb | c -> c) num_pairs;
+  {
+    text_by_value = freeze text_acc;
+    attr_by_name_value = freeze attr_nv_acc;
+    attr_by_value = freeze attr_v_acc;
+    num_values = Array.map fst num_pairs;
+    num_pres = Array.map snd num_pairs;
+  }
+
+let find_or_empty tbl key =
+  match Hashtbl.find_opt tbl key with Some a -> a | None -> [||]
+
+let text_eq t value_id = find_or_empty t.text_by_value value_id
+let text_eq_count t value_id = Array.length (text_eq t value_id)
+let attr_eq t ~name_id ~value_id = find_or_empty t.attr_by_name_value (name_id, value_id)
+let attr_eq_count t ~name_id ~value_id = Array.length (attr_eq t ~name_id ~value_id)
+let attr_eq_any_name t ~value_id = find_or_empty t.attr_by_value value_id
+
+(* Boundary indices in the numeric-sorted arrays for [lo, hi]. *)
+let range_bounds t ?lo ?hi () =
+  let n = Array.length t.num_values in
+  let start =
+    match lo with
+    | None -> 0
+    | Some lo ->
+      let lo_idx = ref 0 and hi_idx = ref n in
+      while !lo_idx < !hi_idx do
+        let mid = (!lo_idx + !hi_idx) / 2 in
+        if t.num_values.(mid) < lo then lo_idx := mid + 1 else hi_idx := mid
+      done;
+      !lo_idx
+  in
+  let stop =
+    match hi with
+    | None -> n
+    | Some hi ->
+      let lo_idx = ref 0 and hi_idx = ref n in
+      while !lo_idx < !hi_idx do
+        let mid = (!lo_idx + !hi_idx) / 2 in
+        if t.num_values.(mid) <= hi then lo_idx := mid + 1 else hi_idx := mid
+      done;
+      !lo_idx
+  in
+  (start, stop)
+
+let text_range t ?lo ?hi () =
+  let start, stop = range_bounds t ?lo ?hi () in
+  let out = Array.sub t.num_pres start (max 0 (stop - start)) in
+  Array.sort compare out;
+  out
+
+let text_range_count t ?lo ?hi () =
+  let start, stop = range_bounds t ?lo ?hi () in
+  max 0 (stop - start)
+
+let numeric_text_count t = Array.length t.num_values

@@ -1,0 +1,1 @@
+lib/util/bin_search.mli:

@@ -1,0 +1,1 @@
+lib/util/str_pool.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/util/table_fmt.ml: Array Buffer Float List Printf String

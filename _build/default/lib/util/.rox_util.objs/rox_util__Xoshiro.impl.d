@@ -1,0 +1,1 @@
+lib/util/xoshiro.ml: Array Hashtbl Int64

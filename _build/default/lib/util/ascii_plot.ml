@@ -1,0 +1,66 @@
+type series = {
+  label : string;
+  marker : char;
+  values : float array;
+}
+
+let finite_positive v = Float.is_finite v && v > 0.0
+
+let render ?(width = 72) ?(height = 20) ?(log_y = true) ?(x_label = "") series =
+  let xs = List.fold_left (fun acc s -> max acc (Array.length s.values)) 0 series in
+  if xs = 0 then "(empty plot)\n"
+  else begin
+    let transform v = if log_y then log10 v else v in
+    let all_values =
+      List.concat_map
+        (fun s -> List.filter finite_positive (Array.to_list s.values))
+        series
+    in
+    match all_values with
+    | [] -> "(no data)\n"
+    | first :: rest ->
+      let vmin = List.fold_left min first rest in
+      let vmax = List.fold_left max first rest in
+      let lo = transform vmin and hi = transform vmax in
+      let lo, hi = if hi -. lo < 1e-9 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+      let canvas = Array.make_matrix height width ' ' in
+      let x_of i = if xs <= 1 then 0 else i * (width - 1) / (xs - 1) in
+      let y_of v =
+        let frac = (transform v -. lo) /. (hi -. lo) in
+        let row = int_of_float (frac *. float_of_int (height - 1) +. 0.5) in
+        height - 1 - max 0 (min (height - 1) row)
+      in
+      (* Later series first so the earliest series wins overlaps. *)
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i v -> if finite_positive v then canvas.(y_of v).(x_of i) <- s.marker)
+            s.values)
+        (List.rev series);
+      let buf = Buffer.create ((width + 12) * (height + 4)) in
+      for row = 0 to height - 1 do
+        (* Y-axis tick: value at this row. *)
+        let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+        let v = lo +. (frac *. (hi -. lo)) in
+        let v = if log_y then 10.0 ** v else v in
+        let tick =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%8s |" (Table_fmt.human_float v)
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf tick;
+        Buffer.add_string buf (String.init width (fun c -> canvas.(row).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+      if x_label <> "" then Buffer.add_string buf (Printf.sprintf "%10s%s\n" "" x_label);
+      Buffer.add_string buf
+        (Printf.sprintf "%10slegend: %s%s\n" ""
+           (String.concat "  "
+              (List.map (fun s -> Printf.sprintf "%c=%s" s.marker s.label) series))
+           (if log_y then "  (log y)" else ""));
+      Buffer.contents buf
+  end
+
+let print ?width ?height ?log_y ?x_label series =
+  print_string (render ?width ?height ?log_y ?x_label series)

@@ -1,0 +1,26 @@
+(** ASCII scatter plots for the benchmark harness.
+
+    Figure 6 of the paper is a scatter of normalized evaluation times (log
+    scale) over document combinations; the harness renders the same shape
+    in plain text. Multiple series share the canvas, each with its own
+    marker; y values are positive (log axis), x is the sample index. *)
+
+type series = {
+  label : string;
+  marker : char;
+  values : float array;  (** y per x index; NaN = absent *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  series list ->
+  string
+(** Draw all series on one canvas with a y-axis scale and a legend.
+    Overlapping points keep the marker of the earliest series in the
+    list. Default 72x20, log-scale y. *)
+
+val print :
+  ?width:int -> ?height:int -> ?log_y:bool -> ?x_label:string -> series list -> unit

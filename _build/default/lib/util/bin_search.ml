@@ -1,0 +1,42 @@
+let lower_bound_in a lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound_in a lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let lower_bound a x = lower_bound_in a 0 (Array.length a) x
+let upper_bound a x = upper_bound_in a 0 (Array.length a) x
+
+let lower_bound_from a lo x =
+  let n = Array.length a in
+  if lo >= n then n
+  else if a.(lo) >= x then lo
+  else begin
+    (* Gallop: double the step until we overshoot, then binary search. *)
+    let step = ref 1 in
+    let prev = ref lo in
+    let cur = ref (lo + 1) in
+    while !cur < n && a.(!cur) < x do
+      prev := !cur;
+      step := !step * 2;
+      cur := !cur + !step
+    done;
+    lower_bound_in a (!prev + 1) (min !cur n) x
+  end
+
+let mem a x =
+  let i = lower_bound a x in
+  i < Array.length a && a.(i) = x
+
+let count_range a ~lo ~hi =
+  if hi < lo then 0 else upper_bound a hi - lower_bound a lo

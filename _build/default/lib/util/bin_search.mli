@@ -1,0 +1,23 @@
+(** Binary and galloping searches over sorted [int array]s.
+
+    Node sequences in this engine are always sorted on the [pre] rank
+    (document order), so range restriction — the heart of the staircase
+    join — is a pair of boundary searches. *)
+
+val lower_bound : int array -> int -> int
+(** [lower_bound a x] is the least index [i] with [a.(i) >= x], or
+    [Array.length a] when no such index exists. *)
+
+val upper_bound : int array -> int -> int
+(** Least index [i] with [a.(i) > x]. *)
+
+val lower_bound_from : int array -> int -> int -> int
+(** [lower_bound_from a lo x]: like {!lower_bound} but only searching the
+    suffix starting at [lo]. Gallops from [lo], so a scan that advances
+    monotonically through [a] pays O(log gap) per probe. *)
+
+val mem : int array -> int -> bool
+(** Membership in a sorted array. *)
+
+val count_range : int array -> lo:int -> hi:int -> int
+(** Number of elements [x] with [lo <= x <= hi]. *)

@@ -1,0 +1,39 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let geometric_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value";
+        acc := !acc +. log x)
+      a;
+    exp (!acc /. float_of_int n)
+  end
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum a = Array.fold_left min a.(0) a
+let maximum a = Array.fold_left max a.(0) a

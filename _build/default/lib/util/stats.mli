@@ -1,0 +1,24 @@
+(** Small statistics helpers for the experiment harness.
+
+    Section 4.3 of the paper defines the correlation measure C as the
+    variance of pairwise join selectivities around their mean; Figures 6–8
+    report means, geometric means and percentiles of normalized run costs.
+    These are the primitives behind those reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by n); 0 for fewer than 1 element. *)
+
+val stddev : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100]; nearest-rank on a sorted copy.
+    @raise Invalid_argument on an empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float

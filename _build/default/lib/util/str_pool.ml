@@ -1,0 +1,33 @@
+type id = int
+
+type t = {
+  by_string : (string, id) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () =
+  { by_string = Hashtbl.create 1024; by_id = Array.make 1024 ""; next = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.by_string s with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    if id >= Array.length t.by_id then begin
+      let bigger = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 bigger 0 id;
+      t.by_id <- bigger
+    end;
+    t.by_id.(id) <- s;
+    Hashtbl.replace t.by_string s id;
+    t.next <- id + 1;
+    id
+
+let find t s = Hashtbl.find_opt t.by_string s
+
+let to_string t id =
+  if id < 0 || id >= t.next then invalid_arg "Str_pool.to_string";
+  t.by_id.(id)
+
+let count t = t.next

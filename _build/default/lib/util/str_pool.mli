@@ -1,0 +1,23 @@
+(** String interning pool.
+
+    Qualified names and text/attribute values are interned to dense integer
+    ids. One *global* pool is shared by every document loaded into an engine,
+    so cross-document value equi-joins (the DBLP author joins of the paper)
+    compare integers rather than strings. *)
+
+type t
+
+type id = int
+(** Dense identifier, [0 .. count-1]. *)
+
+val create : unit -> t
+val intern : t -> string -> id
+(** Returns the existing id or allocates the next one. *)
+
+val find : t -> string -> id option
+(** Lookup without allocation. *)
+
+val to_string : t -> id -> string
+(** @raise Invalid_argument on an id never returned by this pool. *)
+
+val count : t -> int

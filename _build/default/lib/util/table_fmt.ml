@@ -1,0 +1,89 @@
+type align = Left | Right
+
+let is_number s =
+  s <> ""
+  && (match float_of_string_opt s with
+      | Some _ -> true
+      | None ->
+        (* Accept compact forms like "43.5K". *)
+        let n = String.length s in
+        n > 1 && float_of_string_opt (String.sub s 0 (n - 1)) <> None)
+
+let default_aligns header rows =
+  let ncols = List.length header in
+  match rows with
+  | [] -> Array.make ncols Left
+  | first :: _ ->
+    Array.of_list
+      (List.mapi
+         (fun i _ ->
+           match List.nth_opt first i with
+           | Some cell when is_number cell -> Right
+           | _ -> Left)
+         header)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?aligns ~header rows =
+  let aligns = match aligns with Some a -> a | None -> default_aligns header rows in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let observe row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  observe header;
+  List.iter observe rows;
+  let line_of row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let align = if i < Array.length aligns then aligns.(i) else Left in
+          pad align widths.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line_of header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line_of row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows); print_newline ()
+
+let human_int n =
+  let f = float_of_int n in
+  let abs = abs_float f in
+  if abs >= 1e9 then Printf.sprintf "%.1fG" (f /. 1e9)
+  else if abs >= 1e6 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if abs >= 1e4 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else string_of_int n
+
+let human_float f =
+  if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.0f" f
+  else if abs_float f >= 100.0 then Printf.sprintf "%.0f" f
+  else if abs_float f >= 10.0 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.2f" f

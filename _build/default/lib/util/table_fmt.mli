@@ -1,0 +1,21 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Every experiment in [bench/main.ml] prints its paper table / figure data
+    as a plain-text table; this module owns alignment and separators so the
+    harness code stays declarative. *)
+
+type align = Left | Right
+
+val render : ?aligns:align array -> header:string list -> string list list -> string
+(** [render ~header rows] draws a boxed table. [aligns] defaults to
+    right-alignment for cells that parse as numbers and left otherwise,
+    judged per column from the first data row. *)
+
+val print : ?aligns:align array -> header:string list -> string list list -> unit
+
+val human_int : int -> string
+(** 12345678 -> "12.3M"-style compact rendering (matches the paper's
+    "43.5K" edge labels). *)
+
+val human_float : float -> string
+(** Compact float: 3 significant-ish digits, no trailing zeros. *)

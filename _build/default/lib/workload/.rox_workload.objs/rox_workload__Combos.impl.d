@@ -1,0 +1,1 @@
+lib/workload/combos.ml: Array Dblp Hashtbl List Option Rox_util Xoshiro

@@ -1,0 +1,1 @@
+lib/workload/combos.mli: Dblp

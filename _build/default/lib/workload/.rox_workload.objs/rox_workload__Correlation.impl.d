@@ -1,0 +1,1 @@
+lib/workload/correlation.ml: Array Doc Element_index Engine Hashtbl List Navigation Nodekind Option Rox_shred Rox_storage Rox_util

@@ -1,0 +1,1 @@
+lib/workload/correlation.mli: Hashtbl Rox_storage

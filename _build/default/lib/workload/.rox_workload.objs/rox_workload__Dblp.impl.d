@@ -1,0 +1,1 @@
+lib/workload/dblp.ml: Array Buffer Doc Hashtbl List Option Printf Rox_shred Rox_storage Rox_util Sink String Xoshiro

@@ -1,0 +1,1 @@
+lib/workload/sink.ml: Doc List Qname Rox_shred Rox_xmldom String Tree

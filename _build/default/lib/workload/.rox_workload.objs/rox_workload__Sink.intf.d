@@ -1,0 +1,1 @@
+lib/workload/sink.mli: Rox_shred Rox_xmldom

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Doc Printf Rox_shred Rox_storage Rox_util Sink Xoshiro

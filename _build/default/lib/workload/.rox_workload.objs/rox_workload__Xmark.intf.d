@@ -1,0 +1,1 @@
+lib/workload/xmark.mli: Rox_storage Rox_xmldom

@@ -1,0 +1,53 @@
+open Rox_util
+
+type group = G22 | G31 | G40
+
+let group_name = function
+  | G22 -> "2:2"
+  | G31 -> "3:1"
+  | G40 -> "4:0"
+
+let groups = [ G22; G31; G40 ]
+
+let classify venues =
+  let counts = Hashtbl.create 5 in
+  List.iter
+    (fun v ->
+      let a = Dblp.primary_area v in
+      Hashtbl.replace counts a (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+    venues;
+  let distribution =
+    Hashtbl.fold (fun _ c acc -> c :: acc) counts [] |> List.sort (fun a b -> compare b a)
+  in
+  match distribution with
+  | [ 4 ] -> Some G40
+  | [ 3; 1 ] -> Some G31
+  | [ 2; 2 ] -> Some G22
+  | _ -> None
+
+let rec subsets k lst =
+  if k = 0 then [ [] ]
+  else
+    match lst with
+    | [] -> []
+    | x :: rest -> List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let all_combinations ?(k = 4) venues =
+  subsets k (Array.to_list venues)
+  |> List.filter_map (fun combo ->
+         match classify combo with
+         | Some g -> Some (g, combo)
+         | None -> None)
+
+let sample_per_group ?(seed = 13) ~per_group combos =
+  let rng = Xoshiro.create seed in
+  List.concat_map
+    (fun g ->
+      let of_group = List.filter (fun (g', _) -> g' = g) combos in
+      let arr = Array.of_list of_group in
+      if Array.length arr <= per_group then Array.to_list arr
+      else begin
+        let idx = Xoshiro.sample_without_replacement rng (Array.length arr) per_group in
+        Array.to_list (Array.map (fun i -> arr.(i)) idx)
+      end)
+    groups

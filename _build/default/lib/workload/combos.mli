@@ -1,0 +1,21 @@
+(** Document combinations grouped by research-area distribution (Section
+    4.3): 2:2 (two pairs from two areas), 3:1, and 4:0 (all four from one
+    area) — a proxy for the anticipated correlation of the combination.
+    Grouping uses each venue's primary area, as in Table 3. *)
+
+type group = G22 | G31 | G40
+
+val group_name : group -> string
+val groups : group list
+
+val classify : Dblp.venue list -> group option
+(** [None] for distributions the paper does not use (e.g. 2:1:1). *)
+
+val all_combinations : ?k:int -> Dblp.venue array -> (group * Dblp.venue list) list
+(** Every k-subset (default 4) that falls into one of the three groups. *)
+
+val sample_per_group :
+  ?seed:int -> per_group:int -> (group * Dblp.venue list) list ->
+  (group * Dblp.venue list) list
+(** Deterministic subsample capped at [per_group] combinations per group
+    (the full sweep is the paper's 831; benches default smaller). *)

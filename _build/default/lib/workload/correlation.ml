@@ -1,0 +1,69 @@
+open Rox_storage
+open Rox_shred
+
+let author_multiset (r : Engine.docref) =
+  let counts = Hashtbl.create 256 in
+  let doc = r.Engine.doc in
+  let authors = Element_index.lookup_name r.Engine.elements "author" in
+  Array.iter
+    (fun a ->
+      (* The author element's text children. *)
+      Array.iter
+        (fun c ->
+          match Doc.kind doc c with
+          | Nodekind.Text ->
+            let v = Doc.value_id doc c in
+            Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+          | _ -> ())
+        (Navigation.children doc a))
+    authors;
+  counts
+
+let multiset_size counts = Hashtbl.fold (fun _ c acc -> acc + c) counts 0
+
+let join_size a b =
+  let small, large = if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a) in
+  Hashtbl.fold
+    (fun v c acc ->
+      match Hashtbl.find_opt large v with
+      | Some c' -> acc + (c * c')
+      | None -> acc)
+    small 0
+
+let pairwise_selectivity a b =
+  let denom = max (multiset_size a) (multiset_size b) in
+  if denom = 0 then 0.0 else float_of_int (join_size a b) *. 100.0 /. float_of_int denom
+
+let all_pairs docs =
+  let multisets = List.map author_multiset docs in
+  let arr = Array.of_list multisets in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      out := (arr.(i), arr.(j)) :: !out
+    done
+  done;
+  !out
+
+let measure docs =
+  let js = List.map (fun (a, b) -> pairwise_selectivity a b) (all_pairs docs) in
+  Rox_util.Stats.variance (Array.of_list js)
+
+let nonempty docs =
+  List.for_all (fun (a, b) -> join_size a b > 0) (all_pairs docs)
+
+let joint_size docs =
+  match List.map author_multiset docs with
+  | [] -> 0
+  | first :: rest ->
+    Hashtbl.fold
+      (fun v c acc ->
+        let product =
+          List.fold_left
+            (fun p m -> p * Option.value ~default:0 (Hashtbl.find_opt m v))
+            c rest
+        in
+        acc + product)
+      first 0
+
+let nonempty_joint docs = joint_size docs > 0

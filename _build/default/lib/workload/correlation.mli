@@ -1,0 +1,29 @@
+(** The correlation measure C of Section 4.3.
+
+    For a document combination D = {d1..d4}, the pairwise join selectivity
+    is js(di, dj) = |di ⋈ dj| · 100 / max(|di|, |dj|) over the author text
+    multisets, and C is the variance of the js values around their mean —
+    high C means some pairs join much more selectively than others, i.e.
+    correlated documents. *)
+
+val author_multiset : Rox_storage.Engine.docref -> (int, int) Hashtbl.t
+(** value id → occurrence count of the text values under <author>. *)
+
+val join_size : (int, int) Hashtbl.t -> (int, int) Hashtbl.t -> int
+(** Multiset equi-join cardinality: Σ_v cnt1(v)·cnt2(v). *)
+
+val pairwise_selectivity : (int, int) Hashtbl.t -> (int, int) Hashtbl.t -> float
+(** js(di, dj); multiset sizes include duplicates. *)
+
+val measure : Rox_storage.Engine.docref list -> float
+(** C over all pairs of the combination. *)
+
+val nonempty : Rox_storage.Engine.docref list -> bool
+(** Does every pair join non-emptily? *)
+
+val joint_size : Rox_storage.Engine.docref list -> int
+(** Cardinality of the full k-way author equi-join: Σ_v Π_d cnt_d(v). *)
+
+val nonempty_joint : Rox_storage.Engine.docref list -> bool
+(** Does the full combination yield results? (The paper omits combinations
+    that yield empty results with the sample query.) *)

@@ -1,0 +1,115 @@
+open Rox_shred
+open Rox_xmldom
+
+type t = {
+  open_el : string -> unit;
+  attr : string -> string -> unit;
+  text : string -> unit;
+  close_el : unit -> unit;
+}
+
+let doc_builder b =
+  {
+    open_el = Doc.Builder.open_element b;
+    attr = Doc.Builder.attribute b;
+    text = Doc.Builder.text b;
+    close_el = (fun () -> Doc.Builder.close_element b);
+  }
+
+let tree_builder () =
+  (* Stack of (tag, reversed attrs, reversed children). *)
+  let stack = ref [] in
+  let result = ref None in
+  let sink =
+    {
+      open_el = (fun tag -> stack := (tag, ref [], ref []) :: !stack);
+      attr =
+        (fun name value ->
+          match !stack with
+          | (_, attrs, _) :: _ -> attrs := { Tree.name = Qname.of_string name; value } :: !attrs
+          | [] -> invalid_arg "Sink.tree_builder: attribute outside element");
+      text =
+        (fun s ->
+          match !stack with
+          | (_, _, kids) :: _ -> kids := Tree.Text s :: !kids
+          | [] -> invalid_arg "Sink.tree_builder: text outside element");
+      close_el =
+        (fun () ->
+          match !stack with
+          | (tag, attrs, kids) :: rest ->
+            let node =
+              Tree.Element
+                { Tree.tag = Qname.of_string tag; attrs = List.rev !attrs;
+                  children = List.rev !kids }
+            in
+            stack := rest;
+            (match rest with
+             | (_, _, kids) :: _ -> kids := node :: !kids
+             | [] -> result := Some node)
+          | [] -> invalid_arg "Sink.tree_builder: close without open");
+    }
+  in
+  let finish () =
+    match !result with
+    | Some node -> Tree.document node
+    | None -> invalid_arg "Sink.tree_builder: no document emitted"
+  in
+  (sink, finish)
+
+let escaped_len ~attr s =
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      n := !n
+           + (match c with
+              | '<' | '>' -> 4
+              | '&' -> 5
+              | '"' when attr -> 6
+              | _ -> 1))
+    s;
+  !n
+
+let byte_counter () =
+  let total = ref 0 in
+  (* Stack of (tag length, had content). *)
+  let stack = ref [] in
+  let mark_content () =
+    match !stack with
+    | (len, false) :: rest ->
+      (* Close the open tag with '>'. *)
+      total := !total + 1;
+      stack := (len, true) :: rest
+    | _ -> ()
+  in
+  let sink =
+    {
+      open_el =
+        (fun tag ->
+          mark_content ();
+          total := !total + 1 + String.length tag;
+          stack := (String.length tag, false) :: !stack);
+      attr =
+        (fun name value ->
+          total := !total + 1 + String.length name + 2 + escaped_len ~attr:true value + 1);
+      text =
+        (fun s ->
+          mark_content ();
+          total := !total + escaped_len ~attr:false s);
+      close_el =
+        (fun () ->
+          match !stack with
+          | (len, had_content) :: rest ->
+            total := !total + (if had_content then 3 + len else 2);
+            stack := rest
+          | [] -> invalid_arg "Sink.byte_counter: close without open");
+    }
+  in
+  (sink, fun () -> !total)
+
+let tee a b =
+  {
+    open_el = (fun tag -> a.open_el tag; b.open_el tag);
+    attr = (fun n v -> a.attr n v; b.attr n v);
+    text = (fun s -> a.text s; b.text s);
+    close_el = (fun () -> a.close_el (); b.close_el ());
+  }

@@ -1,0 +1,26 @@
+(** Streaming document sinks.
+
+    Generators emit documents through this abstract interface once, and the
+    same emission (same RNG stream) can build a shredded {!Rox_shred.Doc},
+    an in-memory {!Rox_xmldom.Tree}, count serialized bytes (Table 3
+    document sizes without materializing multi-MB strings), or any
+    combination via {!tee}. *)
+
+type t = {
+  open_el : string -> unit;
+  attr : string -> string -> unit;   (** only directly after open_el *)
+  text : string -> unit;
+  close_el : unit -> unit;
+}
+
+val doc_builder : Rox_shred.Doc.Builder.builder -> t
+
+val tree_builder : unit -> t * (unit -> Rox_xmldom.Tree.t)
+(** The thunk is valid once emission completed. *)
+
+val byte_counter : unit -> t * (unit -> int)
+(** Counts the bytes of the compact XML serialization ({!Rox_xmldom.Xml_writer}
+    format, escaping included). *)
+
+val tee : t -> t -> t
+(** Duplicates every event to both sinks. *)

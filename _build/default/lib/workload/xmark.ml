@@ -1,0 +1,130 @@
+open Rox_util
+open Rox_shred
+
+type params = {
+  n_items : int;
+  n_persons : int;
+  n_auctions : int;
+  quantity_one_fraction : float;
+  province_fraction : float;
+  education_fraction : float;
+  reserve_fraction : float;
+  max_price : float;
+  price_per_bidder : float;
+}
+
+let default_params =
+  {
+    n_items = 4350;
+    n_persons = 5100;
+    n_auctions = 2400;
+    quantity_one_fraction = 0.81;
+    province_fraction = 0.25;
+    education_fraction = 0.5;
+    reserve_fraction = 0.5;
+    max_price = 300.0;
+    price_per_bidder = 30.0;
+  }
+
+let scaled f =
+  let scale n = max 1 (int_of_float (f *. float_of_int n)) in
+  {
+    default_params with
+    n_items = scale default_params.n_items;
+    n_persons = scale default_params.n_persons;
+    n_auctions = scale default_params.n_auctions;
+  }
+
+(* The document is emitted through a Sink.t so the shredded and the tree
+   form are produced by the identical code path and RNG stream. *)
+
+let provinces = [| "Drenthe"; "Utrecht"; "Gelderland"; "Friesland"; "Zeeland"; "Limburg" |]
+let degrees = [| "Bachelor"; "Master"; "PhD"; "Graduate" |]
+
+let emit ?(seed = 7) ?(params = default_params) (sink : Sink.t) =
+  let rng = Xoshiro.create seed in
+  let leaf tag content =
+    sink.open_el tag;
+    sink.text content;
+    sink.close_el ()
+  in
+  sink.open_el "site";
+  (* Items. *)
+  sink.open_el "regions";
+  for i = 0 to params.n_items - 1 do
+    sink.open_el "item";
+    sink.attr "id" (Printf.sprintf "item%d" i);
+    leaf "location" (if Xoshiro.bool rng then "United States" else "Netherlands");
+    let quantity =
+      if Xoshiro.float rng < params.quantity_one_fraction then 1 else 2 + Xoshiro.int rng 9
+    in
+    leaf "quantity" (string_of_int quantity);
+    leaf "name" (Printf.sprintf "thing %d" i);
+    sink.close_el ()
+  done;
+  sink.close_el ();
+  (* People. *)
+  sink.open_el "people";
+  for i = 0 to params.n_persons - 1 do
+    sink.open_el "person";
+    sink.attr "id" (Printf.sprintf "person%d" i);
+    leaf "name" (Printf.sprintf "Person %d" i);
+    sink.open_el "address";
+    leaf "city" "Enschede";
+    if Xoshiro.float rng < params.province_fraction then
+      leaf "province" (Xoshiro.pick rng provinces);
+    sink.close_el ();
+    sink.open_el "profile";
+    if Xoshiro.float rng < params.education_fraction then
+      leaf "education" (Xoshiro.pick rng degrees);
+    leaf "interest" (Printf.sprintf "category%d" (Xoshiro.int rng 20));
+    sink.close_el ();
+    sink.close_el ()
+  done;
+  sink.close_el ();
+  (* Open auctions, with the price <-> #bidders correlation. *)
+  sink.open_el "open_auctions";
+  for i = 0 to params.n_auctions - 1 do
+    sink.open_el "open_auction";
+    sink.attr "id" (Printf.sprintf "auction%d" i);
+    if Xoshiro.float rng < params.reserve_fraction then
+      leaf "reserve" (Printf.sprintf "%.2f" (10.0 +. Xoshiro.float rng *. 90.0));
+    leaf "initial" (Printf.sprintf "%.2f" (Xoshiro.float rng *. 20.0));
+    let price = Xoshiro.float rng *. params.max_price in
+    let n_bidders =
+      let base = 1 + int_of_float (price /. params.price_per_bidder) in
+      max 1 (base + Xoshiro.int rng 2 - 1)  (* small noise, never zero *)
+    in
+    for _ = 1 to n_bidders do
+      sink.open_el "bidder";
+      leaf "date" "07/06/2026";
+      sink.open_el "personref";
+      sink.attr "person" (Printf.sprintf "person%d" (Xoshiro.int rng params.n_persons));
+      sink.close_el ();
+      leaf "increase" (Printf.sprintf "%.2f" (1.5 +. Xoshiro.float rng *. 10.0));
+      sink.close_el ()
+    done;
+    leaf "current" (Printf.sprintf "%.2f" price);
+    sink.open_el "itemref";
+    sink.attr "item" (Printf.sprintf "item%d" (Xoshiro.int rng params.n_items));
+    sink.close_el ();
+    leaf "seller" (Printf.sprintf "person%d" (Xoshiro.int rng params.n_persons));
+    sink.close_el ()
+  done;
+  sink.close_el ();
+  sink.close_el () (* site *)
+
+let generate ?seed ?params engine ~uri =
+  let b =
+    Doc.Builder.create ~uri
+      ~qnames:(Rox_storage.Engine.qnames engine)
+      ~values:(Rox_storage.Engine.values engine)
+      ()
+  in
+  emit ?seed ?params (Sink.doc_builder b);
+  Rox_storage.Engine.add_doc engine (Doc.Builder.finish b)
+
+let generate_tree ?seed ?params () =
+  let sink, finish = Sink.tree_builder () in
+  emit ?seed ?params sink;
+  finish ()

@@ -1,0 +1,43 @@
+(** XMark-like auction document generator (Section 3.2).
+
+    Builds a synthetic auction site document with the schema the paper's Q1
+    / Qm1 exercise — open auctions with bidders, current price, item and
+    person references; people with ids, optional province and education;
+    items with ids and quantities — and, crucially, the *correlation* the
+    example turns on: "the bigger the current price of an item, the higher
+    the number of bidders participating in the bid". A static optimizer
+    cannot see this; ROX detects it by re-sampling.
+
+    Bidder count is [1 + ⌊price / price_per_bidder⌋ + noise], so selecting
+    auctions by [current < θ] (Q1) or [current > θ] (Qm1) lands in sparse-
+    vs dense-bidder regions. *)
+
+type params = {
+  n_items : int;
+  n_persons : int;
+  n_auctions : int;
+  quantity_one_fraction : float;  (** items with <quantity>1</quantity> *)
+  province_fraction : float;      (** persons with a <province> *)
+  education_fraction : float;     (** persons with an <education> *)
+  reserve_fraction : float;       (** auctions with a <reserve> *)
+  max_price : float;              (** current prices uniform in [0, max] *)
+  price_per_bidder : float;       (** correlation strength *)
+}
+
+val default_params : params
+(** 1/10th of the Figure 3 cardinalities: 4350 items, 5100 persons, 2400
+    auctions, ~80% quantity-1, price ∈ [0, 300), one extra bidder per 30
+    price units. *)
+
+val scaled : float -> params
+(** [scaled f] multiplies the three population sizes of
+    {!default_params} by [f]. *)
+
+val generate :
+  ?seed:int -> ?params:params -> Rox_storage.Engine.t -> uri:string ->
+  Rox_storage.Engine.docref
+(** Generate, shred against the engine's pools, index and register. *)
+
+val generate_tree : ?seed:int -> ?params:params -> unit -> Rox_xmldom.Tree.t
+(** The same document as a tree (serialization, round-trip tests). Equal
+    seeds and params produce the identical document in both forms. *)

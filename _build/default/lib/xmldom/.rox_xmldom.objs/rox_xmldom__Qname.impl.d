@@ -1,0 +1,1 @@
+lib/xmldom/qname.ml: Format String

@@ -1,0 +1,1 @@
+lib/xmldom/qname.mli: Format

@@ -1,0 +1,1 @@
+lib/xmldom/tree.ml: Buffer List Qname String

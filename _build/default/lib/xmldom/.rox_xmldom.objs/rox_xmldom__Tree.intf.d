@@ -1,0 +1,1 @@
+lib/xmldom/tree.mli: Qname

@@ -1,0 +1,1 @@
+lib/xmldom/xml_parser.ml: Buffer Char List Printf Qname String Tree

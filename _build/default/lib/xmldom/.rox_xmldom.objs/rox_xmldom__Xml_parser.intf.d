@@ -1,0 +1,1 @@
+lib/xmldom/xml_parser.mli: Tree

@@ -1,0 +1,1 @@
+lib/xmldom/xml_writer.ml: Buffer List Qname String Tree

@@ -1,0 +1,1 @@
+lib/xmldom/xml_writer.mli: Buffer Tree

@@ -1,0 +1,19 @@
+type t = { prefix : string; local : string }
+
+let make ?(prefix = "") local = { prefix; local }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> { prefix = ""; local = s }
+  | Some i ->
+    { prefix = String.sub s 0 i; local = String.sub s (i + 1) (String.length s - i - 1) }
+
+let to_string t = if t.prefix = "" then t.local else t.prefix ^ ":" ^ t.local
+let equal a b = String.equal a.prefix b.prefix && String.equal a.local b.local
+
+let compare a b =
+  match String.compare a.local b.local with
+  | 0 -> String.compare a.prefix b.prefix
+  | c -> c
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,17 @@
+(** Qualified names.
+
+    The paper's element index is keyed by qualified name; we keep the
+    (prefix, local) split purely syntactic — no namespace resolution is
+    needed for the XMark / DBLP workloads — but preserve it so serialization
+    round-trips. *)
+
+type t = { prefix : string; local : string }
+
+val make : ?prefix:string -> string -> t
+val of_string : string -> t
+(** Splits on the first [':'] when present. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type attribute = { name : Qname.t; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+and element = { tag : Qname.t; attrs : attribute list; children : node list }
+
+type t = { root : element }
+
+let element ?(attrs = []) tag children =
+  let attrs = List.map (fun (k, v) -> { name = Qname.of_string k; value = v }) attrs in
+  Element { tag = Qname.of_string tag; attrs; children }
+
+let text s = Text s
+
+let document = function
+  | Element e -> { root = e }
+  | Text _ | Comment _ | Pi _ -> invalid_arg "Tree.document: root must be an element"
+
+let node_count t =
+  let rec count_node = function
+    | Element e ->
+      1 + List.length e.attrs + List.fold_left (fun acc c -> acc + count_node c) 0 e.children
+    | Text _ | Comment _ | Pi _ -> 1
+  in
+  1 + count_node (Element t.root)
+
+let find_elements t name =
+  let out = ref [] in
+  let rec walk = function
+    | Element e ->
+      if String.equal e.tag.Qname.local name then out := e :: !out;
+      List.iter walk e.children
+    | Text _ | Comment _ | Pi _ -> ()
+  in
+  walk (Element t.root);
+  List.rev !out
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec walk = function
+    | Element e -> List.iter walk e.children
+    | Text s -> Buffer.add_string buf s
+    | Comment _ | Pi _ -> ()
+  in
+  walk (Element e);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** In-memory XML tree.
+
+    The tree is the exchange format between the parser, the workload
+    generators and the shredder. It is deliberately minimal: elements with
+    attributes, text, comments and processing instructions — the node kinds
+    of the pre/size/level encoding of Section 2.2. *)
+
+type attribute = { name : Qname.t; value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, content *)
+
+and element = { tag : Qname.t; attrs : attribute list; children : node list }
+
+type t = { root : element }
+(** A document with a single root element. *)
+
+val element : ?attrs:(string * string) list -> string -> node list -> node
+(** Convenience constructor: [element "person" ~attrs:["id","p1"] children]. *)
+
+val text : string -> node
+val document : node -> t
+(** @raise Invalid_argument if the node is not an element. *)
+
+val node_count : t -> int
+(** Total number of encoding slots the document will occupy when shredded:
+    1 (virtual document root) + elements + attributes + texts + comments +
+    PIs. *)
+
+val find_elements : t -> string -> element list
+(** All descendant elements (document order) with the given local name;
+    handy in tests. *)
+
+val text_content : element -> string
+(** Concatenated descendant text. *)

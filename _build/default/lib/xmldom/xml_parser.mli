@@ -1,0 +1,19 @@
+(** Non-validating XML parser.
+
+    Handles the XML subset the experiments need and then some: elements,
+    attributes (single or double quoted), character data with entity and
+    character references, CDATA sections, comments, processing instructions,
+    an optional XML declaration and a skipped DOCTYPE. Namespace
+    declarations are kept as plain attributes.
+
+    Whitespace-only text between elements is dropped by default (the
+    shredded encodings of data-centric documents such as DBLP never store
+    indentation), which keeps generated-then-reparsed documents structurally
+    identical. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+
+val parse_string : ?keep_whitespace:bool -> string -> Tree.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : ?keep_whitespace:bool -> string -> Tree.t

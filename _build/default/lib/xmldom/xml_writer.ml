@@ -1,0 +1,128 @@
+let escape_into buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:true s;
+  Buffer.contents buf
+
+let rec write_node buf ~indent ~depth node =
+  let pad () =
+    if indent then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end
+  in
+  match node with
+  | Tree.Text s ->
+    pad ();
+    escape_into buf ~attr:false s
+  | Tree.Comment s ->
+    pad ();
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Tree.Pi (target, content) ->
+    pad ();
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if content <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content
+    end;
+    Buffer.add_string buf "?>"
+  | Tree.Element e ->
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf (Qname.to_string e.tag);
+    List.iter
+      (fun { Tree.name; value } ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Qname.to_string name);
+        Buffer.add_string buf "=\"";
+        escape_into buf ~attr:true value;
+        Buffer.add_char buf '"')
+      e.attrs;
+    if e.children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      (* Only indent children when none of them is text: mixed content must
+         stay byte-identical through round-trips. *)
+      let has_text =
+        List.exists (function Tree.Text _ -> true | _ -> false) e.children
+      in
+      let indent = indent && not has_text in
+      List.iter (write_node buf ~indent ~depth:(depth + 1)) e.children;
+      if indent then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * depth) ' ')
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf (Qname.to_string e.tag);
+      Buffer.add_char buf '>'
+    end
+
+let to_buffer ?(indent = false) buf t =
+  write_node buf ~indent ~depth:0 (Tree.Element t.Tree.root)
+
+let to_string ?indent t =
+  let buf = Buffer.create 4096 in
+  to_buffer ?indent buf t;
+  Buffer.contents buf
+
+let to_file ?indent path t =
+  let oc = open_out_bin path in
+  let buf = Buffer.create 65536 in
+  to_buffer ?indent buf t;
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let serialized_size t =
+  (* Sum of per-node contributions of the compact form; avoids allocating a
+     multi-hundred-MB string for the x100 scaled documents. *)
+  let escaped_len ~attr s =
+    let n = ref 0 in
+    String.iter
+      (fun c ->
+        n := !n
+             + (match c with
+                | '<' | '>' -> 4
+                | '&' -> 5
+                | '"' when attr -> 6
+                | _ -> 1))
+      s;
+    !n
+  in
+  let rec node_len = function
+    | Tree.Text s -> escaped_len ~attr:false s
+    | Tree.Comment s -> 7 + String.length s
+    | Tree.Pi (target, content) ->
+      4 + String.length target + (if content = "" then 0 else 1 + String.length content)
+    | Tree.Element e ->
+      let tag_len = String.length (Qname.to_string e.tag) in
+      let attrs_len =
+        List.fold_left
+          (fun acc { Tree.name; value } ->
+            acc + 1 + String.length (Qname.to_string name) + 2 + escaped_len ~attr:true value + 1)
+          0 e.attrs
+      in
+      if e.children = [] then 1 + tag_len + attrs_len + 2
+      else
+        (1 + tag_len + attrs_len + 1)
+        + List.fold_left (fun acc c -> acc + node_len c) 0 e.children
+        + (2 + tag_len + 1)
+  in
+  node_len (Tree.Element t.Tree.root)

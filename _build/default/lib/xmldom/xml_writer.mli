@@ -1,0 +1,19 @@
+(** XML serialization.
+
+    The inverse of {!Xml_parser}: used by the dataset generators to write
+    documents to disk (the paper's DBLP split produces one file per venue)
+    and by tests to check parse/print round-trips. *)
+
+val escape_text : string -> string
+(** Escapes [<], [>] and [&]. *)
+
+val escape_attr : string -> string
+(** Additionally escapes double quotes. *)
+
+val to_buffer : ?indent:bool -> Buffer.t -> Tree.t -> unit
+val to_string : ?indent:bool -> Tree.t -> string
+val to_file : ?indent:bool -> string -> Tree.t -> unit
+
+val serialized_size : Tree.t -> int
+(** Byte size of the compact (non-indented) serialization, without building
+    the whole string when it is large — Table 3 reports document sizes. *)

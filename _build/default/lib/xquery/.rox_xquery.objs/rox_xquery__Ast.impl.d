@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: Axis Format List Printf Rox_algebra String

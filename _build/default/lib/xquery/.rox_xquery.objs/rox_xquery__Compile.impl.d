@@ -1,0 +1,1 @@
+lib/xquery/compile.ml: Array Ast Axis Edge Engine Float Graph Hashtbl List Parser Printf Rox_algebra Rox_joingraph Rox_shred Rox_storage Selection Tail Vertex

@@ -1,0 +1,1 @@
+lib/xquery/compile.mli: Ast Rox_joingraph Rox_storage Tail

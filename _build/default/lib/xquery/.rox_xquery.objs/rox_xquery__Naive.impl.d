@@ -1,0 +1,1 @@
+lib/xquery/naive.ml: Array Ast Axis Doc Engine Float List Navigation Nodekind Parser Printf Rox_algebra Rox_shred Rox_storage String

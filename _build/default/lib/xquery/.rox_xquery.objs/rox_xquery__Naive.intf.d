@@ -1,0 +1,1 @@
+lib/xquery/naive.mli: Ast Rox_storage

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Array Ast Axis Lexer List Printf Rox_algebra

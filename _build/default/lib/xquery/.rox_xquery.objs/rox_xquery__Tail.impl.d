@@ -1,0 +1,1 @@
+lib/xquery/tail.ml: Array Relation Rox_joingraph

@@ -1,0 +1,1 @@
+lib/xquery/tail.mli: Rox_algebra Rox_joingraph

@@ -1,0 +1,206 @@
+open Rox_storage
+open Rox_algebra
+open Rox_joingraph
+
+exception Unsupported of string
+
+type compiled = {
+  graph : Graph.t;
+  engine : Engine.t;
+  bindings : (string * int) list;
+  tail : Tail.spec;
+  query : Ast.query;
+}
+
+(* Compact rendering of a numeric literal so that "quantity = 1" matches the
+   text node "1" (generators emit integers without a decimal point). *)
+let literal_string = function
+  | Ast.Str s -> s
+  | Ast.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+
+let selection_of_cmp cmp lit =
+  match (cmp, lit) with
+  | Ast.Eq, lit -> Selection.Eq (literal_string lit)
+  | Ast.Lt, Ast.Num f -> Selection.Lt f
+  | Ast.Le, Ast.Num f -> Selection.Le f
+  | Ast.Gt, Ast.Num f -> Selection.Gt f
+  | Ast.Ge, Ast.Num f -> Selection.Ge f
+  | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), Ast.Str _ ->
+    raise (Unsupported "order comparison against a string literal")
+  | Ast.Ne, _ -> raise (Unsupported "!= predicates")
+
+type ctx = {
+  engine : Engine.t;
+  graph : Graph.t;
+  mutable vars : (string * int) list;  (* variable -> vertex id *)
+  mutable doc_roots : (string * int) list;  (* uri -> root vertex id *)
+  (* Memo so that the same step from the same vertex reuses its vertex:
+     (source vertex, axis, annot) -> vertex. *)
+  memo : (int * Axis.t * Vertex.annot, int) Hashtbl.t;
+}
+
+let doc_root ctx uri =
+  match List.assoc_opt uri ctx.doc_roots with
+  | Some v -> v
+  | None ->
+    (match Engine.find_uri ctx.engine uri with
+     | None -> raise (Unsupported (Printf.sprintf "document %S not loaded in engine" uri))
+     | Some r ->
+       let v = Graph.add_vertex ctx.graph ~doc_id:(Rox_shred.Doc.id r.Engine.doc) Vertex.Root in
+       ctx.doc_roots <- (uri, v.Vertex.id) :: ctx.doc_roots;
+       v.Vertex.id)
+
+let lookup_var ctx v =
+  match List.assoc_opt v ctx.vars with
+  | Some vertex -> vertex
+  | None -> raise (Unsupported (Printf.sprintf "unbound variable $%s" v))
+
+(* Add (or reuse) the target vertex of one step and its edge. *)
+let extend_step ctx ~from ~axis annot =
+  let key = (from, axis, annot) in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some v -> v
+  | None ->
+    let doc_id = (Graph.vertex ctx.graph from).Vertex.doc_id in
+    let v = Graph.add_vertex ctx.graph ~doc_id annot in
+    ignore (Graph.add_edge ctx.graph ~v1:from ~v2:v.Vertex.id (Edge.Step axis) : Edge.t);
+    Hashtbl.replace ctx.memo key v.Vertex.id;
+    v.Vertex.id
+
+let annot_of_test ?pred test =
+  match (test : Ast.node_test) with
+  | Ast.Name_test n ->
+    if pred <> None then raise (Unsupported "value predicate directly on an element vertex");
+    Vertex.Element n
+  | Ast.Text_test -> Vertex.Text pred
+  | Ast.Attribute_test n -> Vertex.Attr (n, pred)
+  | Ast.Node_test -> raise (Unsupported "node() tests")
+
+(* Compile a path to its terminal vertex. [terminal_pred] is attached to the
+   last step's vertex (from a trailing value comparison). [self] resolves
+   From_self starts (predicate paths). *)
+let rec compile_path ctx ?self ?terminal_pred (path : Ast.path) =
+  let start_vertex =
+    match path.Ast.start with
+    | Ast.From_doc uri -> doc_root ctx uri
+    | Ast.From_var v -> lookup_var ctx v
+    | Ast.From_self ->
+      (match self with
+       | Some v -> v
+       | None -> raise (Unsupported "context path (.) outside a predicate"))
+  in
+  let rec walk from = function
+    | [] -> from
+    | [ last ] ->
+      let annot = annot_of_test ?pred:terminal_pred last.Ast.test in
+      let v = extend_step ctx ~from ~axis:last.Ast.axis annot in
+      compile_predicates ctx ~self:v last.Ast.preds;
+      (* A trailing value predicate on an *element* test means comparing the
+         element's text content: materialize the implicit text() child, as
+         in the paper's (quantity)-(text()=1) vertices of Figure 3.1. *)
+      (match (terminal_pred, last.Ast.test) with
+       | Some _, Ast.Name_test _ -> assert false (* annot_of_test raised *)
+       | _ -> ());
+      v
+    | step :: rest ->
+      let annot = annot_of_test step.Ast.test in
+      let v = extend_step ctx ~from ~axis:step.Ast.axis annot in
+      compile_predicates ctx ~self:v step.Ast.preds;
+      walk v rest
+  in
+  match (path.Ast.steps, terminal_pred) with
+  | [], None -> start_vertex
+  | [], Some _ -> raise (Unsupported "value predicate on a bare variable")
+  | steps, _ -> walk start_vertex steps
+
+and compile_predicates ctx ~self preds =
+  List.iter
+    (fun pred ->
+      match (pred : Ast.predicate) with
+      | Ast.Exists p -> ignore (compile_path ctx ~self p : int)
+      | Ast.Value_cmp (p, cmp, lit) ->
+        let selection = selection_of_cmp cmp lit in
+        let p =
+          (* [./quantity = 1] compares the element's text: rewrite the path
+             to end in an explicit text() child step. *)
+          match last_test p with
+          | Some (Ast.Name_test _) | None ->
+            { p with Ast.steps = p.Ast.steps @ [ { Ast.axis = Axis.Child; test = Ast.Text_test; preds = [] } ] }
+          | Some (Ast.Text_test | Ast.Attribute_test _) -> p
+          | Some Ast.Node_test -> raise (Unsupported "node() tests")
+        in
+        ignore (compile_path ctx ~self ~terminal_pred:selection p : int))
+    preds
+
+and last_test (p : Ast.path) =
+  match List.rev p.Ast.steps with
+  | [] -> None
+  | last :: _ -> Some last.Ast.test
+
+let compile ?(equi_closure = true) engine (q : Ast.query) =
+  let ctx =
+    { engine; graph = Graph.create (); vars = []; doc_roots = []; memo = Hashtbl.create 64 }
+  in
+  (* let-bindings: document handles (plain paths also allowed: they bind the
+     terminal vertex like a for would, without entering the tail key). *)
+  List.iter
+    (fun (v, path) ->
+      let vertex = compile_path ctx path in
+      ctx.vars <- (v, vertex) :: ctx.vars)
+    q.Ast.lets;
+  (* for-bindings in order; these become the tail sort key. *)
+  let key_vertices =
+    List.map
+      (fun (v, path) ->
+        let vertex = compile_path ctx path in
+        ctx.vars <- (v, vertex) :: ctx.vars;
+        vertex)
+      q.Ast.fors
+  in
+  (* where conjuncts. *)
+  List.iter
+    (fun atom ->
+      match (atom : Ast.where_atom) with
+      | Ast.Join (p1, p2) ->
+        let v1 = compile_path ctx p1 in
+        let v2 = compile_path ctx p2 in
+        (* Two syntactically identical paths share one vertex; joining it
+           with itself is a tautology — the vertex's own step edges already
+           express the existence constraint. *)
+        if v1 <> v2 then
+          (match Graph.find_edge ctx.graph v1 v2 with
+           | Some _ -> ()
+           | None -> ignore (Graph.add_edge ctx.graph ~v1 ~v2 Edge.Equijoin : Edge.t))
+      | Ast.Filter (p, cmp, lit) ->
+        let selection = selection_of_cmp cmp lit in
+        let p =
+          match last_test p with
+          | Some (Ast.Name_test _) | None ->
+            { p with Ast.steps = p.Ast.steps @ [ { Ast.axis = Axis.Child; test = Ast.Text_test; preds = [] } ] }
+          | Some (Ast.Text_test | Ast.Attribute_test _) -> p
+          | Some Ast.Node_test -> raise (Unsupported "node() tests")
+        in
+        ignore (compile_path ctx ~terminal_pred:selection p : int))
+    q.Ast.where;
+  if equi_closure then ignore (Graph.equi_closure ctx.graph : Edge.t list);
+  let return_vertex =
+    match List.assoc_opt q.Ast.return_var ctx.vars with
+    | Some v -> v
+    | None -> raise (Unsupported (Printf.sprintf "unbound return variable $%s" q.Ast.return_var))
+  in
+  {
+    graph = ctx.graph;
+    engine;
+    bindings = List.rev ctx.vars;
+    tail = { Tail.key_vertices = Array.of_list key_vertices; return_vertex };
+    query = q;
+  }
+
+let compile_string ?equi_closure engine src = compile ?equi_closure engine (Parser.parse src)
+
+let vertex_of_var c v =
+  match List.assoc_opt v c.bindings with
+  | Some vertex -> vertex
+  | None -> raise Not_found

@@ -1,0 +1,32 @@
+(** Join Graph isolation: static compilation from FLWOR queries to Join
+    Graphs.
+
+    Plays the role of the Pathfinder rewrite pipeline of [18] for our query
+    fragment: every for-binding path, structural predicate and where-clause
+    comparison becomes vertices and edges of one Join Graph; duplicate /
+    order restoration is captured in a {!Tail.spec}. With
+    [~equi_closure:true] (the default) the transitive join equivalences —
+    the dotted edges ROX adds in Figure 4 — are materialized as [derived]
+    equi-join edges.
+
+    Documents named by [doc(uri)] must already be registered in the
+    engine. *)
+
+exception Unsupported of string
+(** Query shape outside the compiled fragment (e.g. [!=] predicates). *)
+
+type compiled = {
+  graph : Rox_joingraph.Graph.t;
+  engine : Rox_storage.Engine.t;
+  bindings : (string * int) list;  (** for/let variable → vertex id *)
+  tail : Tail.spec;
+  query : Ast.query;
+}
+
+val compile : ?equi_closure:bool -> Rox_storage.Engine.t -> Ast.query -> compiled
+
+val compile_string : ?equi_closure:bool -> Rox_storage.Engine.t -> string -> compiled
+(** Parse + compile. *)
+
+val vertex_of_var : compiled -> string -> int
+(** @raise Not_found for unbound variables. *)

@@ -1,0 +1,174 @@
+type token =
+  | LET | FOR | WHERE | RETURN | IN | AND
+  | VAR of string
+  | NAME of string
+  | STRING of string
+  | NUMBER of float
+  | DOC
+  | ASSIGN
+  | COMMA | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SLASH | DSLASH
+  | AT | DOT
+  | EQ | NE | LT | LE | GT | GE
+  | TEXT_FUN
+  | NODE_FUN
+  | AXIS of string
+  | EOF
+
+exception Lex_error of { position : int; message : string }
+
+let token_to_string = function
+  | LET -> "let"
+  | FOR -> "for"
+  | WHERE -> "where"
+  | RETURN -> "return"
+  | IN -> "in"
+  | AND -> "and"
+  | VAR v -> "$" ^ v
+  | NAME n -> n
+  | STRING s -> Printf.sprintf "%S" s
+  | NUMBER f -> Printf.sprintf "%g" f
+  | DOC -> "doc"
+  | ASSIGN -> ":="
+  | COMMA -> ","
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | AT -> "@"
+  | DOT -> "."
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | TEXT_FUN -> "text()"
+  | NODE_FUN -> "node()"
+  | AXIS a -> a ^ "::"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let err message = raise (Lex_error { position = !pos; message }) in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let read_name () =
+    let start = !pos in
+    while !pos < n && is_name_char src.[!pos] do incr pos done;
+    (* Allow a single ':' for prefixed names (fn:doc), but not '::'. *)
+    if !pos < n && src.[!pos] = ':' && !pos + 1 < n && src.[!pos + 1] <> ':'
+       && is_name_start src.[!pos + 1]
+    then begin
+      incr pos;
+      while !pos < n && is_name_char src.[!pos] do incr pos done
+    end;
+    String.sub src start (!pos - start)
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '(' && peek 1 = ':' then begin
+      (* XQuery comment (: ... :), non-nesting is enough here. *)
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then err "unterminated comment"
+        else if src.[!pos] = ':' && src.[!pos + 1] = ')' then pos := !pos + 2
+        else begin
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '$' then begin
+      incr pos;
+      if not (is_name_start (peek 0)) then err "expected variable name after $";
+      push (VAR (read_name ()))
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr pos;
+      let buf = Buffer.create 16 in
+      while !pos < n && src.[!pos] <> quote do
+        Buffer.add_char buf src.[!pos];
+        incr pos
+      done;
+      if !pos >= n then err "unterminated string literal";
+      incr pos;
+      push (STRING (Buffer.contents buf))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && (is_digit src.[!pos] || src.[!pos] = '.') do incr pos done;
+      match float_of_string_opt (String.sub src start (!pos - start)) with
+      | Some f -> push (NUMBER f)
+      | None -> err "malformed number"
+    end
+    else if is_name_start c then begin
+      let name = read_name () in
+      if !pos + 1 < n && src.[!pos] = ':' && src.[!pos + 1] = ':' then begin
+        pos := !pos + 2;
+        push (AXIS name)
+      end
+      else
+        match name with
+        | "let" -> push LET
+        | "for" -> push FOR
+        | "where" -> push WHERE
+        | "return" -> push RETURN
+        | "in" -> push IN
+        | "and" -> push AND
+        | "doc" | "fn:doc" -> push DOC
+        | "text" when peek 0 = '(' && peek 1 = ')' ->
+          pos := !pos + 2;
+          push TEXT_FUN
+        | "node" when peek 0 = '(' && peek 1 = ')' ->
+          pos := !pos + 2;
+          push NODE_FUN
+        | name -> push (NAME name)
+    end
+    else begin
+      (match c with
+       | ':' when peek 1 = '=' ->
+         incr pos;
+         push ASSIGN
+       | ',' -> push COMMA
+       | '(' -> push LPAREN
+       | ')' -> push RPAREN
+       | '[' -> push LBRACKET
+       | ']' -> push RBRACKET
+       | '/' when peek 1 = '/' ->
+         incr pos;
+         push DSLASH
+       | '/' -> push SLASH
+       | '@' -> push AT
+       | '.' -> push DOT
+       | '=' -> push EQ
+       | '!' when peek 1 = '=' ->
+         incr pos;
+         push NE
+       | '<' when peek 1 = '=' ->
+         incr pos;
+         push LE
+       | '<' -> push LT
+       | '>' when peek 1 = '=' ->
+         incr pos;
+         push GE
+       | '>' -> push GT
+       | c -> err (Printf.sprintf "unexpected character %C" c));
+      incr pos
+    end
+  done;
+  List.rev (EOF :: !tokens)

@@ -1,0 +1,23 @@
+(** Tokenizer for the XQuery fragment. *)
+
+type token =
+  | LET | FOR | WHERE | RETURN | IN | AND
+  | VAR of string           (** $name *)
+  | NAME of string           (** NCName, possibly prefixed *)
+  | STRING of string         (** "..." or '...' *)
+  | NUMBER of float
+  | DOC                      (** doc / fn:doc *)
+  | ASSIGN                   (** := *)
+  | COMMA | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SLASH | DSLASH           (** / and // *)
+  | AT | DOT
+  | EQ | NE | LT | LE | GT | GE
+  | TEXT_FUN                 (** text() *)
+  | NODE_FUN                 (** node() *)
+  | AXIS of string           (** e.g. "descendant" in descendant::x *)
+  | EOF
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+val token_to_string : token -> string

@@ -1,0 +1,191 @@
+open Rox_storage
+open Rox_shred
+open Rox_algebra
+
+exception Unsupported of string
+
+type node = int * int (* doc id, pre *)
+
+let doc_of engine id = (Engine.get engine id).Engine.doc
+
+let node_kind engine (d, p) = Doc.kind (doc_of engine d) p
+let node_name engine (d, p) = Doc.name (doc_of engine d) p
+let node_value engine (d, p) = Doc.value (doc_of engine d) p
+
+let test_match engine n (test : Ast.node_test) =
+  match test with
+  | Ast.Name_test name ->
+    (match node_kind engine n with
+     | Nodekind.Elem -> String.equal (node_name engine n) name
+     | _ -> false)
+  | Ast.Text_test -> node_kind engine n = Nodekind.Text
+  | Ast.Attribute_test name ->
+    (match node_kind engine n with
+     | Nodekind.Attr -> String.equal (node_name engine n) name
+     | _ -> false)
+  | Ast.Node_test -> true
+
+let axis_nodes engine ((d, p) : node) (axis : Axis.t) : node list =
+  let doc = doc_of engine d in
+  let wrap pres = List.map (fun pre -> (d, pre)) pres in
+  let subtree_list ~include_self =
+    let first, last = Navigation.subtree_bounds doc p in
+    let range = List.init (max 0 (last - first + 1)) (fun i -> first + i) in
+    if include_self then p :: range else range
+  in
+  match axis with
+  | Axis.Child -> wrap (Array.to_list (Navigation.children doc p))
+  | Axis.Attribute -> wrap (Array.to_list (Navigation.attributes doc p))
+  | Axis.Descendant ->
+    (* Attributes live inside subtree ranges; the descendant axis includes
+       them deliberately (//@id reaches attributes of descendants). *)
+    wrap (subtree_list ~include_self:false)
+  | Axis.Desc_or_self -> wrap (subtree_list ~include_self:true)
+  | Axis.Self -> [ (d, p) ]
+  | Axis.Parent ->
+    let parent = Doc.parent doc p in
+    if parent >= 0 then [ (d, parent) ] else []
+  | Axis.Ancestor -> wrap (Array.to_list (Navigation.ancestors doc p))
+  | Axis.Anc_or_self -> (d, p) :: wrap (Array.to_list (Navigation.ancestors doc p))
+  | Axis.Following ->
+    let start = Navigation.following_first doc p in
+    wrap (List.init (max 0 (Doc.node_count doc - start)) (fun i -> start + i))
+  | Axis.Preceding ->
+    let out = ref [] in
+    for q = p - 1 downto 1 do
+      if q + Doc.size doc q < p then out := q :: !out
+    done;
+    wrap !out
+  | Axis.Following_sibling ->
+    let rec collect cur acc =
+      match Navigation.next_sibling doc cur with
+      | Some s -> collect s (s :: acc)
+      | None -> List.rev acc
+    in
+    wrap (collect p [])
+  | Axis.Preceding_sibling ->
+    let rec collect cur acc =
+      match Navigation.prev_sibling doc cur with
+      | Some s -> collect s (s :: acc)
+      | None -> acc
+    in
+    wrap (collect p [])
+
+let dedup_sort nodes = List.sort_uniq compare nodes
+
+let literal_string = function
+  | Ast.Str s -> s
+  | Ast.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+
+(* Candidate comparison values of a result node: its own value for text /
+   attribute nodes, the direct text children for elements (consistent with
+   the compiler's implicit text() step). *)
+let comparison_values engine ((d, p) as n) =
+  match node_kind engine n with
+  | Nodekind.Text | Nodekind.Attr -> [ node_value engine n ]
+  | Nodekind.Elem ->
+    let doc = doc_of engine d in
+    Navigation.children doc p
+    |> Array.to_list
+    |> List.filter_map (fun c ->
+           match Doc.kind doc c with
+           | Nodekind.Text -> Some (Doc.value doc c)
+           | _ -> None)
+  | Nodekind.Doc | Nodekind.Comment | Nodekind.Pi -> []
+
+let cmp_holds cmp lit value =
+  match cmp with
+  | Ast.Eq -> String.equal value (literal_string lit)
+  | Ast.Ne -> not (String.equal value (literal_string lit))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    (match (float_of_string_opt value, lit) with
+     | Some v, Ast.Num f ->
+       (match cmp with
+        | Ast.Lt -> v < f
+        | Ast.Le -> v <= f
+        | Ast.Gt -> v > f
+        | Ast.Ge -> v >= f
+        | Ast.Eq | Ast.Ne -> assert false)
+     | _ -> false)
+
+let rec eval_path_vars engine ~vars ~context (path : Ast.path) =
+  let start =
+    match path.Ast.start with
+    | Ast.From_doc uri ->
+      (match Engine.find_uri engine uri with
+       | Some r -> [ (Rox_shred.Doc.id r.Engine.doc, 0) ]
+       | None -> raise (Unsupported (Printf.sprintf "document %S not loaded" uri)))
+    | Ast.From_var v ->
+      (match List.assoc_opt v vars with
+       | Some nodes -> nodes
+       | None -> raise (Unsupported (Printf.sprintf "unbound variable $%s" v)))
+    | Ast.From_self -> context
+  in
+  List.fold_left
+    (fun nodes (step : Ast.step) ->
+      nodes
+      |> List.concat_map (fun n ->
+             axis_nodes engine n step.Ast.axis
+             |> List.filter (fun m -> test_match engine m step.Ast.test)
+             |> List.filter (fun m -> holds_predicates engine ~vars m step.Ast.preds))
+      |> dedup_sort)
+    (dedup_sort start) path.Ast.steps
+
+and holds_predicates engine ~vars n preds =
+  List.for_all
+    (fun pred ->
+      match (pred : Ast.predicate) with
+      | Ast.Exists p -> eval_path_vars engine ~vars ~context:[ n ] p <> []
+      | Ast.Value_cmp (p, cmp, lit) ->
+        eval_path_vars engine ~vars ~context:[ n ] p
+        |> List.exists (fun m ->
+               List.exists (cmp_holds cmp lit) (comparison_values engine m)))
+    preds
+
+let eval_path engine ~context path = eval_path_vars engine ~vars:[] ~context path
+
+let where_holds engine ~vars atom =
+  match (atom : Ast.where_atom) with
+  | Ast.Join (p1, p2) ->
+    let n1 = eval_path_vars engine ~vars ~context:[] p1 in
+    let n2 = eval_path_vars engine ~vars ~context:[] p2 in
+    let values nodes =
+      List.concat_map (comparison_values engine) nodes |> List.sort_uniq compare
+    in
+    let v1 = values n1 and v2 = values n2 in
+    List.exists (fun v -> List.mem v v2) v1
+  | Ast.Filter (p, cmp, lit) ->
+    eval_path_vars engine ~vars ~context:[] p
+    |> List.exists (fun m -> List.exists (cmp_holds cmp lit) (comparison_values engine m))
+
+let eval_query engine (q : Ast.query) =
+  let vars =
+    List.fold_left
+      (fun vars (v, path) -> (v, eval_path_vars engine ~vars ~context:[] path) :: vars)
+      [] q.Ast.lets
+  in
+  (* Enumerate for-variable bindings depth-first; collect satisfying binding
+     tuples. *)
+  let tuples = ref [] in
+  let rec enumerate vars bound = function
+    | [] ->
+      if List.for_all (where_holds engine ~vars) q.Ast.where then
+        tuples := List.rev bound :: !tuples
+    | (v, path) :: rest ->
+      let nodes = eval_path_vars engine ~vars ~context:[] path in
+      List.iter (fun n -> enumerate ((v, [ n ]) :: vars) ((v, n) :: bound) rest) nodes
+  in
+  enumerate vars [] q.Ast.fors;
+  let distinct = List.sort_uniq compare (List.map (List.map snd) !tuples) in
+  let return_index =
+    let rec find i = function
+      | [] -> raise (Unsupported (Printf.sprintf "unbound return variable $%s" q.Ast.return_var))
+      | (v, _) :: rest -> if v = q.Ast.return_var then i else find (i + 1) rest
+    in
+    find 0 q.Ast.fors
+  in
+  List.map (fun tuple -> List.nth tuple return_index) distinct
+
+let eval_string engine src = eval_query engine (Parser.parse src)

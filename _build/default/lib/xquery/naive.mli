@@ -1,0 +1,23 @@
+(** Naive reference evaluator.
+
+    Evaluates the FLWOR fragment directly over the shredded documents by
+    per-node navigation — nested loops, no join graph, no indices, no
+    optimizer. Deliberately an *independent* implementation of the
+    semantics: the test suites compare ROX and every enumerated plan
+    against its output. Exponential in the worst case; use on small
+    documents only. *)
+
+exception Unsupported of string
+
+val eval_path :
+  Rox_storage.Engine.t -> context:(int * int) list -> Ast.path -> (int * int) list
+(** Nodes as (doc id, pre), document order per document, duplicate-free.
+    [context] seeds [From_self] paths; [From_doc]/[From_var]-started paths
+    are evaluated against the engine (variables must be in scope — use
+    {!eval_query} for full queries). *)
+
+val eval_query : Rox_storage.Engine.t -> Ast.query -> (int * int) list
+(** The query answer: return-variable nodes in XQuery order (sorted by the
+    for-variable binding tuples, duplicates across distinct tuples kept). *)
+
+val eval_string : Rox_storage.Engine.t -> string -> (int * int) list

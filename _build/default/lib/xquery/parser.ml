@@ -1,0 +1,237 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { tokens : token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1) else EOF
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let err st expected =
+  raise
+    (Parse_error
+       (Printf.sprintf "expected %s, found %s (token %d)" expected
+          (token_to_string (peek st))
+          st.pos))
+
+let expect st t what =
+  if peek st = t then advance st else err st what
+
+let parse_cmp st =
+  match peek st with
+  | EQ -> advance st; Ast.Eq
+  | NE -> advance st; Ast.Ne
+  | LT -> advance st; Ast.Lt
+  | LE -> advance st; Ast.Le
+  | GT -> advance st; Ast.Gt
+  | GE -> advance st; Ast.Ge
+  | _ -> err st "comparison operator"
+
+let is_cmp = function
+  | EQ | NE | LT | LE | GT | GE -> true
+  | _ -> false
+
+let parse_literal st =
+  match peek st with
+  | STRING s -> advance st; Ast.Str s
+  | NUMBER f -> advance st; Ast.Num f
+  | _ -> err st "literal"
+
+(* One step after a '/' or '//' (the axis is supplied by the caller),
+   or an initial bare step inside a predicate. *)
+let rec parse_step st ~axis =
+  let open Rox_algebra in
+  let axis, test =
+    match peek st with
+    | AT ->
+      advance st;
+      (match peek st with
+       | NAME n ->
+         advance st;
+         ((if axis = Axis.Child then Axis.Attribute else axis), Ast.Attribute_test n)
+       | _ -> err st "attribute name after @")
+    | TEXT_FUN -> advance st; (axis, Ast.Text_test)
+    | NODE_FUN -> advance st; (axis, Ast.Node_test)
+    | AXIS a ->
+      advance st;
+      let axis = try Axis.of_string a with Invalid_argument m -> raise (Parse_error m) in
+      (match peek st with
+       | NAME n -> advance st; (axis, Ast.Name_test n)
+       | TEXT_FUN -> advance st; (axis, Ast.Text_test)
+       | NODE_FUN -> advance st; (axis, Ast.Node_test)
+       | AT ->
+         advance st;
+         (match peek st with
+          | NAME n -> advance st; (axis, Ast.Attribute_test n)
+          | _ -> err st "attribute name after @")
+       | _ -> err st "node test after axis::")
+    | NAME n -> advance st; (axis, Ast.Name_test n)
+    | _ -> err st "step (name, @name, text(), node() or axis::test)"
+  in
+  let preds = parse_predicates st in
+  { Ast.axis; test; preds }
+
+and parse_predicates st =
+  match peek st with
+  | LBRACKET ->
+    advance st;
+    let path = parse_pred_path st in
+    let pred =
+      if is_cmp (peek st) then begin
+        let cmp = parse_cmp st in
+        let lit = parse_literal st in
+        Ast.Value_cmp (path, cmp, lit)
+      end
+      else Ast.Exists path
+    in
+    expect st RBRACKET "]";
+    pred :: parse_predicates st
+  | _ -> []
+
+(* A path inside a predicate: './foo', './/foo', 'foo/bar', '@id', ... *)
+and parse_pred_path st =
+  match peek st with
+  | DOT ->
+    advance st;
+    let steps = parse_steps st in
+    { Ast.start = Ast.From_self; steps }
+  | VAR v ->
+    advance st;
+    let steps = parse_steps st in
+    { Ast.start = Ast.From_var v; steps }
+  | NAME _ | AT | TEXT_FUN | NODE_FUN | AXIS _ ->
+    let first = parse_step st ~axis:Rox_algebra.Axis.Child in
+    let rest = parse_steps st in
+    { Ast.start = Ast.From_self; steps = first :: rest }
+  | _ -> err st "predicate path"
+
+and parse_steps st =
+  match peek st with
+  | SLASH ->
+    advance st;
+    let step = parse_step st ~axis:Rox_algebra.Axis.Child in
+    step :: parse_steps st
+  | DSLASH ->
+    advance st;
+    let step = parse_step st ~axis:Rox_algebra.Axis.Descendant in
+    step :: parse_steps st
+  | _ -> []
+
+let parse_path_expr st =
+  match peek st with
+  | DOC ->
+    advance st;
+    expect st LPAREN "(";
+    let uri =
+      match peek st with
+      | STRING s -> advance st; s
+      | _ -> err st "document uri string"
+    in
+    expect st RPAREN ")";
+    let steps = parse_steps st in
+    { Ast.start = Ast.From_doc uri; steps }
+  | VAR v ->
+    advance st;
+    let steps = parse_steps st in
+    { Ast.start = Ast.From_var v; steps }
+  | DOT ->
+    advance st;
+    let steps = parse_steps st in
+    { Ast.start = Ast.From_self; steps }
+  | _ -> err st "path expression (doc(...), $var or .)"
+
+let parse_where_atom st =
+  let lhs = parse_path_expr st in
+  let cmp = parse_cmp st in
+  match peek st with
+  | STRING _ | NUMBER _ ->
+    let lit = parse_literal st in
+    Ast.Filter (lhs, cmp, lit)
+  | _ ->
+    let rhs = parse_path_expr st in
+    if cmp <> Ast.Eq then
+      raise (Parse_error "only equality joins between two paths are supported");
+    Ast.Join (lhs, rhs)
+
+let parse_query st =
+  let lets = ref [] in
+  let fors = ref [] in
+  let rec parse_bindings ~sep ~dest =
+    (match peek st with
+     | VAR v ->
+       advance st;
+       (match sep with
+        | `Assign -> expect st ASSIGN ":="
+        | `In -> expect st IN "in");
+       let path = parse_path_expr st in
+       dest := (v, path) :: !dest
+     | _ -> err st "variable binding");
+    if peek st = COMMA
+       && (match peek2 st with VAR _ -> true | _ -> false)
+    then begin
+      advance st;
+      parse_bindings ~sep ~dest
+    end
+  in
+  let rec parse_clauses () =
+    match peek st with
+    | LET ->
+      advance st;
+      parse_bindings ~sep:`Assign ~dest:lets;
+      parse_clauses ()
+    | FOR ->
+      advance st;
+      parse_bindings ~sep:`In ~dest:fors;
+      parse_clauses ()
+    | _ -> ()
+  in
+  parse_clauses ();
+  if !fors = [] then raise (Parse_error "query needs at least one for clause");
+  let where =
+    if peek st = WHERE then begin
+      advance st;
+      let rec atoms () =
+        let a = parse_where_atom st in
+        if peek st = AND then begin
+          advance st;
+          a :: atoms ()
+        end
+        else [ a ]
+      in
+      atoms ()
+    end
+    else []
+  in
+  expect st RETURN "return";
+  let return_var =
+    match peek st with
+    | VAR v -> advance st; v
+    | _ -> err st "return variable"
+  in
+  if peek st <> EOF then err st "end of query";
+  {
+    Ast.lets = List.rev !lets;
+    fors = List.rev !fors;
+    where;
+    return_var;
+  }
+
+let with_tokens src f =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  f st
+
+let parse src =
+  try with_tokens src parse_query with
+  | Lexer.Lex_error { position; message } ->
+    raise (Parse_error (Printf.sprintf "lexical error at %d: %s" position message))
+
+let parse_path src =
+  try
+    with_tokens src (fun st ->
+        let p = parse_path_expr st in
+        if peek st <> EOF then err st "end of path";
+        p)
+  with Lexer.Lex_error { position; message } ->
+    raise (Parse_error (Printf.sprintf "lexical error at %d: %s" position message))

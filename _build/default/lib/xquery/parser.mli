@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the FLWOR / XPath fragment.
+
+    Accepts the query shapes of the paper — e.g. the XMark query Q1 and the
+    DBLP 4-document author-join template — and general conjunctive
+    FLWOR-with-predicates queries in that class. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error (with the offending token in the message). *)
+
+val parse_path : string -> Ast.path
+(** Parse a standalone path expression (tests / tools). *)

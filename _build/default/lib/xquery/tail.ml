@@ -1,0 +1,15 @@
+open Rox_joingraph
+
+type spec = {
+  key_vertices : int array;
+  return_vertex : int;
+}
+
+let apply ?meter spec rel =
+  let projected = Relation.project rel spec.key_vertices in
+  let distinct = Relation.distinct ?meter projected in
+  let sorted = Relation.sort_rows distinct in
+  let final = Relation.project sorted [| spec.return_vertex |] in
+  Relation.column final spec.return_vertex
+
+let count ?meter spec rel = Array.length (apply ?meter spec rel)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Printf QCheck QCheck_alcotest Rox_storage Rox_util Rox_xmldom Rox_xquery String Tree Xml_parser Xoshiro

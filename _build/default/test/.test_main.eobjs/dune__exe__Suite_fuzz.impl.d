@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Alcotest Array Compile Engine Helpers List Naive Printf QCheck Rox_classical Rox_core Rox_joingraph Rox_storage Rox_util Rox_xmldom Rox_xquery String Tail Tree Xoshiro

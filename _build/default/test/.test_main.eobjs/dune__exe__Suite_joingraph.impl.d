@@ -1,0 +1,1 @@
+test/suite_joingraph.ml: Alcotest Array Axis Cutoff Edge Exec Graph Helpers List Option Pretty Relation Rox_algebra Rox_joingraph Rox_xmldom Runtime Selection String Vertex

@@ -1,0 +1,1 @@
+test/suite_shred.ml: Alcotest Doc Helpers Navigation Nodekind QCheck Rox_shred Rox_util Rox_xmldom Tree Xml_parser

@@ -1,0 +1,1 @@
+test/suite_storage.ml: Alcotest Array Doc Element_index Engine Helpers Kind_index Nodekind Option QCheck Rox_algebra Rox_shred Rox_storage Rox_util Rox_xmldom Sampling Value_index

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Ascii_plot Bin_search Helpers Int_vec List QCheck Rox_util Seq Stats Str_pool String Table_fmt Xoshiro

@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Combos Correlation Dblp Doc Element_index Engine Hashtbl Helpers List Navigation Printf Rox_shred Rox_storage Rox_workload Rox_xmldom Value_index Xmark

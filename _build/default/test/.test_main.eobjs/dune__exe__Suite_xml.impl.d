@@ -1,0 +1,1 @@
+test/suite_xml.ml: Alcotest Helpers List QCheck Qname Rox_xmldom String Tree Xml_parser Xml_writer

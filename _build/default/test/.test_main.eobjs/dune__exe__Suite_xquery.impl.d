@@ -1,0 +1,1 @@
+test/suite_xquery.ml: Alcotest Array Ast Compile Edge Exec Format Graph Helpers Lexer List Naive Parser Relation Rox_algebra Rox_core Rox_joingraph Rox_storage Rox_workload Rox_xquery Tail Vertex

@@ -1,0 +1,288 @@
+open Rox_storage
+open Rox_xquery
+open Rox_joingraph
+open Rox_core
+open Helpers
+
+let xmark_engine ?(factor = 0.02) () =
+  let engine = Engine.create () in
+  let params = Rox_workload.Xmark.scaled factor in
+  ignore (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml");
+  engine
+
+let q1 threshold op =
+  Printf.sprintf
+    {|let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() %s %d],
+    $p in $d//person[.//province],
+    $i in $d//item[./quantity = 1]
+where $o//bidder//personref/@person = $p/@id and
+      $o//itemref/@item = $i/@id
+return $o|}
+    op threshold
+
+let fig1_query =
+  {|let $r := doc("xmark.xml")
+for $a in $r//open_auction[./reserve]/bidder//personref,
+    $b in $r//person[.//education]
+where $a/@person = $b/@id
+return $a|}
+
+let answers_match engine compiled answer =
+  let naive = Naive.eval_query engine compiled.Compile.query in
+  let rox = Array.to_list answer |> List.map (fun p -> (0, p)) in
+  (* Both XQuery-ordered sequences must agree exactly (order + duplicity),
+     modulo doc ids which are all 0 here. *)
+  rox = naive
+
+(* ---------- Optimizer end-to-end vs naive ---------- *)
+
+let test_rox_q1_correct () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let answer, _ = Optimizer.answer compiled in
+  check_bool "ROX = naive on Q1" true (answers_match engine compiled answer)
+
+let test_rox_qm1_correct () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 ">") in
+  let answer, _ = Optimizer.answer compiled in
+  check_bool "ROX = naive on Qm1" true (answers_match engine compiled answer)
+
+let test_rox_fig1_correct () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine fig1_query in
+  let answer, _ = Optimizer.answer compiled in
+  check_bool "ROX = naive on Fig 1 query" true (answers_match engine compiled answer)
+
+let test_rox_nonempty () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let answer, _ = Optimizer.answer compiled in
+  check_bool "answer nonempty at this scale" true (Array.length answer > 0)
+
+let test_rox_dblp_correct () =
+  let engine = Engine.create () in
+  let params = { Rox_workload.Dblp.default_gen with reduction = 400 } in
+  ignore
+    (Rox_workload.Dblp.load ~params engine
+       (List.map Rox_workload.Dblp.find_venue [ "VLDB"; "ICDE"; "SIGMOD"; "EDBT" ]));
+  let q = Rox_workload.Dblp.query_for [ "VLDB.xml"; "ICDE.xml"; "SIGMOD.xml"; "EDBT.xml" ] in
+  let compiled = Compile.compile_string engine q in
+  let answer, _ = Optimizer.answer compiled in
+  let naive = Naive.eval_query engine compiled.Compile.query in
+  (* Doc ids vary here: compare (doc, pre) sequences. The return vertex is
+     in doc 0 (VLDB). *)
+  check_bool "ROX = naive on DBLP" true
+    (List.map (fun p -> (0, p)) (Array.to_list answer) = naive)
+
+let test_rox_deterministic () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let r1 = Optimizer.run compiled in
+  let r2 = Optimizer.run compiled in
+  check_bool "same edge order" true (r1.Optimizer.edge_order = r2.Optimizer.edge_order);
+  check_int "same work" (Rox_algebra.Cost.total r1.Optimizer.counter)
+    (Rox_algebra.Cost.total r2.Optimizer.counter)
+
+let test_rox_seed_sensitivity () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let o1 = { Optimizer.default_options with seed = 1 } in
+  let a1, _ = Optimizer.answer ~options:o1 compiled in
+  let o2 = { Optimizer.default_options with seed = 99 } in
+  let a2, _ = Optimizer.answer ~options:o2 compiled in
+  check_bool "answers agree across seeds" true (a1 = a2)
+
+(* ---------- Ablations stay correct ---------- *)
+
+let ablation_correct options () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let answer, _ = Optimizer.answer ~options compiled in
+  check_bool "ablated optimizer still correct" true (answers_match engine compiled answer)
+
+let test_ablation_greedy =
+  ablation_correct { Optimizer.default_options with use_chain = false }
+
+let test_ablation_noresample =
+  ablation_correct { Optimizer.default_options with resample = false }
+
+let test_ablation_fixed_cutoff =
+  ablation_correct { Optimizer.default_options with grow_cutoff = false }
+
+let test_tau_variants () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  List.iter
+    (fun tau ->
+      let options = { Optimizer.default_options with tau } in
+      let answer, _ = Optimizer.answer ~options compiled in
+      check_bool (Printf.sprintf "correct at tau=%d" tau) true
+        (answers_match engine compiled answer))
+    [ 25; 100; 400 ]
+
+(* ---------- Correlation adaptivity (the Fig 3 behaviour) ---------- *)
+
+let bidder_edge_position engine src =
+  let compiled = Compile.compile_string engine src in
+  let result = Optimizer.run compiled in
+  let graph = compiled.Compile.graph in
+  let label e =
+    let e = Graph.edge graph e in
+    (Vertex.label (Graph.vertex graph e.Edge.v1), Vertex.label (Graph.vertex graph e.Edge.v2))
+  in
+  let order = List.map label result.Optimizer.edge_order in
+  let rec pos i = function
+    | [] -> None
+    | (a, b) :: rest ->
+      if a = "open_auction" && b = "bidder" then Some i else pos (i + 1) rest
+  in
+  (pos 0 order, List.length order)
+
+let test_correlation_defers_bidders () =
+  (* Under Q1 (< threshold) auctions have few bidders; under Qm1 (>)
+     many. In both cases ROX must not explode: the bidder expansion of the
+     dense side should happen late (after reductions), and both queries
+     must finish with bounded work. The sharper check: work on Qm1's plan
+     must stay within a small factor of Q1's despite ~3x denser bidders. *)
+  let engine = xmark_engine ~factor:0.05 () in
+  let c1 = Compile.compile_string engine (q1 145 "<") in
+  let cm1 = Compile.compile_string engine (q1 145 ">") in
+  let r1 = Optimizer.run c1 in
+  let rm1 = Optimizer.run cm1 in
+  let w1 = Rox_algebra.Cost.total r1.Optimizer.counter in
+  let wm1 = Rox_algebra.Cost.total rm1.Optimizer.counter in
+  check_bool "both complete" true (w1 > 0 && wm1 > 0);
+  let pos1, len1 = bidder_edge_position engine (q1 145 "<") in
+  let posm, lenm = bidder_edge_position engine (q1 145 ">") in
+  check_bool "bidder edge executed in both" true (pos1 <> None && posm <> None);
+  (* The dense-bidder query defers the open_auction->bidder expansion at
+     least as late (relative position) as the sparse one. *)
+  let rel p l = float_of_int (Option.get p) /. float_of_int l in
+  check_bool "dense side not earlier" true (rel posm lenm >= rel pos1 len1 -. 0.34)
+
+(* ---------- Chain sampling on a planted-correlation graph (Fig 2) ---------- *)
+
+(* doc: r contains 50 'a' elements; each a has a 'b' child; only a few b's
+   have a 'c' child, and exactly those c's have a 'd' child. The edge
+   (a,b) looks cheap, but the chain b->c is hyper-selective; chain sampling
+   should discover the segment through c. *)
+let planted_engine () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<r>";
+  for i = 0 to 49 do
+    Buffer.add_string buf "<a><b>";
+    if i < 3 then Buffer.add_string buf "<c><d/></c>";
+    Buffer.add_string buf "</b></a>"
+  done;
+  Buffer.add_string buf "</r>";
+  engine_of_xml (Buffer.contents buf) |> fst
+
+let test_chain_finds_selective_path () =
+  let engine = planted_engine () in
+  let q =
+    {|for $a in doc("doc0.xml")//a[./b//c[./d]]
+return $a|}
+  in
+  let compiled = Compile.compile_string engine q in
+  let trace = Trace.create () in
+  let answer, _ = Optimizer.answer ~trace compiled in
+  check_int "three selective results" 3 (Array.length answer);
+  (* Chain sampling ran and chose some segment. *)
+  let chose =
+    List.exists (function Trace.Chain_chosen _ -> true | _ -> false) (Trace.events trace)
+  in
+  check_bool "chain sampling engaged" true chose
+
+(* ---------- State / Estimate units ---------- *)
+
+let test_state_init_and_weights () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let state = State.create engine compiled.Compile.graph in
+  let graph = compiled.Compile.graph in
+  (* Element vertex init works, bare-range text vertex does not. *)
+  Array.iter
+    (fun (v : Vertex.t) ->
+      let expect = Exec.can_index_init v in
+      check_bool ("init " ^ Vertex.label v) expect
+        (State.init_vertex_from_index state v.Vertex.id))
+    (Graph.vertices graph);
+  (* Edges with a sampled endpoint get a finite weight; edges between two
+     unsampled vertices (e.g. @person == @id) stay unweighted — exactly the
+     paper's "will stay unweighted for now". *)
+  List.iter
+    (fun e ->
+      let sampled v = State.sample state v <> None in
+      match Estimate.edge_weight state e with
+      | Some w ->
+        check_bool "weight finite" true (w >= 0.0 && w < infinity);
+        check_bool "had a sampled endpoint" true (sampled e.Edge.v1 || sampled e.Edge.v2)
+      | None ->
+        check_bool "unweighted iff no sampled endpoint" false
+          (sampled e.Edge.v1 || sampled e.Edge.v2))
+    (Runtime.unexecuted_edges (State.runtime state))
+
+let test_estimate_accuracy_uniform () =
+  (* Uniform data: every a has exactly 2 b children; estimate of the (a,b)
+     edge should be close to |a| * 2. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 500 do Buffer.add_string buf "<a><b/><b/></a>" done;
+  Buffer.add_string buf "</r>";
+  let engine, _ = engine_of_xml (Buffer.contents buf) in
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~doc_id:0 (Vertex.Element "a") in
+  let b = Graph.add_vertex g ~doc_id:0 (Vertex.Element "b") in
+  let e = Graph.add_edge g ~v1:a.Vertex.id ~v2:b.Vertex.id (Edge.Step Rox_algebra.Axis.Child) in
+  let state = State.create ~tau:50 engine g in
+  ignore (State.init_vertex_from_index state a.Vertex.id : bool);
+  ignore (State.init_vertex_from_index state b.Vertex.id : bool);
+  match Estimate.edge_weight state e with
+  | Some w -> check_bool "estimate within 25%" true (abs_float (w -. 1000.0) < 250.0)
+  | None -> Alcotest.fail "expected weight"
+
+let test_trace_records () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let trace = Trace.create () in
+  let result = Optimizer.run ~trace compiled in
+  let events = Trace.events trace in
+  check_bool "vertex inits" true
+    (List.exists (function Trace.Vertex_initialized _ -> true | _ -> false) events);
+  check_bool "edge weights" true
+    (List.exists (function Trace.Edge_weighted _ -> true | _ -> false) events);
+  check_bool "executions traced" true
+    (List.length (Trace.execution_order trace) = List.length result.Optimizer.edge_order);
+  check_bool "order matches" true
+    (Trace.execution_order trace = result.Optimizer.edge_order)
+
+let test_work_buckets_populated () =
+  let engine = xmark_engine () in
+  let compiled = Compile.compile_string engine (q1 145 "<") in
+  let result = Optimizer.run compiled in
+  let c = result.Optimizer.counter in
+  check_bool "sampling work" true (Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling > 0);
+  check_bool "execution work" true (Rox_algebra.Cost.read c Rox_algebra.Cost.Execution > 0)
+
+let suite =
+  [
+    Alcotest.test_case "ROX Q1 = naive" `Quick test_rox_q1_correct;
+    Alcotest.test_case "ROX Qm1 = naive" `Quick test_rox_qm1_correct;
+    Alcotest.test_case "ROX Fig1 query = naive" `Quick test_rox_fig1_correct;
+    Alcotest.test_case "ROX answer nonempty" `Quick test_rox_nonempty;
+    Alcotest.test_case "ROX DBLP = naive" `Quick test_rox_dblp_correct;
+    Alcotest.test_case "deterministic" `Quick test_rox_deterministic;
+    Alcotest.test_case "seed-independent answers" `Quick test_rox_seed_sensitivity;
+    Alcotest.test_case "ablation: greedy" `Quick test_ablation_greedy;
+    Alcotest.test_case "ablation: no resample" `Quick test_ablation_noresample;
+    Alcotest.test_case "ablation: fixed cutoff" `Quick test_ablation_fixed_cutoff;
+    Alcotest.test_case "tau variants correct" `Quick test_tau_variants;
+    Alcotest.test_case "correlation adaptivity" `Quick test_correlation_defers_bidders;
+    Alcotest.test_case "chain finds selective path" `Quick test_chain_finds_selective_path;
+    Alcotest.test_case "state init and weights" `Quick test_state_init_and_weights;
+    Alcotest.test_case "estimate accuracy uniform" `Quick test_estimate_accuracy_uniform;
+    Alcotest.test_case "trace records" `Quick test_trace_records;
+    Alcotest.test_case "work buckets populated" `Quick test_work_buckets_populated;
+  ]

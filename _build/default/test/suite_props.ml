@@ -1,0 +1,163 @@
+(* Cross-cutting property tests on random documents: operator equivalences
+   and sampling invariants that the targeted suites don't cover. *)
+
+open Rox_storage
+open Rox_shred
+open Rox_algebra
+open Rox_joingraph
+open Helpers
+
+let random_engine seed =
+  let engine, _ = engine_of_trees [ random_tree seed ] in
+  (engine, Engine.get engine 0)
+
+let random_context rng doc =
+  let n = Doc.node_count doc in
+  let k = 1 + Rox_util.Xoshiro.int rng (max 1 (n - 1)) in
+  Rox_util.Xoshiro.sample_without_replacement rng n k
+
+(* Step pairs are direction-independent: executing the reverse axis from
+   the other side yields the same pair set. The engine only ever reverses
+   an edge with the *target vertex's domain* as the new context, which is
+   kind-restricted (attribute vertices hold attribute nodes, element/text
+   vertices never do) — the test models that contract. *)
+let prop_step_direction_symmetry =
+  qtest ~count:80 "step pairs: forward = reverse" QCheck.(pair small_int small_int)
+    (fun (seed, axis_pick) ->
+      let _, r = random_engine seed in
+      let doc = r.Engine.doc in
+      let rng = Rox_util.Xoshiro.create (seed + 7) in
+      let axis = Axis.all.(axis_pick mod Array.length Axis.all) in
+      let is_attr p = Doc.kind doc p = Nodekind.Attr in
+      let context =
+        random_context rng doc |> Array.to_list
+        |> List.filter (fun p -> not (is_attr p))
+        |> Array.of_list
+      in
+      let all = Kind_index.all r.Engine.kinds in
+      let candidates =
+        match axis with
+        | Axis.Attribute -> Kind_index.lookup r.Engine.kinds Nodekind.Attr
+        | _ -> Array.of_list (List.filter (fun p -> not (is_attr p)) (Array.to_list all))
+      in
+      let fwd = ref [] in
+      Staircase.iter_pairs ~doc ~axis ~context ~candidates (fun _ c s ->
+          fwd := (c, s) :: !fwd);
+      let rev = ref [] in
+      Staircase.iter_pairs ~doc ~axis:(Axis.reverse axis) ~context:candidates
+        ~candidates:context (fun _ s c -> rev := (c, s) :: !rev);
+      List.sort_uniq compare !fwd = List.sort_uniq compare !rev)
+
+(* The cut-off estimate never underestimates the produced prefix, and the
+   consumed fraction is sane. *)
+let prop_cutoff_sanity =
+  qtest ~count:100 "cutoff: est >= produced, 0 < fraction <= 1"
+    QCheck.(triple small_int (int_range 1 50) (int_range 1 20))
+    (fun (seed, limit, hits) ->
+      let rng = Rox_util.Xoshiro.create seed in
+      let outer_len = 1 + Rox_util.Xoshiro.int rng 30 in
+      let cut =
+        Cutoff.run ~limit ~outer_len ~iter:(fun emit ->
+            for oi = 0 to outer_len - 1 do
+              for h = 0 to hits - 1 do
+                emit oi h
+              done
+            done)
+      in
+      cut.Cutoff.est >= float_of_int cut.Cutoff.produced -. 1e-9
+      && cut.Cutoff.fraction > 0.0
+      && cut.Cutoff.fraction <= 1.0
+      && cut.Cutoff.produced <= limit + 0 (* the cut stops exactly at limit *)
+      && (cut.Cutoff.completed || cut.Cutoff.produced = limit))
+
+(* Value joins: all three algorithms produce the same pair set on random
+   documents. *)
+let prop_value_join_equivalence =
+  qtest ~count:80 "value joins: hash = merge = index-NL" QCheck.small_int (fun seed ->
+      let _, r = random_engine seed in
+      let doc = r.Engine.doc in
+      let texts = Kind_index.lookup r.Engine.kinds Nodekind.Text in
+      if Array.length texts < 2 then true
+      else begin
+        let mid = Array.length texts / 2 in
+        let left = Array.sub texts 0 mid in
+        let right = Array.sub texts mid (Array.length texts - mid) in
+        let collect iter =
+          let out = ref [] in
+          iter (fun _ o i -> out := (o, i) :: !out);
+          List.sort_uniq compare !out
+        in
+        let hash =
+          collect (fun f ->
+              Value_join.iter_hash ~outer_doc:doc ~outer:left ~inner_doc:doc ~inner:right f)
+        in
+        let merge =
+          collect (fun f ->
+              Value_join.iter_merge ~outer_doc:doc ~outer:left ~inner_doc:doc ~inner:right f)
+        in
+        let nl =
+          collect (fun f ->
+              Value_join.iter_index_nl ~outer_doc:doc ~outer:left
+                ~inner:{ Value_join.docref = r; side = Value_join.Inner_text;
+                         restrict = Some right }
+                f)
+        in
+        hash = merge && merge = nl
+      end)
+
+(* Staircase with restricted candidates = staircase with all candidates
+   intersected with the restriction. *)
+let prop_staircase_restriction =
+  qtest ~count:80 "staircase: restricted = intersect(full)" QCheck.(pair small_int small_int)
+    (fun (seed, axis_pick) ->
+      let _, r = random_engine seed in
+      let doc = r.Engine.doc in
+      let rng = Rox_util.Xoshiro.create (seed + 3) in
+      let axis = Axis.all.(axis_pick mod Array.length Axis.all) in
+      let context = random_context rng doc in
+      let all = Kind_index.all r.Engine.kinds in
+      let restricted = Sampling.sample rng all (Array.length all / 2) in
+      let direct = Staircase.join ~doc ~axis ~context restricted in
+      let via_full =
+        Nodeset.intersect (Staircase.join ~doc ~axis ~context all) restricted
+      in
+      direct = via_full)
+
+(* Runtime semijoin consistency: after all edges execute, every vertex
+   table equals the distinct column of the final relation. *)
+let prop_tables_match_relation =
+  qtest ~count:50 "T(v) = distinct final column" QCheck.small_int (fun seed ->
+      let engine, _ = random_engine seed in
+      let src = {|for $a in doc("doc0.xml")//a[./b] return $a|} in
+      match Rox_xquery.Compile.compile_string engine src with
+      | exception Rox_xquery.Compile.Unsupported _ -> true
+      | compiled ->
+        let result = Rox_core.Optimizer.run compiled in
+        let rel = result.Rox_core.Optimizer.relation in
+        let runtime = Rox_core.State.runtime result.Rox_core.Optimizer.state in
+        Array.for_all
+          (fun v ->
+            match Runtime.table runtime v with
+            | Some table -> table = Relation.column_distinct rel v
+            | None -> true)
+          (Relation.vertices rel))
+
+(* Sampling from a table is a subset and deterministic per seed. *)
+let prop_sampling_deterministic =
+  qtest ~count:100 "index sampling deterministic per seed"
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, tau) ->
+      let table = Array.init 500 (fun i -> 2 * i) in
+      let s1 = Sampling.sample (Rox_util.Xoshiro.create seed) table tau in
+      let s2 = Sampling.sample (Rox_util.Xoshiro.create seed) table tau in
+      s1 = s2)
+
+let suite =
+  [
+    prop_step_direction_symmetry;
+    prop_cutoff_sanity;
+    prop_value_join_equivalence;
+    prop_staircase_restriction;
+    prop_tables_match_relation;
+    prop_sampling_deterministic;
+  ]

@@ -1,0 +1,149 @@
+open Rox_storage
+open Rox_shred
+open Helpers
+
+let engine_and_doc xml =
+  let engine, docref = engine_of_xml xml in
+  (engine, docref)
+
+(* ---------- Element index ---------- *)
+
+let test_element_index () =
+  let _, r = engine_and_doc "<a><b/><c><b x=\"1\"/></c><b/></a>" in
+  let bs = Element_index.lookup_name r.Engine.elements "b" in
+  check_int "three b" 3 (Array.length bs);
+  check_bool "sorted" true (Rox_algebra.Nodeset.is_sorted_dedup bs);
+  check_int "one a" 1 (Array.length (Element_index.lookup_name r.Engine.elements "a"));
+  check_int "missing" 0 (Array.length (Element_index.lookup_name r.Engine.elements "zz"));
+  Array.iter
+    (fun pre -> check_bool "kind elem" true (Doc.kind r.Engine.doc pre = Nodekind.Elem))
+    bs
+
+let test_attr_index () =
+  let _, r = engine_and_doc {|<a x="1"><b x="2" y="3"/><c y="4"/></a>|} in
+  let xs = Element_index.lookup_attr_name r.Engine.elements "x" in
+  check_int "two @x" 2 (Array.length xs);
+  Array.iter
+    (fun pre -> check_bool "kind attr" true (Doc.kind r.Engine.doc pre = Nodekind.Attr))
+    xs;
+  check_int "two @y" 2 (Array.length (Element_index.lookup_attr_name r.Engine.elements "y"))
+
+let prop_element_index_complete =
+  qtest ~count:100 "element index = scan" QCheck.small_int (fun seed ->
+      let engine = Engine.create () in
+      let r = Engine.add_tree engine (random_tree seed) in
+      let doc = r.Engine.doc in
+      let ok = ref true in
+      for pre = 1 to Doc.node_count doc - 1 do
+        if Doc.kind doc pre = Nodekind.Elem then begin
+          let indexed = Element_index.lookup r.Engine.elements (Doc.name_id doc pre) in
+          if not (Rox_util.Bin_search.mem indexed pre) then ok := false
+        end
+      done;
+      !ok)
+
+(* ---------- Kind index ---------- *)
+
+let test_kind_index () =
+  let _, r = engine_and_doc {|<a x="1">t1<b>t2</b><!--c--><?p i?></a>|} in
+  check_int "elems" 2 (Kind_index.count r.Engine.kinds Nodekind.Elem);
+  check_int "texts" 2 (Kind_index.count r.Engine.kinds Nodekind.Text);
+  check_int "attrs" 1 (Kind_index.count r.Engine.kinds Nodekind.Attr);
+  check_int "comments" 1 (Kind_index.count r.Engine.kinds Nodekind.Comment);
+  check_int "pis" 1 (Kind_index.count r.Engine.kinds Nodekind.Pi);
+  check_int "all" 7 (Array.length (Kind_index.all r.Engine.kinds))
+
+(* ---------- Value index ---------- *)
+
+let test_value_index_eq () =
+  let engine, r = engine_and_doc {|<a><t>x</t><t>y</t><t>x</t><b v="x"/><b v="y"/></a>|} in
+  let vid s = Option.get (Engine.value_id engine s) in
+  check_int "text x" 2 (Value_index.text_eq_count r.Engine.values (vid "x"));
+  check_int "text y" 1 (Value_index.text_eq_count r.Engine.values (vid "y"));
+  let name_v = Option.get (Engine.qname_id engine "v") in
+  check_int "attr v=x" 1 (Value_index.attr_eq_count r.Engine.values ~name_id:name_v ~value_id:(vid "x"));
+  check_int "any-name attr x" 1 (Array.length (Value_index.attr_eq_any_name r.Engine.values ~value_id:(vid "x")))
+
+let test_value_index_range () =
+  let _, r =
+    engine_and_doc "<a><n>10</n><n>20</n><n>30</n><n>notnum</n><n>25.5</n></a>"
+  in
+  let vi = r.Engine.values in
+  check_int "numeric count" 4 (Value_index.numeric_text_count vi);
+  check_int "range [10,30]" 4 (Value_index.text_range_count vi ~lo:10.0 ~hi:30.0 ());
+  check_int "range [15,26]" 2 (Value_index.text_range_count vi ~lo:15.0 ~hi:26.0 ());
+  check_int "range (,19]" 1 (Value_index.text_range_count vi ~hi:19.0 ());
+  check_int "range [21,)" 2 (Value_index.text_range_count vi ~lo:21.0 ());
+  check_int "open range" 4 (Value_index.text_range_count vi ());
+  let nodes = Value_index.text_range vi ~lo:15.0 ~hi:26.0 () in
+  check_bool "sorted on pre" true (Rox_algebra.Nodeset.is_sorted_dedup nodes);
+  check_int "count = length" 2 (Array.length nodes)
+
+let test_range_boundaries () =
+  let _, r = engine_and_doc "<a><n>5</n><n>5</n><n>6</n></a>" in
+  let vi = r.Engine.values in
+  check_int "inclusive both" 3 (Value_index.text_range_count vi ~lo:5.0 ~hi:6.0 ());
+  check_int "exactly 5" 2 (Value_index.text_range_count vi ~lo:5.0 ~hi:5.0 ());
+  check_int "empty below" 0 (Value_index.text_range_count vi ~hi:4.9 ());
+  check_int "empty above" 0 (Value_index.text_range_count vi ~lo:6.1 ())
+
+(* ---------- Sampling ---------- *)
+
+let prop_sampling =
+  qtest ~count:100 "sample: size, sorted, subset" QCheck.(pair small_int (int_range 0 50))
+    (fun (seed, tau) ->
+      let rng = Rox_util.Xoshiro.create seed in
+      let table = Array.init 200 (fun i -> i * 3) in
+      let s = Sampling.sample rng table tau in
+      Array.length s = min tau 200
+      && Rox_algebra.Nodeset.is_sorted_dedup s
+      && Array.for_all (fun x -> Rox_util.Bin_search.mem table x) s)
+
+let test_sample_all () =
+  let rng = Rox_util.Xoshiro.create 3 in
+  let table = [| 1; 5; 9 |] in
+  check_bool "tau >= n copies" true (Sampling.sample rng table 10 = table)
+
+let test_sample_fraction () =
+  let rng = Rox_util.Xoshiro.create 3 in
+  let table = Array.init 100 (fun i -> i) in
+  check_int "half" 50 (Array.length (Sampling.sample_fraction rng table 0.5));
+  check_int "at least one" 1 (Array.length (Sampling.sample_fraction rng table 0.0001));
+  check_int "empty table" 0 (Array.length (Sampling.sample_fraction rng [||] 0.5))
+
+(* ---------- Engine ---------- *)
+
+let test_engine_registry () =
+  let engine = Engine.create () in
+  let r0 = Engine.add_tree engine ~uri:"one.xml" (Rox_xmldom.Xml_parser.parse_string "<a/>") in
+  let r1 = Engine.add_tree engine ~uri:"two.xml" (Rox_xmldom.Xml_parser.parse_string "<b/>") in
+  check_int "ids in order" 0 (Doc.id r0.Engine.doc);
+  check_int "ids in order" 1 (Doc.id r1.Engine.doc);
+  check_int "count" 2 (Engine.doc_count engine);
+  check_bool "find by uri" true (Engine.find_uri engine "two.xml" <> None);
+  check_bool "find missing" true (Engine.find_uri engine "zzz.xml" = None);
+  (match Engine.get engine 5 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "unknown id must fail")
+
+let test_engine_shared_values () =
+  let engine = Engine.create () in
+  let r0 = Engine.add_tree engine ~uri:"a.xml" (Rox_xmldom.Xml_parser.parse_string "<a>shared</a>") in
+  let r1 = Engine.add_tree engine ~uri:"b.xml" (Rox_xmldom.Xml_parser.parse_string "<b>shared</b>") in
+  check_int "cross-doc value ids equal" (Doc.value_id r0.Engine.doc 2) (Doc.value_id r1.Engine.doc 2)
+
+let suite =
+  [
+    Alcotest.test_case "element index" `Quick test_element_index;
+    Alcotest.test_case "attr index" `Quick test_attr_index;
+    prop_element_index_complete;
+    Alcotest.test_case "kind index" `Quick test_kind_index;
+    Alcotest.test_case "value index eq" `Quick test_value_index_eq;
+    Alcotest.test_case "value index range" `Quick test_value_index_range;
+    Alcotest.test_case "range boundaries" `Quick test_range_boundaries;
+    prop_sampling;
+    Alcotest.test_case "sample all" `Quick test_sample_all;
+    Alcotest.test_case "sample fraction" `Quick test_sample_fraction;
+    Alcotest.test_case "engine registry" `Quick test_engine_registry;
+    Alcotest.test_case "engine shared values" `Quick test_engine_shared_values;
+  ]

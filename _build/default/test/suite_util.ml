@@ -1,0 +1,282 @@
+open Rox_util
+open Helpers
+
+(* ---------- Xoshiro ---------- *)
+
+let test_determinism () =
+  let a = Xoshiro.create 7 and b = Xoshiro.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Xoshiro.int64 a = Xoshiro.int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Xoshiro.create 1 and b = Xoshiro.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Xoshiro.int64 a = Xoshiro.int64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let test_split_independent () =
+  let a = Xoshiro.create 5 in
+  let b = Xoshiro.split a in
+  let xs = List.init 32 (fun _ -> Xoshiro.int64 a) in
+  let ys = List.init 32 (fun _ -> Xoshiro.int64 b) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let prop_int_range =
+  qtest "Xoshiro.int in range" QCheck.(pair small_int (int_range 1 1000)) (fun (seed, n) ->
+      let rng = Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Xoshiro.int rng n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let prop_float_range =
+  qtest "Xoshiro.float in [0,1)" QCheck.small_int (fun seed ->
+      let rng = Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Xoshiro.float rng in
+        if v < 0.0 || v >= 1.0 then ok := false
+      done;
+      !ok)
+
+let prop_sample_wor =
+  qtest "sample_without_replacement: sorted, distinct, in range"
+    QCheck.(triple small_int (int_range 0 200) (int_range 0 250))
+    (fun (seed, n, k) ->
+      let rng = Xoshiro.create seed in
+      let s = Xoshiro.sample_without_replacement rng n k in
+      let expected_len = min n k in
+      Array.length s = max 0 expected_len
+      && Array.for_all (fun x -> x >= 0 && x < n) s
+      && (let sorted = Array.copy s in
+          Array.sort compare sorted;
+          sorted = s)
+      && List.length (List.sort_uniq compare (Array.to_list s)) = Array.length s)
+
+let test_shuffle_permutes () =
+  let rng = Xoshiro.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  let copy = Array.copy arr in
+  Xoshiro.shuffle rng copy;
+  check_bool "same multiset" true
+    (List.sort compare (Array.to_list copy) = Array.to_list arr);
+  check_bool "actually shuffled" true (copy <> arr)
+
+(* ---------- Int_vec ---------- *)
+
+let test_int_vec_basic () =
+  let v = Int_vec.create () in
+  check_bool "empty" true (Int_vec.is_empty v);
+  for i = 0 to 99 do Int_vec.push v (i * 2) done;
+  check_int "length" 100 (Int_vec.length v);
+  check_int "get" 42 (Int_vec.get v 21);
+  Int_vec.set v 21 7;
+  check_int "set" 7 (Int_vec.get v 21);
+  check_int "last" 198 (Int_vec.last v);
+  check_int "pop" 198 (Int_vec.pop v);
+  check_int "length after pop" 99 (Int_vec.length v);
+  Int_vec.clear v;
+  check_bool "cleared" true (Int_vec.is_empty v)
+
+let test_int_vec_bounds () =
+  let v = Int_vec.of_array [| 1; 2 |] in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Int_vec.get") (fun () ->
+      ignore (Int_vec.get v 2));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Int_vec.pop") (fun () ->
+      ignore (Int_vec.pop (Int_vec.create ())))
+
+let prop_int_vec_roundtrip =
+  qtest "of_array/to_array roundtrip" QCheck.(array small_int) (fun arr ->
+      Int_vec.to_array (Int_vec.of_array arr) = arr)
+
+let prop_int_vec_sorted_dedup =
+  qtest "sorted_dedup = List.sort_uniq" QCheck.(array small_int) (fun arr ->
+      Int_vec.sorted_dedup (Int_vec.of_array arr)
+      = Array.of_list (List.sort_uniq compare (Array.to_list arr)))
+
+let prop_int_vec_append =
+  qtest "append_array" QCheck.(pair (array small_int) (array small_int)) (fun (a, b) ->
+      let v = Int_vec.of_array a in
+      Int_vec.append_array v b;
+      Int_vec.to_array v = Array.append a b)
+
+let prop_int_vec_fold =
+  qtest "fold sums" QCheck.(array small_int) (fun arr ->
+      Int_vec.fold ( + ) 0 (Int_vec.of_array arr) = Array.fold_left ( + ) 0 arr)
+
+(* ---------- Str_pool ---------- *)
+
+let test_str_pool () =
+  let p = Str_pool.create () in
+  let a = Str_pool.intern p "alpha" in
+  let b = Str_pool.intern p "beta" in
+  check_int "dense ids" 0 a;
+  check_int "dense ids" 1 b;
+  check_int "idempotent" a (Str_pool.intern p "alpha");
+  check_string "roundtrip" "beta" (Str_pool.to_string p b);
+  check_bool "find hit" true (Str_pool.find p "alpha" = Some a);
+  check_bool "find miss" true (Str_pool.find p "gamma" = None);
+  check_int "count" 2 (Str_pool.count p)
+
+let test_str_pool_growth () =
+  let p = Str_pool.create () in
+  for i = 0 to 4999 do
+    check_int "sequential ids" i (Str_pool.intern p (string_of_int i))
+  done;
+  check_string "resolves after growth" "1234" (Str_pool.to_string p 1234)
+
+(* ---------- Bin_search ---------- *)
+
+let naive_lower_bound a x =
+  let rec go i = if i >= Array.length a || a.(i) >= x then i else go (i + 1) in
+  go 0
+
+let naive_upper_bound a x =
+  let rec go i = if i >= Array.length a || a.(i) > x then i else go (i + 1) in
+  go 0
+
+let sorted_arr = QCheck.map (fun l -> Array.of_list (List.sort compare l)) QCheck.(list small_int)
+
+let prop_lower_bound =
+  qtest "lower_bound = naive" QCheck.(pair sorted_arr small_int) (fun (a, x) ->
+      Bin_search.lower_bound a x = naive_lower_bound a x)
+
+let prop_upper_bound =
+  qtest "upper_bound = naive" QCheck.(pair sorted_arr small_int) (fun (a, x) ->
+      Bin_search.upper_bound a x = naive_upper_bound a x)
+
+let prop_lower_bound_from =
+  qtest "lower_bound_from consistent" QCheck.(pair sorted_arr small_int) (fun (a, x) ->
+      let full = Bin_search.lower_bound a x in
+      (* Starting at or before the answer gives the same boundary. *)
+      List.for_all
+        (fun lo -> Bin_search.lower_bound_from a lo x = max lo full)
+        (List.init (min 5 (Array.length a + 1)) (fun i -> i)))
+
+let prop_mem =
+  qtest "mem = Array.mem" QCheck.(pair sorted_arr small_int) (fun (a, x) ->
+      Bin_search.mem a x = Array.exists (( = ) x) a)
+
+let prop_count_range =
+  qtest "count_range = filter length" QCheck.(triple sorted_arr small_int small_int)
+    (fun (a, lo, hi) ->
+      Bin_search.count_range a ~lo ~hi
+      = Array.length (Array.of_seq (Seq.filter (fun x -> lo <= x && x <= hi) (Array.to_seq a))))
+
+(* ---------- Stats ---------- *)
+
+let test_stats_known () =
+  check_bool "mean" true (Stats.mean [| 1.0; 2.0; 3.0 |] = 2.0);
+  check_bool "mean empty" true (Stats.mean [||] = 0.0);
+  check_bool "variance" true (Stats.variance [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] = 4.0);
+  check_bool "stddev" true (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] = 2.0);
+  check_bool "geomean" true (abs_float (Stats.geometric_mean [| 1.0; 4.0 |] -. 2.0) < 1e-9);
+  check_bool "min" true (Stats.minimum [| 3.0; 1.0; 2.0 |] = 1.0);
+  check_bool "max" true (Stats.maximum [| 3.0; 1.0; 2.0 |] = 3.0)
+
+let test_percentile () =
+  let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_bool "p50" true (Stats.percentile a 50.0 = 50.0);
+  check_bool "p100" true (Stats.percentile a 100.0 = 100.0);
+  check_bool "p1" true (Stats.percentile a 1.0 = 1.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+let prop_variance_nonneg =
+  qtest "variance >= 0" QCheck.(list (float_range (-100.) 100.)) (fun l ->
+      Stats.variance (Array.of_list l) >= -1e-9)
+
+(* ---------- Table_fmt ---------- *)
+
+let test_table_render () =
+  let s = Table_fmt.render ~header:[ "name"; "n" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  check_bool "contains header" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0));
+  (* All non-empty lines have the same width. *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> List.map String.length
+    |> List.sort_uniq compare
+  in
+  check_int "uniform width" 1 (List.length widths)
+
+let test_human () =
+  check_string "plain" "999" (Table_fmt.human_int 999);
+  check_string "K" "43.5K" (Table_fmt.human_int 43500);
+  check_string "M" "1.1M" (Table_fmt.human_int 1100000);
+  check_string "float small" "0.50" (Table_fmt.human_float 0.5);
+  check_string "float int" "12" (Table_fmt.human_float 12.0)
+
+(* ---------- Ascii_plot ---------- *)
+
+let test_plot_render () =
+  let s =
+    Ascii_plot.render ~width:40 ~height:8
+      [
+        { Ascii_plot.label = "a"; marker = '*'; values = [| 1.0; 10.0; 100.0 |] };
+        { Ascii_plot.label = "b"; marker = 'x'; values = [| 100.0; 10.0; 1.0 |] };
+      ]
+  in
+  check_bool "mentions legend" true
+    (String.length s > 0
+    && (let lines = String.split_on_char '\n' s in
+        List.exists (fun l -> String.length l > 6 &&
+          (let found = ref false in
+           String.iteri (fun i c -> if c = 'l' && i + 5 < String.length l
+             && String.sub l i 6 = "legend" then found := true) l;
+           !found)) lines));
+  (* The earliest series wins overlaps; both markers must appear. *)
+  check_bool "marker a present" true (String.contains s '*');
+  check_bool "marker b present" true (String.contains s 'x')
+
+let test_plot_empty () =
+  check_string "empty" "(empty plot)\n" (Ascii_plot.render []);
+  check_string "no data" "(no data)\n"
+    (Ascii_plot.render [ { Ascii_plot.label = "a"; marker = '*'; values = [| nan |] } ])
+
+let test_plot_constant () =
+  (* A constant series must not crash the scaling. *)
+  let s =
+    Ascii_plot.render ~width:20 ~height:5
+      [ { Ascii_plot.label = "c"; marker = 'o'; values = Array.make 10 5.0 } ]
+  in
+  check_bool "renders" true (String.contains s 'o')
+
+let suite =
+  [
+    Alcotest.test_case "xoshiro determinism" `Quick test_determinism;
+    Alcotest.test_case "xoshiro distinct seeds" `Quick test_distinct_seeds;
+    Alcotest.test_case "xoshiro split" `Quick test_split_independent;
+    prop_int_range;
+    prop_float_range;
+    prop_sample_wor;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "int_vec basic" `Quick test_int_vec_basic;
+    Alcotest.test_case "int_vec bounds" `Quick test_int_vec_bounds;
+    prop_int_vec_roundtrip;
+    prop_int_vec_sorted_dedup;
+    prop_int_vec_append;
+    prop_int_vec_fold;
+    Alcotest.test_case "str_pool basic" `Quick test_str_pool;
+    Alcotest.test_case "str_pool growth" `Quick test_str_pool_growth;
+    prop_lower_bound;
+    prop_upper_bound;
+    prop_lower_bound_from;
+    prop_mem;
+    prop_count_range;
+    Alcotest.test_case "stats known values" `Quick test_stats_known;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    prop_variance_nonneg;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "human formats" `Quick test_human;
+    Alcotest.test_case "plot render" `Quick test_plot_render;
+    Alcotest.test_case "plot empty" `Quick test_plot_empty;
+    Alcotest.test_case "plot constant" `Quick test_plot_constant;
+  ]

@@ -1,0 +1,227 @@
+open Rox_storage
+open Rox_shred
+open Rox_workload
+open Helpers
+
+(* ---------- XMark generator ---------- *)
+
+let test_xmark_forms_agree () =
+  let engine = Engine.create () in
+  let params = Xmark.scaled 0.01 in
+  let r = Xmark.generate ~seed:5 ~params engine ~uri:"x.xml" in
+  let tree = Xmark.generate_tree ~seed:5 ~params () in
+  check_int "same node counts" (Rox_xmldom.Tree.node_count tree) (Doc.node_count r.Engine.doc);
+  (* Full structural agreement. *)
+  check_bool "same document" true (Navigation.unshred r.Engine.doc = tree)
+
+let test_xmark_populations () =
+  let engine = Engine.create () in
+  let params = Xmark.scaled 0.1 in
+  let r = Xmark.generate ~params engine ~uri:"x.xml" in
+  let count name = Array.length (Element_index.lookup_name r.Engine.elements name) in
+  check_int "items" params.Xmark.n_items (count "item");
+  check_int "persons" params.Xmark.n_persons (count "person");
+  check_int "auctions" params.Xmark.n_auctions (count "open_auction");
+  check_bool "has bidders" true (count "bidder" > params.Xmark.n_auctions)
+
+let test_xmark_correlation () =
+  (* The planted correlation: auctions with current < median have fewer
+     bidders on average than auctions above it. *)
+  let engine = Engine.create () in
+  let params = Xmark.scaled 0.2 in
+  let r = Xmark.generate ~params engine ~uri:"x.xml" in
+  let doc = r.Engine.doc in
+  let auctions = Element_index.lookup_name r.Engine.elements "open_auction" in
+  let stats =
+    Array.map
+      (fun a ->
+        let kids = Navigation.children doc a in
+        let bidders = ref 0 in
+        let price = ref nan in
+        Array.iter
+          (fun c ->
+            match Doc.name doc c with
+            | "bidder" -> incr bidders
+            | "current" ->
+              price := float_of_string (Doc.value doc (Navigation.children doc c).(0))
+            | _ -> ())
+          kids;
+        (!price, !bidders))
+      auctions
+  in
+  let low = Array.to_list stats |> List.filter (fun (p, _) -> p < 145.0) in
+  let high = Array.to_list stats |> List.filter (fun (p, _) -> p >= 145.0) in
+  let avg l = float_of_int (List.fold_left (fun a (_, b) -> a + b) 0 l) /. float_of_int (max 1 (List.length l)) in
+  check_bool "both sides populated" true (low <> [] && high <> []);
+  check_bool "bidders correlate with price" true (avg high > avg low *. 1.5)
+
+let test_xmark_quantity_fraction () =
+  let engine = Engine.create () in
+  let params = Xmark.scaled 0.2 in
+  let r = Xmark.generate ~params engine ~uri:"x.xml" in
+  let ones =
+    match Engine.value_id engine "1" with
+    | Some vid -> Value_index.text_eq_count r.Engine.values vid
+    | None -> 0
+  in
+  let frac = float_of_int ones /. float_of_int params.Xmark.n_items in
+  check_bool "about 81% quantity one" true (frac > 0.7 && frac < 0.95)
+
+(* ---------- DBLP generator ---------- *)
+
+let test_dblp_table3 () =
+  check_int "23 venues" 23 (Array.length Dblp.venues);
+  let by_area a =
+    Array.to_list Dblp.venues |> List.filter (fun v -> Dblp.primary_area v = a) |> List.length
+  in
+  check_int "AI" 4 (by_area Dblp.AI);
+  check_int "BI" 2 (by_area Dblp.BI);
+  check_int "DM" 5 (by_area Dblp.DM);
+  check_int "IR" 6 (by_area Dblp.IR);
+  check_int "DB" 6 (by_area Dblp.DB);
+  check_int "VLDB tags" 6865 (Dblp.find_venue "VLDB").Dblp.author_tags;
+  (match Dblp.find_venue "NOPE" with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "unknown venue must fail")
+
+let test_dblp_tag_counts () =
+  let engine = Engine.create () in
+  let params = { Dblp.default_gen with reduction = 10 } in
+  let loaded = Dblp.load ~params engine [ Dblp.find_venue "VLDB"; Dblp.find_venue "INEX" ] in
+  List.iter
+    (fun l ->
+      let expected = l.Dblp.venue.Dblp.author_tags / 10 in
+      let actual = l.Dblp.author_tag_count in
+      (* The article loop may overshoot by at most one article's authors. *)
+      check_bool
+        (Printf.sprintf "%s tags ~ table/10 (%d vs %d)" l.Dblp.venue.Dblp.name actual expected)
+        true
+        (actual >= expected && actual <= expected + 8);
+      (* The index agrees with the reported count. *)
+      check_int "index count agrees" actual
+        (Array.length (Element_index.lookup_name l.Dblp.docref.Engine.elements "author")))
+    loaded
+
+let test_dblp_subset_invariance () =
+  (* A venue's document must not depend on which other venues load. *)
+  let gen selection =
+    let engine = Engine.create () in
+    let loaded = Dblp.load engine (List.map Dblp.find_venue selection) in
+    let l = List.find (fun l -> l.Dblp.venue.Dblp.name = "KDD") loaded in
+    Navigation.unshred l.Dblp.docref.Engine.doc
+  in
+  check_bool "same KDD doc in both subsets" true
+    (gen [ "KDD"; "VLDB" ] = gen [ "ICDM"; "KDD"; "INEX" ])
+
+let test_dblp_scaling () =
+  let tags scale =
+    let engine = Engine.create () in
+    let params = { Dblp.default_gen with scale; reduction = 50 } in
+    let loaded = Dblp.load ~params engine [ Dblp.find_venue "SIGMOD" ] in
+    (List.hd loaded).Dblp.author_tag_count
+  in
+  let t1 = tags 1 and t10 = tags 10 in
+  check_int "x10 multiplies tags" (t1 * 10) t10
+
+let test_dblp_scaling_preserves_joins () =
+  (* Join size between two docs scales by the replication factor. *)
+  let join_size scale =
+    let engine = Engine.create () in
+    let params = { Dblp.default_gen with scale; reduction = 50 } in
+    let loaded = Dblp.load ~params engine [ Dblp.find_venue "SIGMOD"; Dblp.find_venue "VLDB" ] in
+    match loaded with
+    | [ a; b ] ->
+      Correlation.join_size
+        (Correlation.author_multiset a.Dblp.docref)
+        (Correlation.author_multiset b.Dblp.docref)
+    | _ -> assert false
+  in
+  let j1 = join_size 1 and j10 = join_size 10 in
+  check_int "x10 multiplies join size" (j1 * 10) j10
+
+let test_dblp_correlation_structure () =
+  let engine = Engine.create () in
+  let loaded =
+    Dblp.load engine
+      (List.map Dblp.find_venue [ "VLDB"; "ICDE"; "SIGIR"; "ICIP" ])
+  in
+  let ms = List.map (fun l -> (l.Dblp.venue.Dblp.name, Correlation.author_multiset l.Dblp.docref)) loaded in
+  let js a b = Correlation.pairwise_selectivity (List.assoc a ms) (List.assoc b ms) in
+  (* Same-area pairs join far more selectively than cross-area pairs. *)
+  check_bool "DB pair strong" true (js "VLDB" "ICDE" > 10.0 *. js "VLDB" "SIGIR");
+  check_bool "IR pair strong" true (js "SIGIR" "ICIP" > 10.0 *. js "ICDE" "ICIP")
+
+(* ---------- Correlation measure ---------- *)
+
+let test_join_size_hand () =
+  let m1 = Hashtbl.create 4 and m2 = Hashtbl.create 4 in
+  Hashtbl.replace m1 1 2; (* value 1 twice *)
+  Hashtbl.replace m1 2 1;
+  Hashtbl.replace m2 1 3;
+  Hashtbl.replace m2 3 5;
+  check_int "sum of count products" 6 (Correlation.join_size m1 m2);
+  check_bool "selectivity" true
+    (abs_float (Correlation.pairwise_selectivity m1 m2 -. (6.0 *. 100.0 /. 8.0)) < 1e-9)
+
+let test_measure_zero_for_uniform () =
+  (* Four identical documents: all pairwise selectivities equal -> C = 0. *)
+  let engine = Engine.create () in
+  let tree = Rox_xmldom.Xml_parser.parse_string "<d><x><author>a</author></x></d>" in
+  let docs =
+    List.init 4 (fun i -> Engine.add_tree engine ~uri:(Printf.sprintf "%d.xml" i) tree)
+  in
+  check_bool "C = 0" true (Correlation.measure docs < 1e-9);
+  check_bool "nonempty" true (Correlation.nonempty docs)
+
+(* ---------- Combos ---------- *)
+
+let test_classify () =
+  let v name = Dblp.find_venue name in
+  check_bool "4:0" true
+    (Combos.classify [ v "VLDB"; v "ICDE"; v "SIGMOD"; v "EDBT" ] = Some Combos.G40);
+  check_bool "3:1" true
+    (Combos.classify [ v "VLDB"; v "ICDE"; v "SIGMOD"; v "ICIP" ] = Some Combos.G31);
+  check_bool "2:2" true
+    (Combos.classify [ v "VLDB"; v "ICDE"; v "ICIP"; v "SIGIR" ] = Some Combos.G22);
+  check_bool "2:1:1 excluded" true
+    (Combos.classify [ v "VLDB"; v "ICDE"; v "ICIP"; v "KDD" ] = None)
+
+let test_all_combinations () =
+  let combos = Combos.all_combinations Dblp.venues in
+  let count g = List.length (List.filter (fun (g', _) -> g' = g) combos) in
+  (* 4:0 = sum over areas of C(n,4): C(4,4)+C(2,4)+C(5,4)+C(6,4)+C(6,4)
+     = 1 + 0 + 5 + 15 + 15 = 36. *)
+  check_int "4:0 combos" 36 (count Combos.G40);
+  check_bool "2:2 populated" true (count Combos.G22 > 100);
+  check_bool "3:1 populated" true (count Combos.G31 > 100)
+
+let test_sample_per_group () =
+  let combos = Combos.all_combinations Dblp.venues in
+  let sample = Combos.sample_per_group ~per_group:7 combos in
+  List.iter
+    (fun g ->
+      let n = List.length (List.filter (fun (g', _) -> g' = g) sample) in
+      check_bool "capped at 7" true (n <= 7);
+      check_bool "nonzero" true (n > 0))
+    Combos.groups;
+  (* Deterministic. *)
+  check_bool "deterministic" true (sample = Combos.sample_per_group ~per_group:7 combos)
+
+let suite =
+  [
+    Alcotest.test_case "xmark forms agree" `Quick test_xmark_forms_agree;
+    Alcotest.test_case "xmark populations" `Quick test_xmark_populations;
+    Alcotest.test_case "xmark correlation" `Quick test_xmark_correlation;
+    Alcotest.test_case "xmark quantity fraction" `Quick test_xmark_quantity_fraction;
+    Alcotest.test_case "dblp table 3" `Quick test_dblp_table3;
+    Alcotest.test_case "dblp tag counts" `Quick test_dblp_tag_counts;
+    Alcotest.test_case "dblp subset invariance" `Quick test_dblp_subset_invariance;
+    Alcotest.test_case "dblp scaling" `Quick test_dblp_scaling;
+    Alcotest.test_case "dblp scaling preserves joins" `Quick test_dblp_scaling_preserves_joins;
+    Alcotest.test_case "dblp correlation structure" `Quick test_dblp_correlation_structure;
+    Alcotest.test_case "join size hand" `Quick test_join_size_hand;
+    Alcotest.test_case "measure zero uniform" `Quick test_measure_zero_for_uniform;
+    Alcotest.test_case "combos classify" `Quick test_classify;
+    Alcotest.test_case "all combinations" `Quick test_all_combinations;
+    Alcotest.test_case "sample per group" `Quick test_sample_per_group;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "rox"
+    [
+      ("util", Suite_util.suite);
+      ("xmldom", Suite_xml.suite);
+      ("shred", Suite_shred.suite);
+      ("storage", Suite_storage.suite);
+      ("algebra", Suite_algebra.suite);
+      ("joingraph", Suite_joingraph.suite);
+      ("xquery", Suite_xquery.suite);
+      ("core", Suite_core.suite);
+      ("classical", Suite_classical.suite);
+      ("workload", Suite_workload.suite);
+      ("extensions", Suite_extensions.suite);
+      ("fuzz", Suite_fuzz.suite);
+      ("props", Suite_props.suite);
+    ]
