@@ -1,0 +1,19 @@
+.PHONY: all build test analyze check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Static analysis over the built-in workloads: join-graph checks, trace
+# replay verification, and the operator-contract sanitizer.
+analyze:
+	dune exec bin/rox_cli.exe -- analyze
+
+check: build test analyze
+
+clean:
+	dune clean

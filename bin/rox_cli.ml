@@ -28,11 +28,15 @@ let read_query = function
      with End_of_file -> ());
     Buffer.contents buf
   | path ->
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+    (match open_in_bin path with
+     | exception Sys_error m ->
+       Printf.eprintf "%s\n" m;
+       exit 1
+     | ic ->
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       s)
 
 let serialize_node engine (doc_id, pre) =
   let doc = (Rox_storage.Engine.get engine doc_id).Rox_storage.Engine.doc in
@@ -154,11 +158,168 @@ let run docs query_file show_graph show_trace optimizer tau seed count_only limi
       Printf.printf "... (%d more)\n" (Array.length answer - limit)
   end
 
-let cmd =
-  let docs =
-    Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"FILE"
-           ~doc:"XML document to load (repeatable); referenced in the query as doc(\"basename\").")
+(* ---------------------------------------------------------------------- *)
+(* analyze: static analysis + trace verification + contract sanitizer.    *)
+
+module A = Rox_analysis
+
+(* One analysis case: compile, check the graph, run ROX with the sanitizer
+   armed and the trace enabled, then verify the trace and the executed
+   plan. *)
+let analyze_case ~subject engine query =
+  match Rox_xquery.Compile.compile_string engine query with
+  | exception Rox_xquery.Compile.Rejected d -> A.Report.make ~subject [ d ]
+  | exception Rox_xquery.Parser.Parse_error m ->
+    A.Report.make ~subject
+      [ A.Diagnostic.error "RX000" A.Diagnostic.Graph_loc ("query parse error: " ^ m) ]
+  | exception Rox_xquery.Compile.Unsupported m ->
+    A.Report.make ~subject
+      [ A.Diagnostic.error "RX000" A.Diagnostic.Graph_loc ("unsupported query: " ^ m) ]
+  | compiled ->
+    let graph = compiled.Rox_xquery.Compile.graph in
+    let diags = ref (A.Graph_check.check graph) in
+    let trace = Rox_core.Trace.create () in
+    (match
+       A.Contract.wrap ~label:subject (fun () ->
+           Rox_core.Optimizer.run ~trace compiled)
+     with
+     | Error d -> diags := !diags @ [ d ]
+     | Ok result ->
+       diags :=
+         !diags
+         @ A.Trace_check.check graph trace
+         @ A.Plan_check.check graph result.Rox_core.Optimizer.edge_order);
+    A.Report.make ~subject !diags
+
+let quickstart_document =
+  {|<library>
+  <book year="2009"><title>Run-time Query Optimization</title>
+    <author>Abdel Kader</author><author>Boncz</author></book>
+  <book year="2004"><title>Staircase Join</title>
+    <author>Grust</author><author>van Keulen</author><author>Teubner</author></book>
+  <book year="2009"><title>Join Graph Isolation</title>
+    <author>Grust</author><author>Mayr</author><author>Rittinger</author></book>
+</library>|}
+
+let quickstart_query =
+  {|for $b in doc("library.xml")//book[./@year = 2009],
+    $a in doc("library.xml")//author
+where $b//author/text() = $a/text()
+return $a|}
+
+let xmark_query op =
+  Printf.sprintf
+    {|let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() %s 145],
+    $p in $d//person[.//province],
+    $i in $d//item[./quantity = 1]
+where $o//bidder//personref/@person = $p/@id and
+      $o//itemref/@item = $i/@id
+return $o|}
+    op
+
+let showdown_query =
+  {|let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() > 145],
+    $p in $d//person[.//province]
+where $o//bidder//personref/@person = $p/@id
+return $o|}
+
+(* The built-in suite: the quickstart query, the Section 3.2 XMark pair
+   plus the showdown query, and the Table 3 DBLP author chain. *)
+let builtin_cases () =
+  let quickstart () =
+    let engine = Rox_storage.Engine.create () in
+    ignore
+      (Rox_storage.Engine.add_tree engine ~uri:"library.xml"
+         (Rox_xmldom.Xml_parser.parse_string quickstart_document)
+        : Rox_storage.Engine.docref);
+    [ analyze_case ~subject:"quickstart" engine quickstart_query ]
   in
+  let xmark () =
+    let engine = Rox_storage.Engine.create () in
+    let params = Rox_workload.Xmark.scaled 0.05 in
+    ignore
+      (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
+        : Rox_storage.Engine.docref);
+    [
+      analyze_case ~subject:"xmark q1 (current < 145)" engine (xmark_query "<");
+      analyze_case ~subject:"xmark qm1 (current > 145)" engine (xmark_query ">");
+      analyze_case ~subject:"xmark showdown" engine showdown_query;
+    ]
+  in
+  let dblp () =
+    let engine = Rox_storage.Engine.create () in
+    let venues = List.map Rox_workload.Dblp.find_venue [ "VLDB"; "ICDE"; "SIGMOD"; "EDBT" ] in
+    let params = { Rox_workload.Dblp.default_gen with reduction = 400 } in
+    let loaded = Rox_workload.Dblp.load ~params engine venues in
+    let uris =
+      List.map (fun l -> Rox_workload.Dblp.uri_of l.Rox_workload.Dblp.venue) loaded
+    in
+    [ analyze_case ~subject:"dblp author chain (4 venues)" engine
+        (Rox_workload.Dblp.query_for uris) ]
+  in
+  quickstart () @ xmark () @ dblp ()
+
+let analyze docs query_file list_codes =
+  if list_codes then begin
+    List.iter
+      (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
+      A.Diagnostic.code_docs;
+    0
+  end
+  else begin
+    let reports =
+      match query_file with
+      | None -> builtin_cases ()
+      | Some qf ->
+        let engine = Rox_storage.Engine.create () in
+        List.iter
+          (fun path ->
+            let tree =
+              try Rox_xmldom.Xml_parser.parse_file path with
+              | Rox_xmldom.Xml_parser.Parse_error { line; column; message } ->
+                Printf.eprintf "%s:%d:%d: parse error: %s\n" path line column message;
+                exit 1
+              | Sys_error m ->
+                Printf.eprintf "%s\n" m;
+                exit 1
+            in
+            let uri = Filename.basename path in
+            ignore (Rox_storage.Engine.add_tree engine ~uri tree : Rox_storage.Engine.docref))
+          docs;
+        [ analyze_case ~subject:qf engine (read_query qf) ]
+    in
+    List.iter (fun r -> A.Report.print r; print_newline ()) reports;
+    let errors = List.fold_left (fun n r -> n + A.Report.errors r) 0 reports in
+    let warnings = List.fold_left (fun n r -> n + A.Report.warnings r) 0 reports in
+    Printf.printf "analyzed %d case(s): %d error(s), %d warning(s)\n"
+      (List.length reports) errors warnings;
+    A.Report.exit_code reports
+  end
+
+let docs_arg =
+  Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"FILE"
+         ~doc:"XML document to load (repeatable); referenced in the query as doc(\"basename\").")
+
+let analyze_cmd =
+  let query_file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"XQuery file to analyze (with --doc); omit to run the built-in suite.")
+  in
+  let list_codes =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List the diagnostic codes and exit.")
+  in
+  let doc =
+    "Static analysis: check Join Graphs, verify optimizer traces and executed \
+     plans, and run the operator-contract sanitizer over the built-in workloads \
+     (or a supplied query). Exits non-zero if any error diagnostic is found."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const analyze $ docs_arg $ query_file $ list_codes)
+
+let cmd =
+  let docs = docs_arg in
   let query_file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"XQuery file, or - for stdin.")
@@ -177,8 +338,27 @@ let cmd =
            ~doc:"Serialize at most K answer nodes (0 = all; default 20).")
   in
   let doc = "ROX: run-time optimization of XQueries" in
-  Cmd.v (Cmd.info "rox" ~doc)
-    Term.(const run $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-          $ count_only $ limit)
+  let run_term =
+    Term.(
+      const (fun docs qf g t o tau seed c l ->
+          run docs qf g t o tau seed c l;
+          0)
+      $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
+      $ count_only $ limit)
+  in
+  let group = Cmd.group ~default:run_term (Cmd.info "rox" ~doc) [ analyze_cmd ] in
+  let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in
+  (group, legacy)
 
-let () = exit (Cmd.eval cmd)
+(* Cmd.group dispatches on the first argv token, which would reject the
+   historical `rox query.xq` spelling as an unknown command: route bare
+   positionals that aren't subcommand names to the plain query runner. *)
+let () =
+  let group, legacy = cmd in
+  let bare_positional =
+    Array.length Sys.argv > 1
+    && String.length Sys.argv.(1) > 0
+    && Sys.argv.(1).[0] <> '-'
+    && Sys.argv.(1) <> "analyze"
+  in
+  exit (Cmd.eval' (if bare_positional then legacy else group))

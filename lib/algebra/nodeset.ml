@@ -1,5 +1,13 @@
 open Rox_util
 
+let checked ~op a b out =
+  if !Sanitize.enabled then begin
+    Sanitize.check_sorted_dedup ~op ~what:"left input" a;
+    Sanitize.check_sorted_dedup ~op ~what:"right input" b;
+    Sanitize.check_sorted_dedup ~op ~what:"output" out
+  end;
+  out
+
 let intersect a b =
   let out = Int_vec.create ~capacity:(min (Array.length a) (Array.length b) + 1) () in
   let i = ref 0 and j = ref 0 in
@@ -13,7 +21,7 @@ let intersect a b =
     else if x < y then incr i
     else incr j
   done;
-  Int_vec.to_array out
+  checked ~op:"Nodeset.intersect" a b (Int_vec.to_array out)
 
 let union a b =
   let out = Int_vec.create ~capacity:(Array.length a + Array.length b) () in
@@ -42,7 +50,7 @@ let union a b =
     Int_vec.push out b.(!j);
     incr j
   done;
-  Int_vec.to_array out
+  checked ~op:"Nodeset.union" a b (Int_vec.to_array out)
 
 let difference a b =
   let out = Int_vec.create () in
@@ -65,7 +73,7 @@ let difference a b =
       else incr j
     end
   done;
-  Int_vec.to_array out
+  checked ~op:"Nodeset.difference" a b (Int_vec.to_array out)
 
 let mem = Bin_search.mem
 
@@ -73,6 +81,30 @@ let is_sorted_dedup a =
   let rec check i = i >= Array.length a || (a.(i - 1) < a.(i) && check (i + 1)) in
   Array.length a = 0 || check 1
 
-let of_unsorted a = Int_vec.sorted_dedup (Int_vec.of_array a)
+let is_sorted a =
+  let rec check i = i >= Array.length a || (a.(i - 1) <= a.(i) && check (i + 1)) in
+  Array.length a = 0 || check 1
+
+let of_unsorted a =
+  let out =
+    if is_sorted a then begin
+      (* Already in document order (duplicates allowed): dedup linearly
+         without paying for the sort. *)
+      let n = Array.length a in
+      if n = 0 then [||]
+      else begin
+        let out = Int_vec.create ~capacity:n () in
+        Int_vec.push out a.(0);
+        for i = 1 to n - 1 do
+          if a.(i) <> a.(i - 1) then Int_vec.push out a.(i)
+        done;
+        Int_vec.to_array out
+      end
+    end
+    else Int_vec.sorted_dedup (Int_vec.of_array a)
+  in
+  if !Sanitize.enabled then
+    Sanitize.check_sorted_dedup ~op:"Nodeset.of_unsorted" ~what:"output" out;
+  out
 
 let equal a b = a = b

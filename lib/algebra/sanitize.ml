@@ -1,0 +1,55 @@
+type contract = Sorted_dedup | Domain_subset | Cost_bound
+
+type violation = {
+  op : string;
+  contract : contract;
+  detail : string;
+}
+
+exception Violation of violation
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "ROX_SANITIZE" with
+     | None | Some "" | Some "0" -> false
+     | Some _ -> true)
+
+let contract_label = function
+  | Sorted_dedup -> "sorted duplicate-free node sequence"
+  | Domain_subset -> "output contained in input domain"
+  | Cost_bound -> "Table 1 cost bound"
+
+let fail ~op ~contract detail = raise (Violation { op; contract; detail })
+
+let message v =
+  Printf.sprintf "%s: %s violated (%s)" v.op (contract_label v.contract) v.detail
+
+let check_sorted_dedup ~op ~what a =
+  let n = Array.length a in
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then
+      fail ~op ~contract:Sorted_dedup
+        (Printf.sprintf "%s[%d..%d] = %d, %d" what (i - 1) i a.(i - 1) a.(i))
+  done
+
+let check_subset ~op ~what ~domain a =
+  Array.iter
+    (fun x ->
+      if not (Rox_util.Bin_search.mem domain x) then
+        fail ~op ~contract:Domain_subset
+          (Printf.sprintf "%s contains node %d outside its domain" what x))
+    a
+
+let check_cost ~op ~charged ~bound =
+  if charged > bound then
+    fail ~op ~contract:Cost_bound
+      (Printf.sprintf "charged %d work units, formula bound is %d" charged bound)
+
+(* Observe the work an operator charges without disturbing the caller's
+   accounting: run with a private counter, then forward the total. *)
+let observed meter f =
+  let local = Cost.new_counter () in
+  let result = f (Cost.execution_meter local) in
+  let total = Cost.total local in
+  Cost.charge meter total;
+  (result, total)

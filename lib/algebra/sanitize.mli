@@ -1,0 +1,50 @@
+(** Operator-contract sanitizer (debug mode).
+
+    ROX's zero-investment algebra rests on invariants the operators state
+    only in comments: node sequences are sorted and duplicate-free in
+    document order (the Table 1 contract), operator outputs stay inside
+    their input domains, and observed work stays within the Table 1 cost
+    formulas. When {!enabled} is set — via the [ROX_SANITIZE] environment
+    variable or programmatically (see [Rox_analysis.Contract]) — the
+    operators re-check those postconditions on every call and raise
+    {!Violation} on the first breach.
+
+    Disabled (the default), the only cost is a single [if !enabled] flag
+    check per instrumented call. *)
+
+type contract =
+  | Sorted_dedup   (** Table 1's zero-investment node-sequence contract *)
+  | Domain_subset  (** operator output stays inside its input domain *)
+  | Cost_bound     (** observed work within the Table 1 cost formula *)
+
+type violation = {
+  op : string;          (** operator, e.g. ["Staircase.join(descendant)"] *)
+  contract : contract;  (** the invariant that broke *)
+  detail : string;
+}
+
+exception Violation of violation
+
+val contract_label : contract -> string
+
+val enabled : bool ref
+(** Initialized from [ROX_SANITIZE] ([unset], [""] and ["0"] mean off). Hot
+    paths guard every check with a single [!enabled] dereference. *)
+
+val message : violation -> string
+
+val fail : op:string -> contract:contract -> string -> 'a
+(** Raise {!Violation}. *)
+
+val check_sorted_dedup : op:string -> what:string -> int array -> unit
+(** Sequence is strictly increasing (sorted, duplicate-free). *)
+
+val check_subset : op:string -> what:string -> domain:int array -> int array -> unit
+(** Every element occurs in [domain] (sorted). *)
+
+val check_cost : op:string -> charged:int -> bound:int -> unit
+(** Observed work does not exceed the operator's cost-formula bound. *)
+
+val observed : Cost.meter option -> (Cost.meter -> 'a) -> 'a * int
+(** [observed meter f] runs [f] against a private meter, forwards the
+    charged total to [meter], and returns (result, total). *)

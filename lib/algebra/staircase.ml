@@ -112,7 +112,7 @@ let prune_covered doc context =
     context;
   Int_vec.to_array out
 
-let join ?meter ~doc ~axis ~context candidates =
+let join_impl ?meter ~doc ~axis ~context candidates =
   match axis with
   | Axis.Descendant | Axis.Desc_or_self ->
     (* Pruned contexts have disjoint subtrees, so ranges never overlap and
@@ -157,6 +157,28 @@ let join ?meter ~doc ~axis ~context candidates =
     let out = Int_vec.create () in
     iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ s -> Int_vec.push out s);
     Int_vec.sorted_dedup out
+
+let join ?meter ~doc ~axis ~context candidates =
+  if not !Sanitize.enabled then join_impl ?meter ~doc ~axis ~context candidates
+  else begin
+    let op = Printf.sprintf "Staircase.join(%s)" (Axis.to_string axis) in
+    Sanitize.check_sorted_dedup ~op ~what:"context" context;
+    Sanitize.check_sorted_dedup ~op ~what:"candidates" candidates;
+    let out, charged =
+      Sanitize.observed meter (fun m -> join_impl ~meter:m ~doc ~axis ~context candidates)
+    in
+    Sanitize.check_sorted_dedup ~op ~what:"output" out;
+    Sanitize.check_subset ~op ~what:"output" ~domain:candidates out;
+    (* Table 1's |C| + |S| + |R| holds as an exact bound only for the
+       pruned containment axes and Following; the sibling/ancestor scans
+       pay per ancestor step / per subtree member instead. *)
+    (match axis with
+     | Axis.Descendant | Axis.Desc_or_self | Axis.Following ->
+       Sanitize.check_cost ~op ~charged
+         ~bound:(Array.length context + Array.length candidates + Array.length out)
+     | _ -> ());
+    out
+  end
 
 let count ?meter ~doc ~axis ~context candidates =
   let n = ref 0 in

@@ -1,0 +1,34 @@
+module Sanitize = Rox_algebra.Sanitize
+module D = Diagnostic
+
+let enabled () = !Sanitize.enabled
+let set_enabled b = Sanitize.enabled := b
+
+let code_of_contract = function
+  | Sanitize.Sorted_dedup -> "RX301"
+  | Sanitize.Domain_subset -> "RX302"
+  | Sanitize.Cost_bound -> "RX303"
+
+let diagnostic_of_violation ?label (v : Sanitize.violation) =
+  let message =
+    match label with
+    | None -> Sanitize.message v
+    | Some l -> Printf.sprintf "%s: %s" l (Sanitize.message v)
+  in
+  D.error (code_of_contract v.Sanitize.contract) D.Graph_loc
+    ~hint:"re-run with ROX_SANITIZE=1 under a debugger to catch the first breach"
+    message
+
+let wrap ?label f =
+  let prev = !Sanitize.enabled in
+  Sanitize.enabled := true;
+  match f () with
+  | result ->
+    Sanitize.enabled := prev;
+    Ok result
+  | exception Sanitize.Violation v ->
+    Sanitize.enabled := prev;
+    Error (diagnostic_of_violation ?label v)
+  | exception exn ->
+    Sanitize.enabled := prev;
+    raise exn

@@ -1,0 +1,20 @@
+(** User-facing face of the operator-contract sanitizer.
+
+    The low-level hooks live in [Rox_algebra.Sanitize] (a single
+    [!enabled] flag checked on the operator hot paths — zero cost when
+    off, which is the default). This module turns violations into
+    {!Diagnostic.t} values: RX301 for sorted/duplicate-free breaches,
+    RX302 for domain escapes, RX303 for Table 1 cost-bound overruns. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Programmatic switch; the [ROX_SANITIZE] environment variable sets the
+    initial value. *)
+
+val diagnostic_of_violation :
+  ?label:string -> Rox_algebra.Sanitize.violation -> Diagnostic.t
+
+val wrap : ?label:string -> (unit -> 'a) -> ('a, Diagnostic.t) result
+(** [wrap f] runs [f] with the sanitizer enabled (restoring the previous
+    flag afterwards) and converts the first {!Rox_algebra.Sanitize.Violation}
+    into an error diagnostic. Other exceptions propagate. *)

@@ -1,0 +1,87 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Graph_loc
+  | Vertex of int
+  | Edge of int
+  | Event of int
+  | Plan_pos of int
+
+type t = {
+  severity : severity;
+  code : string;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+let make severity code location ?hint message =
+  { severity; code; location; message; hint }
+
+let error code location ?hint message = make Error code location ?hint message
+let warning code location ?hint message = make Warning code location ?hint message
+let info code location ?hint message = make Info code location ?hint message
+
+let is_error d = d.severity = Error
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Errors sort before warnings before infos. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let location_string = function
+  | Graph_loc -> "graph"
+  | Vertex v -> Printf.sprintf "vertex v%d" v
+  | Edge e -> Printf.sprintf "edge e%d" e
+  | Event i -> Printf.sprintf "trace event #%d" i
+  | Plan_pos i -> Printf.sprintf "plan position %d" i
+
+let to_string d =
+  let base =
+    Printf.sprintf "[%s] %s at %s: %s" d.code (severity_string d.severity)
+      (location_string d.location) d.message
+  in
+  match d.hint with
+  | None -> base
+  | Some h -> base ^ "\n  hint: " ^ h
+
+let compare_severity a b = compare (severity_rank a.severity) (severity_rank b.severity)
+
+(* One-line documentation per diagnostic code, for [rox_cli analyze --codes]
+   and DESIGN.md cross-reference. *)
+let code_docs =
+  [
+    ("RX001", "join graph is not connected");
+    ("RX002", "vertex/edge table corruption (id or endpoint out of range)");
+    ("RX003", "self-loop edge");
+    ("RX004", "duplicate parallel edge (same endpoints and operator)");
+    ("RX005", "equi-join endpoint is not a value (text/attribute) vertex");
+    ("RX006", "step edge crosses document boundaries");
+    ("RX007", "attribute-axis step targets a non-attribute vertex");
+    ("RX008", "equi-closure inconsistency (derived edge not implied, or closure incomplete)");
+    ("RX009", "multiple root vertices for one document");
+    ("RX101", "trace executes an unknown edge id");
+    ("RX102", "trace executes an edge twice");
+    ("RX103", "execution order is not contiguous ascending");
+    ("RX104", "edge executed without being weighted or chain-chosen first");
+    ("RX105", "chain rounds not consecutive or cutoff not monotone");
+    ("RX106", "chain-chosen edges do not form a connected path from the chain source");
+    ("RX107", "trivial (root-descendant) edge appears in the execution order");
+    ("RX108", "cardinality accounting violation during component replay");
+    ("RX109", "non-trivial edge neither executed nor transitively implied");
+    ("RX110", "chain chose an already-executed edge");
+    ("RX111", "malformed vertex-initialized event");
+    ("RX112", "malformed edge-weighted event");
+    ("RX113", "malformed chain-round statistics");
+    ("RX201", "plan references an unknown edge id");
+    ("RX202", "plan lists an edge twice");
+    ("RX203", "plan misses a non-trivial edge");
+    ("RX204", "plan lists a trivial edge");
+    ("RX205", "plan step opens a new component (non-contiguous plan)");
+    ("RX301", "operator output violated the sorted duplicate-free contract");
+    ("RX302", "operator output escaped its input domain");
+    ("RX303", "operator exceeded its Table 1 cost bound");
+  ]

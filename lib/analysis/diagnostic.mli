@@ -1,0 +1,40 @@
+(** Structured diagnostics for the static analysis passes.
+
+    Each diagnostic carries a severity, a stable code ([RX0xx] graph checks,
+    [RX1xx] trace checks, [RX2xx] plan checks, [RX3xx] operator-contract
+    violations), a location inside the artifact being checked, a message and
+    an optional fix hint. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Graph_loc          (** the join graph as a whole *)
+  | Vertex of int      (** a vertex id *)
+  | Edge of int        (** an edge id *)
+  | Event of int       (** index into the trace event list *)
+  | Plan_pos of int    (** index into an execution plan *)
+
+type t = {
+  severity : severity;
+  code : string;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+val make : severity -> string -> location -> ?hint:string -> string -> t
+val error : string -> location -> ?hint:string -> string -> t
+val warning : string -> location -> ?hint:string -> string -> t
+val info : string -> location -> ?hint:string -> string -> t
+
+val is_error : t -> bool
+val severity_string : severity -> string
+val severity_rank : severity -> int
+(** [Error] = 0, [Warning] = 1, [Info] = 2 — errors sort first. *)
+
+val location_string : location -> string
+val to_string : t -> string
+val compare_severity : t -> t -> int
+
+val code_docs : (string * string) list
+(** One-line documentation per diagnostic code. *)

@@ -1,0 +1,206 @@
+open Rox_joingraph
+module D = Diagnostic
+
+(* Union-find over an int range, local to a single check. *)
+let uf_create n = Array.init n (fun i -> i)
+
+let rec uf_find uf v = if uf.(v) = v then v else (uf.(v) <- uf_find uf uf.(v); uf.(v))
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra <> rb then uf.(ra) <- rb
+
+let is_value_annot = function
+  | Vertex.Text _ | Vertex.Attr _ -> true
+  | Vertex.Root | Vertex.Element _ -> false
+
+let check (g : Graph.t) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let nv = Graph.vertex_count g in
+  let vertices = Graph.vertices g and edges = Graph.edges g in
+
+  (* RX002: table integrity. Everything else indexes by vertex/edge id, so
+     bail out of the remaining checks if the tables themselves are broken. *)
+  let tables_ok = ref true in
+  Array.iteri
+    (fun i (v : Vertex.t) ->
+      if v.Vertex.id <> i then begin
+        tables_ok := false;
+        add
+          (D.error "RX002" (D.Vertex i)
+             (Printf.sprintf "vertex at index %d carries id %d" i v.Vertex.id))
+      end)
+    vertices;
+  Array.iteri
+    (fun i (e : Edge.t) ->
+      if e.Edge.id <> i then begin
+        tables_ok := false;
+        add
+          (D.error "RX002" (D.Edge i)
+             (Printf.sprintf "edge at index %d carries id %d" i e.Edge.id))
+      end;
+      if e.Edge.v1 < 0 || e.Edge.v1 >= nv || e.Edge.v2 < 0 || e.Edge.v2 >= nv then begin
+        tables_ok := false;
+        add
+          (D.error "RX002" (D.Edge e.Edge.id)
+             (Printf.sprintf "endpoints (v%d, v%d) out of range [0, %d)" e.Edge.v1
+                e.Edge.v2 nv))
+      end)
+    edges;
+  if not !tables_ok then List.rev !out
+  else begin
+    (* RX001: connectedness — Join Graphs handed to ROX are one component
+       (Definition 1); a disconnected graph would make the optimizer cross-
+       product unrelated subqueries. *)
+    if nv > 0 && not (Graph.connected g) then
+      add
+        (D.error "RX001" D.Graph_loc
+           ~hint:
+             "every vertex must be reachable through step or equi-join edges; \
+              multi-document queries need a value join in the where clause"
+           "join graph is not connected");
+
+    (* RX009: one root per document. *)
+    let roots = Hashtbl.create 4 in
+    Array.iter
+      (fun (v : Vertex.t) ->
+        if Vertex.is_root v then begin
+          (match Hashtbl.find_opt roots v.Vertex.doc_id with
+           | Some first ->
+             add
+               (D.warning "RX009" (D.Vertex v.Vertex.id)
+                  (Printf.sprintf "document %d already has root vertex v%d"
+                     v.Vertex.doc_id first))
+           | None -> ());
+          if not (Hashtbl.mem roots v.Vertex.doc_id) then
+            Hashtbl.replace roots v.Vertex.doc_id v.Vertex.id
+        end)
+      vertices;
+
+    let seen_edges = Hashtbl.create 16 in
+    Array.iter
+      (fun (e : Edge.t) ->
+        let v1 = Graph.vertex g e.Edge.v1 and v2 = Graph.vertex g e.Edge.v2 in
+        (* RX003: self-loops make no sense for either operator. *)
+        if e.Edge.v1 = e.Edge.v2 then
+          add
+            (D.error "RX003" (D.Edge e.Edge.id)
+               (Printf.sprintf "self-loop on v%d" e.Edge.v1));
+        (* RX004: duplicate parallel edges double the optimizer's work for
+           the same constraint. Equi-joins are symmetric. *)
+        let key =
+          match e.Edge.op with
+          | Edge.Equijoin ->
+            (min e.Edge.v1 e.Edge.v2, max e.Edge.v1 e.Edge.v2, Edge.Equijoin)
+          | Edge.Step _ -> (e.Edge.v1, e.Edge.v2, e.Edge.op)
+        in
+        if Hashtbl.mem seen_edges key then
+          add
+            (D.warning "RX004" (D.Edge e.Edge.id)
+               (Printf.sprintf "duplicate of edge e%d (same endpoints and operator)"
+                  (Hashtbl.find seen_edges key)))
+        else Hashtbl.replace seen_edges key e.Edge.id;
+        match e.Edge.op with
+        | Edge.Equijoin ->
+          (* RX005: value joins compare node values; a root has none, an
+             element's value is implementation-defined. *)
+          List.iter
+            (fun (v : Vertex.t) ->
+              match v.Vertex.annot with
+              | Vertex.Root ->
+                add
+                  (D.error "RX005" (D.Edge e.Edge.id)
+                     (Printf.sprintf "equi-join endpoint v%d is a root vertex"
+                        v.Vertex.id))
+              | Vertex.Element q ->
+                add
+                  (D.warning "RX005" (D.Edge e.Edge.id)
+                     ~hint:"join on the element's text() child instead"
+                     (Printf.sprintf
+                        "equi-join endpoint v%d is element <%s>, not a value vertex"
+                        v.Vertex.id q))
+              | Vertex.Text _ | Vertex.Attr _ -> ())
+            [ v1; v2 ]
+        | Edge.Step axis ->
+          (* RX006: XPath steps navigate within one document; only a value
+             join can cross documents. *)
+          if v1.Vertex.doc_id <> v2.Vertex.doc_id then
+            add
+              (D.error "RX006" (D.Edge e.Edge.id)
+                 (Printf.sprintf "step edge spans documents %d and %d"
+                    v1.Vertex.doc_id v2.Vertex.doc_id));
+          (* RX007: axis vs target-annotation compatibility. The parser
+             emits Attribute-axis edges only into Attr vertices; Child (and
+             other element axes) exclude the attribute kind. *)
+          (match (axis, v2.Vertex.annot) with
+           | Rox_algebra.Axis.Attribute, (Vertex.Attr _) -> ()
+           | Rox_algebra.Axis.Attribute, _ ->
+             add
+               (D.error "RX007" (D.Edge e.Edge.id)
+                  (Printf.sprintf
+                     "attribute-axis step targets %s vertex v%d, not an attribute"
+                     (Vertex.label v2) v2.Vertex.id))
+           | Rox_algebra.Axis.Child, Vertex.Attr _ ->
+             add
+               (D.warning "RX007" (D.Edge e.Edge.id)
+                  ~hint:"use the attribute axis to reach attribute nodes"
+                  (Printf.sprintf
+                     "child-axis step targets attribute vertex v%d (child excludes \
+                      attributes)"
+                     v2.Vertex.id))
+           | _ -> ()))
+      edges;
+
+    (* RX008: equi-closure consistency. Derived edges (Figure 4) must be
+       implied by the base equi-join edges; and once any derived edge
+       exists the closure should be complete. *)
+    let base_uf = uf_create nv in
+    let has_derived = ref false in
+    Array.iter
+      (fun (e : Edge.t) ->
+        match e.Edge.op with
+        | Edge.Equijoin ->
+          if e.Edge.derived then has_derived := true
+          else uf_union base_uf e.Edge.v1 e.Edge.v2
+        | Edge.Step _ -> ())
+      edges;
+    Array.iter
+      (fun (e : Edge.t) ->
+        if
+          e.Edge.derived
+          && (match e.Edge.op with Edge.Equijoin -> true | Edge.Step _ -> false)
+          && uf_find base_uf e.Edge.v1 <> uf_find base_uf e.Edge.v2
+        then
+          add
+            (D.error "RX008" (D.Edge e.Edge.id)
+               (Printf.sprintf
+                  "derived equi-join (v%d = v%d) is not implied by the base \
+                   equi-join edges"
+                  e.Edge.v1 e.Edge.v2)))
+      edges;
+    (* Completeness: every equi-connected pair of value vertices should have
+       a direct edge. Missing pairs are only an inconsistency if the closure
+       was (apparently) run — i.e. some derived edge exists. *)
+    for a = 0 to nv - 1 do
+      for b = a + 1 to nv - 1 do
+        if
+          uf_find base_uf a = uf_find base_uf b
+          && is_value_annot (Graph.vertex g a).Vertex.annot
+          && is_value_annot (Graph.vertex g b).Vertex.annot
+          &&
+          match Graph.find_edge g a b with
+          | Some _ -> false
+          | None -> true
+        then begin
+          let mk = if !has_derived then D.warning else D.info in
+          add
+            (mk "RX008" D.Graph_loc
+               ~hint:"run Graph.equi_closure before optimizing"
+               (Printf.sprintf
+                  "v%d and v%d are equi-connected but share no direct edge" a b))
+        end
+      done
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,11 @@
+(** Static analysis of a Join Graph.
+
+    Verifies the structural invariants a graph must satisfy before the ROX
+    optimizer may run it: one connected component (RX001), intact
+    vertex/edge tables (RX002), no self-loops (RX003) or duplicate parallel
+    edges (RX004), value-typed equi-join endpoints (RX005), single-document
+    step edges (RX006), axis/annotation compatibility (RX007), a consistent
+    and complete equi-closure (RX008), and one root per document (RX009). *)
+
+val check : Rox_joingraph.Graph.t -> Diagnostic.t list
+(** Diagnostics in discovery order; empty means the graph is clean. *)

@@ -1,0 +1,74 @@
+open Rox_joingraph
+module D = Diagnostic
+
+let rec uf_find uf v = if uf.(v) = v then v else (uf.(v) <- uf_find uf uf.(v); uf.(v))
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra <> rb then uf.(ra) <- rb
+
+let check (g : Graph.t) (plan : int list) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let ne = Graph.edge_count g and nv = Graph.vertex_count g in
+  let seen = Array.make ne false in
+  let touched = Array.make nv false in
+  let any_touched = ref false in
+  (* Equi-joins the plan does execute connect their endpoints; an absent
+     equi-join between already-connected endpoints is transitively implied
+     (Figure 4's closure edges are alternatives, not extra work). *)
+  let equi_uf = Array.init nv (fun i -> i) in
+  List.iteri
+    (fun pos id ->
+      if id < 0 || id >= ne then
+        add
+          (D.error "RX201" (D.Plan_pos pos)
+             (Printf.sprintf "unknown edge id e%d (graph has %d edges)" id ne))
+      else begin
+        let e = Graph.edge g id in
+        if seen.(id) then
+          add
+            (D.error "RX202" (D.Plan_pos pos)
+               (Printf.sprintf "edge e%d appears twice in the plan" id))
+        else seen.(id) <- true;
+        if Runtime.is_trivial_edge g e then
+          add
+            (D.warning "RX204" (D.Plan_pos pos)
+               ~hint:"root-descendant edges are pre-satisfied and need no plan step"
+               (Printf.sprintf "trivial edge e%d listed in the plan" id));
+        (* A step that touches no vertex reached so far starts a fresh
+           component. Legitimate plans do this too (multi-document graphs,
+           shuffled baselines), so this is informational only. *)
+        if !any_touched && (not touched.(e.Edge.v1)) && not touched.(e.Edge.v2) then
+          add
+            (D.info "RX205" (D.Plan_pos pos)
+               (Printf.sprintf "edge e%d opens a new component" id));
+        touched.(e.Edge.v1) <- true;
+        touched.(e.Edge.v2) <- true;
+        any_touched := true;
+        match e.Edge.op with
+        | Edge.Equijoin -> uf_union equi_uf e.Edge.v1 e.Edge.v2
+        | Edge.Step _ -> ()
+      end)
+    plan;
+  Array.iter
+    (fun (e : Edge.t) ->
+      if (not seen.(e.Edge.id)) && not (Runtime.is_trivial_edge g e) then begin
+        let implied =
+          match e.Edge.op with
+          | Edge.Equijoin -> uf_find equi_uf e.Edge.v1 = uf_find equi_uf e.Edge.v2
+          | Edge.Step _ -> false
+        in
+        if implied then
+          add
+            (D.info "RX203" (D.Edge e.Edge.id)
+               (Printf.sprintf
+                  "equi-join edge e%d not in the plan but transitively implied"
+                  e.Edge.id))
+        else
+          add
+            (D.error "RX203" (D.Edge e.Edge.id)
+               (Printf.sprintf "non-trivial edge e%d missing from the plan" e.Edge.id))
+      end)
+    (Graph.edges g);
+  List.rev !out

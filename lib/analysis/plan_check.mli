@@ -1,0 +1,12 @@
+(** Static analysis of an execution plan (an ordered list of edge ids).
+
+    A valid plan references only existing edges (RX201), lists each at most
+    once (RX202), covers every non-trivial edge (RX203), and skips the
+    pre-satisfied root-descendant edges (RX204, warning). An equi-join
+    edge absent from the plan whose endpoints the plan's other equi-joins
+    already connect is transitively implied and only noted at [Info]
+    severity. Plan steps that open a new component are reported as RX205
+    at [Info] severity — multi-document graphs and shuffled baseline plans
+    do this legitimately. *)
+
+val check : Rox_joingraph.Graph.t -> int list -> Diagnostic.t list

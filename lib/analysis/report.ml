@@ -1,0 +1,31 @@
+module D = Diagnostic
+
+type t = {
+  subject : string;
+  diagnostics : D.t list;  (** errors first, then warnings, then infos *)
+}
+
+let make ~subject diagnostics =
+  (* Stable sort: severity groups keep discovery order within themselves. *)
+  { subject; diagnostics = List.stable_sort D.compare_severity diagnostics }
+
+let count severity t =
+  List.length (List.filter (fun d -> d.D.severity = severity) t.diagnostics)
+
+let errors t = count D.Error t
+let warnings t = count D.Warning t
+let has_errors t = errors t > 0
+
+let summary t =
+  Printf.sprintf "%s: %d error(s), %d warning(s), %d info" t.subject (errors t)
+    (warnings t) (count D.Info t)
+
+let to_string t =
+  let lines = List.map (fun d -> "  " ^ D.to_string d) t.diagnostics in
+  String.concat "\n" (summary t :: lines)
+
+let print ?(oc = stdout) t =
+  output_string oc (to_string t);
+  output_char oc '\n'
+
+let exit_code reports = if List.exists has_errors reports then 1 else 0

@@ -1,0 +1,19 @@
+(** Aggregation and rendering of analysis diagnostics. *)
+
+type t = {
+  subject : string;
+  diagnostics : Diagnostic.t list;  (** errors first, then warnings, then infos *)
+}
+
+val make : subject:string -> Diagnostic.t list -> t
+(** Sorts errors first (stable within each severity). *)
+
+val errors : t -> int
+val warnings : t -> int
+val has_errors : t -> bool
+val summary : t -> string
+val to_string : t -> string
+val print : ?oc:out_channel -> t -> unit
+
+val exit_code : t list -> int
+(** [1] if any report contains an error, [0] otherwise. *)

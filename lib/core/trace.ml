@@ -1,34 +1,5 @@
-type chain_path = {
-  label : string;
-  via : string;
-  cost : float;
-  sf : float;
-}
-
-type event =
-  | Vertex_initialized of { vertex : int; card : int }
-  | Edge_weighted of { edge : int; weight : float }
-  | Chain_started of { source : int; min_edge : int }
-  | Chain_round of { round : int; cutoff : int; paths : chain_path list }
-  | Chain_chosen of {
-      edges : int list;
-      trigger : [ `Stopping_condition | `Exhausted | `Single_edge ];
-    }
-  | Edge_executed of { edge : int; order : int; pairs : int; rel_rows : int }
-
-type t = { mutable events : event list; is_enabled : bool }
-
-let create ?(enabled = true) () = { events = []; is_enabled = enabled }
-let enabled t = t.is_enabled
-let emit t ev = if t.is_enabled then t.events <- ev :: t.events
-let events t = List.rev t.events
-
-let execution_order t =
-  events t
-  |> List.filter_map (function Edge_executed { edge; _ } -> Some edge | _ -> None)
-
-let chain_rounds t =
-  events t
-  |> List.filter_map (function
-       | Chain_round { round; cutoff; paths } -> Some (round, cutoff, paths)
-       | _ -> None)
+(* The trace event log lives with the Join Graph machinery
+   ([Rox_joingraph.Trace]) so the static analysis passes can replay it
+   without depending on the optimizer; this alias keeps the historical
+   [Rox_core.Trace] path working. *)
+include Rox_joingraph.Trace

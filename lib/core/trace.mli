@@ -1,39 +1,5 @@
-(** Optimizer event trace.
+(** Compatibility alias: the trace event log now lives with the Join Graph
+    machinery ([Rox_joingraph.Trace]) so the static analysis passes can
+    replay traces without depending on the optimizer. *)
 
-    The paper's figures narrate ROX's inner life: edge weights after each
-    exploration step (Figure 3.2), per-round (cost, sf) pairs of competing
-    path segments (Table 2), the final edge execution order (Figures
-    3.3/3.4). The optimizer emits these events; the benchmark harness
-    renders them. Disabled traces cost nothing. *)
-
-type chain_path = {
-  label : string;      (** e.g. "p1" *)
-  via : string;        (** first vertex the segment branches through *)
-  cost : float;
-  sf : float;
-}
-
-type event =
-  | Vertex_initialized of { vertex : int; card : int }
-  | Edge_weighted of { edge : int; weight : float }
-  | Chain_started of { source : int; min_edge : int }
-  | Chain_round of { round : int; cutoff : int; paths : chain_path list }
-  | Chain_chosen of {
-      edges : int list;
-      trigger : [ `Stopping_condition | `Exhausted | `Single_edge ];
-    }
-  | Edge_executed of { edge : int; order : int; pairs : int; rel_rows : int }
-
-type t
-
-val create : ?enabled:bool -> unit -> t
-val enabled : t -> bool
-val emit : t -> event -> unit
-val events : t -> event list
-(** In emission order. *)
-
-val execution_order : t -> int list
-(** Edge ids in the order they were executed. *)
-
-val chain_rounds : t -> (int * int * chain_path list) list
-(** All (round, cutoff, paths) events — the raw data behind Table 2. *)
+include module type of struct include Rox_joingraph.Trace end

@@ -83,7 +83,7 @@ let inner_spec engine (v : Vertex.t) restrict =
   in
   { Value_join.docref = r; side; restrict }
 
-let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
+let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
   let v1 = Graph.vertex graph e.Edge.v1 in
   let v2 = Graph.vertex graph e.Edge.v2 in
   match e.Edge.op with
@@ -147,6 +147,34 @@ let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~
               Int_vec.push lefts i;
               Int_vec.push rights o)));
     { left = Int_vec.to_array lefts; right = Int_vec.to_array rights }
+
+let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
+  if not !Sanitize.enabled then
+    full_pairs_impl ?meter ?equi_algo ?step_direction engine graph e ~t1 ~t2
+  else begin
+    let op =
+      match e.Edge.op with
+      | Edge.Step axis -> Printf.sprintf "Exec.full_pairs(step %s)" (Axis.to_string axis)
+      | Edge.Equijoin -> "Exec.full_pairs(equijoin)"
+    in
+    Sanitize.check_sorted_dedup ~op ~what:"t1" t1;
+    Sanitize.check_sorted_dedup ~op ~what:"t2" t2;
+    let pairs, charged =
+      Sanitize.observed meter (fun m ->
+          full_pairs_impl ~meter:m ?equi_algo ?step_direction engine graph e ~t1 ~t2)
+    in
+    Sanitize.check_subset ~op ~what:"left column" ~domain:t1 pairs.left;
+    Sanitize.check_subset ~op ~what:"right column" ~domain:t2 pairs.right;
+    (* Only the hash and merge value joins have a |C| + |S| + |R| Table 1
+       bound expressible in the sizes at hand; index-NL work depends on
+       bucket sizes, steps on subtree shapes. *)
+    (match (e.Edge.op, equi_algo) with
+     | Edge.Equijoin, (None | Some Algo_hash | Some Algo_merge) ->
+       Sanitize.check_cost ~op ~charged
+         ~bound:(Array.length t1 + Array.length t2 + Array.length pairs.left)
+     | _ -> ());
+    pairs
+  end
 
 let sampled ?meter engine graph (e : Edge.t) ~outer ~sample ~inner_table ~limit =
   let v1 = Graph.vertex graph e.Edge.v1 in

@@ -252,6 +252,20 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
   set_component t cid rel;
   mark_executed t e;
   let changed = refresh_tables t rel in
+  if !Sanitize.enabled then begin
+    let op = Printf.sprintf "Runtime.execute_edge(e%d)" e.Edge.id in
+    Array.iter
+      (fun v ->
+        match t.tables.(v) with
+        | None -> ()
+        | Some tab ->
+          let what = Printf.sprintf "T(v%d)" v in
+          Sanitize.check_sorted_dedup ~op ~what tab;
+          Sanitize.check_subset ~op ~what
+            ~domain:(Exec.vertex_domain t.engine (Graph.vertex t.graph v))
+            tab)
+      (Relation.vertices rel)
+  end;
   { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed }
 
 let final_relation ?meter t =

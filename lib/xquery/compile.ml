@@ -3,6 +3,7 @@ open Rox_algebra
 open Rox_joingraph
 
 exception Unsupported of string
+exception Rejected of Rox_analysis.Diagnostic.t
 
 type compiled = {
   graph : Graph.t;
@@ -185,6 +186,17 @@ let compile ?(equi_closure = true) engine (q : Ast.query) =
         ignore (compile_path ctx ~terminal_pred:selection p : int))
     q.Ast.where;
   if equi_closure then ignore (Graph.equi_closure ctx.graph : Edge.t list);
+  (* A disconnected graph would make the optimizer cross-product unrelated
+     subqueries (Definition 1 demands one component): reject it here, with
+     a structured diagnostic, before it can reach the run-time. *)
+  if not (Graph.connected ctx.graph) then
+    raise
+      (Rejected
+         (Rox_analysis.Diagnostic.error "RX001" Rox_analysis.Diagnostic.Graph_loc
+            ~hint:
+              "multi-document queries must relate their documents through a \
+               where-clause value join"
+            "compiled join graph is not connected"));
   let return_vertex =
     match List.assoc_opt q.Ast.return_var ctx.vars with
     | Some v -> v

@@ -15,6 +15,10 @@
 exception Unsupported of string
 (** Query shape outside the compiled fragment (e.g. [!=] predicates). *)
 
+exception Rejected of Rox_analysis.Diagnostic.t
+(** The query compiled to a graph that fails static analysis — today,
+    a disconnected Join Graph (diagnostic code RX001). *)
+
 type compiled = {
   graph : Rox_joingraph.Graph.t;
   engine : Rox_storage.Engine.t;

@@ -92,13 +92,27 @@ let run_instance seed =
         .Rox_joingraph.Vertex.doc_id
     in
     let tag nodes = List.map (fun p -> (return_doc, p)) (Array.to_list nodes) in
-    (* Route 1: ROX with a per-instance seed. *)
+    (* Route 1: ROX with a per-instance seed, trace enabled. *)
     let options = { Rox_core.Optimizer.default_options with seed = seed + 1 } in
-    let rox, _ = Rox_core.Optimizer.answer ~options compiled in
+    let trace = Rox_core.Trace.create () in
+    let rox, rox_result = Rox_core.Optimizer.answer ~options ~trace compiled in
     (* Route 2: a random-permutation plan through the classical executor. *)
     let plan = shuffled_plan rng compiled.Compile.graph in
     let planned, _ = Rox_classical.Executor.answer compiled plan in
-    tag rox = naive && tag planned = naive
+    (* Every legitimate instance must come through the static analysis
+       passes without error diagnostics: the graph itself, the replayed
+       ROX trace, its executed plan, and the shuffled baseline plan. *)
+    let graph = compiled.Compile.graph in
+    let no_errors diags = not (List.exists Rox_analysis.Diagnostic.is_error diags) in
+    let plan_ids = List.map (fun (e : Rox_joingraph.Edge.t) -> e.Rox_joingraph.Edge.id) plan in
+    let analysis_clean =
+      no_errors (Rox_analysis.Graph_check.check graph)
+      && no_errors (Rox_analysis.Trace_check.check graph trace)
+      && no_errors
+           (Rox_analysis.Plan_check.check graph rox_result.Rox_core.Optimizer.edge_order)
+      && no_errors (Rox_analysis.Plan_check.check graph plan_ids)
+    in
+    tag rox = naive && tag planned = naive && analysis_clean
 
 let prop_fuzz =
   qtest ~count:120 "ROX = random plan = naive on random instances" QCheck.small_int

@@ -152,9 +152,25 @@ let prop_sampling_deterministic =
       let s2 = Sampling.sample (Rox_util.Xoshiro.create seed) table tau in
       s1 = s2)
 
+(* of_unsorted normalizes any scratch array — including already-sorted
+   inputs with duplicates, which take the linear no-sort path. *)
+let prop_of_unsorted_normalizes =
+  qtest ~count:200 "of_unsorted: sorted, deduped, same element set"
+    QCheck.(pair small_int bool)
+    (fun (seed, presorted) ->
+      let rng = Rox_util.Xoshiro.create (seed + 11) in
+      let n = Rox_util.Xoshiro.int rng 40 in
+      (* Dense value range: duplicates are common. *)
+      let a = Array.init n (fun _ -> Rox_util.Xoshiro.int rng 25) in
+      if presorted then Array.sort compare a;
+      let out = Nodeset.of_unsorted a in
+      Nodeset.is_sorted_dedup out
+      && List.sort_uniq compare (Array.to_list a) = Array.to_list out)
+
 let suite =
   [
     prop_step_direction_symmetry;
+    prop_of_unsorted_normalizes;
     prop_cutoff_sanity;
     prop_value_join_equivalence;
     prop_staircase_restriction;

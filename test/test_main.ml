@@ -12,6 +12,7 @@ let () =
       ("classical", Suite_classical.suite);
       ("workload", Suite_workload.suite);
       ("extensions", Suite_extensions.suite);
+      ("analysis", Suite_analysis.suite);
       ("fuzz", Suite_fuzz.suite);
       ("props", Suite_props.suite);
     ]
