@@ -1,4 +1,4 @@
-.PHONY: all build test analyze check clean
+.PHONY: all build test analyze bench-smoke check clean
 
 all: build
 
@@ -13,7 +13,13 @@ test:
 analyze:
 	dune exec bin/rox_cli.exe -- analyze
 
+# Quick cache benchmark: repeated workload against a shared store;
+# writes BENCH_cache.json (join reduction, hit rates, bit-identity).
+bench-smoke:
+	dune exec bench/main.exe -- cache
+
 check: build test analyze
+	-$(MAKE) bench-smoke
 
 clean:
 	dune clean

@@ -6,6 +6,7 @@ open Rox_storage
 open Rox_xquery
 open Rox_core
 open Bench_common
+module Trace = Rox_joingraph.Trace
 
 (* 2000 'a' elements; every a has a b child and most have an e child; only a
    handful of b's lead to c[d]. The (a,b) edge looks cheap and uniform; the

@@ -20,6 +20,7 @@ let experiments ~full =
     ("fig7", "Figure 7: scaling document sizes", fun () -> Exp_fig7.run ~full ());
     ("fig8", "Figure 8: sample size vs overhead", fun () -> Exp_fig8.run ~full ());
     ("ablate", "Ablations of ROX design choices", fun () -> Exp_ablation.run ());
+    ("cache", "Cross-query cache: repeated workload reuse", fun () -> Exp_cache.run ~full ());
     ("bechamel", "Operator kernel micro-benchmarks", fun () -> Exp_bechamel.run ());
   ]
 

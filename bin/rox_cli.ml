@@ -78,7 +78,8 @@ let serialize_node engine (doc_id, pre) =
     Printf.sprintf "<?%s %s?>" (Rox_shred.Doc.name doc pre) (Rox_shred.Doc.value doc pre)
   | Rox_shred.Nodekind.Doc -> "<!-- document root -->"
 
-let run docs query_file show_graph show_trace optimizer tau seed count_only limit =
+let run docs query_file show_graph show_trace optimizer tau seed count_only limit
+    cache_mb cache_stats =
   let engine = Rox_storage.Engine.create () in
   List.iter
     (fun path ->
@@ -106,15 +107,23 @@ let run docs query_file show_graph show_trace optimizer tau seed count_only limi
       exit 1
   in
   if show_graph then prerr_string (Rox_joingraph.Pretty.to_string compiled.Rox_xquery.Compile.graph);
+  let cache =
+    if cache_mb > 0 then Some (Rox_cache.Store.of_megabytes engine cache_mb) else None
+  in
+  if (cache_mb > 0 || cache_stats)
+     && not (optimizer = Opt_rox || optimizer = Opt_greedy)
+  then
+    Printf.eprintf
+      "note: --cache-mb/--cache-stats only apply to the rox and greedy optimizers\n";
   let t0 = Unix.gettimeofday () in
   let answer, counter =
     match optimizer with
     | Opt_rox | Opt_greedy ->
       let options =
         { Rox_core.Optimizer.default_options with
-          tau; seed; use_chain = (optimizer = Opt_rox) }
+          tau; seed; use_chain = (optimizer = Opt_rox); cache }
       in
-      let trace = Rox_core.Trace.create ~enabled:show_trace () in
+      let trace = Rox_joingraph.Trace.create ~enabled:show_trace () in
       let answer, result = Rox_core.Optimizer.answer ~options ~trace compiled in
       if show_trace then begin
         List.iter
@@ -122,7 +131,7 @@ let run docs query_file show_graph show_trace optimizer tau seed count_only limi
             let e = Rox_joingraph.Graph.edge compiled.Rox_xquery.Compile.graph id in
             Printf.eprintf "executed edge %d: %s\n" id
               (Rox_joingraph.Pretty.edge_line compiled.Rox_xquery.Compile.graph e))
-          (Rox_core.Trace.execution_order trace)
+          (Rox_joingraph.Trace.execution_order trace)
       end;
       (answer, result.Rox_core.Optimizer.counter)
     | Opt_static ->
@@ -142,6 +151,10 @@ let run docs query_file show_graph show_trace optimizer tau seed count_only limi
     (Rox_algebra.Cost.read counter Rox_algebra.Cost.Sampling)
     (Rox_algebra.Cost.read counter Rox_algebra.Cost.Execution)
     dt;
+  (match cache with
+   | Some store when cache_stats ->
+     prerr_string (Rox_cache.Store.stats_to_string (Rox_cache.Store.stats store))
+   | _ -> ());
   if count_only then Printf.printf "%d\n" (Array.length answer)
   else begin
     let return_doc =
@@ -178,7 +191,7 @@ let analyze_case ~subject engine query =
   | compiled ->
     let graph = compiled.Rox_xquery.Compile.graph in
     let diags = ref (A.Graph_check.check graph) in
-    let trace = Rox_core.Trace.create () in
+    let trace = Rox_joingraph.Trace.create () in
     (match
        A.Contract.wrap ~label:subject (fun () ->
            Rox_core.Optimizer.run ~trace compiled)
@@ -337,14 +350,25 @@ let cmd =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K"
            ~doc:"Serialize at most K answer nodes (0 = all; default 20).")
   in
+  let cache_mb =
+    Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Budget (MiB) for the cross-query cache of materialized edge \
+                 executions and sample estimates (0 = off; default 0). Only \
+                 affects the rox and greedy optimizers.")
+  in
+  let cache_stats =
+    Arg.(value & flag & info [ "cache-stats" ]
+           ~doc:"Print cache hit/miss/eviction counters to stderr after the run \
+                 (requires --cache-mb).")
+  in
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed c l ->
-          run docs qf g t o tau seed c l;
+      const (fun docs qf g t o tau seed c l cmb cst ->
+          run docs qf g t o tau seed c l cmb cst;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-      $ count_only $ limit)
+      $ count_only $ limit $ cache_mb $ cache_stats)
   in
   let group = Cmd.group ~default:run_term (Cmd.info "rox" ~doc) [ analyze_cmd ] in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in

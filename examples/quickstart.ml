@@ -35,7 +35,7 @@ let () =
   print_string (Rox_joingraph.Pretty.to_string compiled.Rox_xquery.Compile.graph);
 
   (* 3. Run ROX: optimization happens during execution, driven by sampling. *)
-  let trace = Rox_core.Trace.create () in
+  let trace = Rox_joingraph.Trace.create () in
   let answer, result = Rox_core.Optimizer.answer ~trace compiled in
 
   (* 4. The answer is a sequence of nodes of the queried document. *)

@@ -1,4 +1,4 @@
-type contract = Sorted_dedup | Domain_subset | Cost_bound
+type contract = Sorted_dedup | Domain_subset | Cost_bound | Cache_consistent
 
 type violation = {
   op : string;
@@ -18,6 +18,7 @@ let contract_label = function
   | Sorted_dedup -> "sorted duplicate-free node sequence"
   | Domain_subset -> "output contained in input domain"
   | Cost_bound -> "Table 1 cost bound"
+  | Cache_consistent -> "cache hit bit-identical to fresh execution"
 
 let fail ~op ~contract detail = raise (Violation { op; contract; detail })
 
@@ -39,6 +40,18 @@ let check_subset ~op ~what ~domain a =
         fail ~op ~contract:Domain_subset
           (Printf.sprintf "%s contains node %d outside its domain" what x))
     a
+
+let check_identical ~op ~what a b =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then
+    fail ~op ~contract:Cache_consistent
+      (Printf.sprintf "%s: cached length %d, fresh length %d" what na nb)
+  else
+    for i = 0 to na - 1 do
+      if a.(i) <> b.(i) then
+        fail ~op ~contract:Cache_consistent
+          (Printf.sprintf "%s[%d]: cached %d, fresh %d" what i a.(i) b.(i))
+    done
 
 let check_cost ~op ~charged ~bound =
   if charged > bound then

@@ -16,6 +16,9 @@ type contract =
   | Sorted_dedup   (** Table 1's zero-investment node-sequence contract *)
   | Domain_subset  (** operator output stays inside its input domain *)
   | Cost_bound     (** observed work within the Table 1 cost formula *)
+  | Cache_consistent
+      (** a [Rox_cache] hit replayed a result bit-identical to what a
+          fresh execution of the fingerprinted operation produces *)
 
 type violation = {
   op : string;          (** operator, e.g. ["Staircase.join(descendant)"] *)
@@ -41,6 +44,10 @@ val check_sorted_dedup : op:string -> what:string -> int array -> unit
 
 val check_subset : op:string -> what:string -> domain:int array -> int array -> unit
 (** Every element occurs in [domain] (sorted). *)
+
+val check_identical : op:string -> what:string -> int array -> int array -> unit
+(** [check_identical ~op ~what cached fresh] fails the {!Cache_consistent}
+    contract on the first position where the arrays differ. *)
 
 val check_cost : op:string -> charged:int -> bound:int -> unit
 (** Observed work does not exceed the operator's cost-formula bound. *)

@@ -8,6 +8,7 @@ let code_of_contract = function
   | Sanitize.Sorted_dedup -> "RX301"
   | Sanitize.Domain_subset -> "RX302"
   | Sanitize.Cost_bound -> "RX303"
+  | Sanitize.Cache_consistent -> "RX304"
 
 let diagnostic_of_violation ?label (v : Sanitize.violation) =
   let message =

@@ -76,6 +76,7 @@ let code_docs =
     ("RX111", "malformed vertex-initialized event");
     ("RX112", "malformed edge-weighted event");
     ("RX113", "malformed chain-round statistics");
+    ("RX114", "cache lookup references an unknown edge id");
     ("RX201", "plan references an unknown edge id");
     ("RX202", "plan lists an edge twice");
     ("RX203", "plan misses a non-trivial edge");
@@ -84,4 +85,5 @@ let code_docs =
     ("RX301", "operator output violated the sorted duplicate-free contract");
     ("RX302", "operator output escaped its input domain");
     ("RX303", "operator exceeded its Table 1 cost bound");
+    ("RX304", "cache hit differed from a fresh execution of the same operation");
   ]

@@ -277,7 +277,15 @@ let check (g : Graph.t) (trace : Trace.t) =
           match e.Edge.op with
           | Edge.Equijoin -> uf_union r.equi_uf e.Edge.v1 e.Edge.v2
           | Edge.Step _ -> ()
-        end)
+        end
+      | Trace.Cache_lookup { edge; store = _; hit = _ } ->
+        (* Cache consultations are free-form (estimate lookups happen for
+           edges never executed); only the edge id must be real. *)
+        if not (valid_edge edge) then
+          add
+            (D.error "RX114" loc
+               (Printf.sprintf "cache lookup on unknown edge e%d (graph has %d)" edge
+                  ne)))
     (Trace.events trace);
   (* RX109: completeness. Every non-trivial edge must have been executed or
      be transitively implied by executed equi-joins (Runtime.sweep_implied

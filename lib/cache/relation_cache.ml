@@ -1,0 +1,20 @@
+module L = Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+type value = { left : int array; right : int array }
+type t = value L.t
+
+let create ~budget = L.create ~budget
+let find t k = L.find t k
+
+(* 8 bytes per node in each column, plus a conservative constant for the
+   key string, the hashtable slot and the recency-list node. *)
+let weight v = (8 * (Array.length v.left + Array.length v.right)) + 128
+
+let add t k v = L.add t k ~weight:(weight v) v
+let stats = L.stats
+let clear = L.clear

@@ -1,0 +1,27 @@
+(** Cross-query cache of fully materialized edge executions.
+
+    The value is the pair list a staircase or value join produced for one
+    edge against concrete endpoint tables — exactly what
+    [Rox_joingraph.Exec.full_pairs] returns, stored as its two parallel
+    columns ((v1-node, v2-node) orientation). Keys are
+    {!Fingerprint.t}s over the edge descriptor and the endpoint table
+    contents, so a hit is valid for *any* query that executes the same
+    edge shape against the same inputs on the same engine epoch.
+
+    Stored arrays are returned as-is and must be treated as immutable by
+    consumers (the join-graph layer never mutates pair arrays). *)
+
+type value = { left : int array; right : int array }
+
+type t
+
+val create : budget:int -> t
+(** [budget] in bytes of resident pair data. *)
+
+val find : t -> Fingerprint.t -> value option
+val add : t -> Fingerprint.t -> value -> unit
+val weight : value -> int
+(** The byte weight charged for a value: 8 per node plus entry overhead. *)
+
+val stats : t -> Lru.stats
+val clear : t -> unit

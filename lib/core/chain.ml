@@ -121,9 +121,7 @@ let run ?(grow_cutoff = true) ?(max_rounds = 12) state =
                       let v' = Edge.other_end e' p.s_stop in
                       let inner_table = Runtime.table runtime v' in
                       let cut =
-                        Exec.sampled
-                          ~meter:(State.sampling_meter state)
-                          (State.engine state) graph e' ~outer ~sample:p.s_input
+                        State.sampled_cutoff state e' ~outer ~sample:p.s_input
                           ~inner_table ~limit:!cutoff
                       in
                       let est = cut.Rox_algebra.Cutoff.est in

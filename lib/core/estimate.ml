@@ -24,9 +24,7 @@ let edge_weight state (e : Edge.t) =
       let v' = Edge.other_end e v in
       let inner_table = Runtime.table (State.runtime state) v' in
       let cut =
-        Exec.sampled
-          ~meter:(State.sampling_meter state)
-          (State.engine state) (State.graph state) e ~outer ~sample ~inner_table
+        State.sampled_cutoff state e ~outer ~sample ~inner_table
           ~limit:(State.tau state)
       in
       Some (card /. float_of_int (Array.length sample) *. cut.Rox_algebra.Cutoff.est)

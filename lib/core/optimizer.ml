@@ -9,11 +9,12 @@ type options = {
   grow_cutoff : bool;
   race_operators : bool;
   table_fraction : float option;
+  cache : Rox_cache.Store.t option;
 }
 
 let default_options =
   { seed = 42; tau = 100; max_rows = 50_000_000; use_chain = true; resample = true;
-    grow_cutoff = true; race_operators = true; table_fraction = None }
+    grow_cutoff = true; race_operators = true; table_fraction = None; cache = None }
 
 type result = {
   state : State.t;
@@ -52,6 +53,10 @@ let execute_one state ~options ~order ~rows e =
   in
   incr order;
   rows := (e.Edge.id, info.Runtime.rel_rows) :: !rows;
+  if options.cache <> None then
+    Trace.emit (State.trace state)
+      (Trace.Cache_lookup
+         { edge = e.Edge.id; store = `Relation; hit = info.Runtime.cache_hit });
   Trace.emit (State.trace state)
     (Trace.Edge_executed
        { edge = e.Edge.id; order = !order; pairs = info.Runtime.pair_count;
@@ -91,7 +96,7 @@ let execute_segment state ~options ~order ~rows edges =
 let run_graph ?(options = default_options) ?trace engine graph =
   let state =
     State.create ~seed:options.seed ~tau:options.tau ~max_rows:options.max_rows
-      ?table_fraction:options.table_fraction ?trace engine graph
+      ?table_fraction:options.table_fraction ?cache:options.cache ?trace engine graph
   in
   phase1 state;
   let order = ref 0 in

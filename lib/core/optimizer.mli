@@ -31,6 +31,12 @@ type options = {
       (** approximate mode (Section 6): materialize vertex tables as
           uniform samples of this fraction; the answer becomes a sound
           subset computed over proportionally small intermediates *)
+  cache : Rox_cache.Store.t option;
+      (** cross-query cache of materialized edge executions and cut-off
+          sample estimates; create one {!Rox_cache.Store} next to the
+          engine and pass it to every run to reuse work across queries
+          (default [None] — no caching, bit-for-bit the historical
+          behavior) *)
 }
 
 val default_options : options
@@ -47,14 +53,14 @@ type result = {
 
 val run_graph :
   ?options:options ->
-  ?trace:Trace.t ->
+  ?trace:Rox_joingraph.Trace.t ->
   Rox_storage.Engine.t ->
   Rox_joingraph.Graph.t ->
   result
 
-val run : ?options:options -> ?trace:Trace.t -> Rox_xquery.Compile.compiled -> result
+val run : ?options:options -> ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> result
 
 val answer :
-  ?options:options -> ?trace:Trace.t -> Rox_xquery.Compile.compiled -> int array * result
+  ?options:options -> ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> int array * result
 (** Run and apply the π/δ/τ tail: the query answer as return-vertex nodes
     in XQuery order. *)

@@ -9,12 +9,14 @@ type t = {
   rng : Xoshiro.t;
   counter : Cost.counter;
   trace : Trace.t;
+  cache : Rox_cache.Store.t option;
   samples : int array option array;
   cards : float option array;
   weights : float option array;
 }
 
-let create ?(seed = 42) ?(tau = 100) ?max_rows ?table_fraction ?trace engine graph =
+let create ?(seed = 42) ?(tau = 100) ?max_rows ?table_fraction ?trace ?cache engine
+    graph =
   let trace = match trace with Some t -> t | None -> Trace.create ~enabled:false () in
   let table_sampler =
     match table_fraction with
@@ -26,11 +28,12 @@ let create ?(seed = 42) ?(tau = 100) ?max_rows ?table_fraction ?trace engine gra
       Some (fun _vertex table -> Sampling.sample_fraction rng table fraction)
   in
   {
-    runtime = Runtime.create ?max_rows ?table_sampler engine graph;
+    runtime = Runtime.create ?max_rows ?cache ?table_sampler engine graph;
     tau;
     rng = Xoshiro.create seed;
     counter = Cost.new_counter ();
     trace;
+    cache;
     samples = Array.make (Graph.vertex_count graph) None;
     cards = Array.make (Graph.vertex_count graph) None;
     weights = Array.make (Graph.edge_count graph) None;
@@ -45,8 +48,71 @@ let counter t = t.counter
 let trace t = t.trace
 let sample t v = t.samples.(v)
 let card t v = t.cards.(v)
+let cache t = t.cache
 let sampling_meter t = Cost.sampling_meter t.counter
 let execution_meter t = Cost.execution_meter t.counter
+
+(* Cut-off sampled execution with the cross-query estimate cache in front.
+   A sampled run is a pure function of (edge shape, direction, outer
+   sample, inner table, limit), so the full Cutoff.t — estimate, sampled
+   output, consumed fraction — can be replayed from cache; a hit skips the
+   physical sampled operator and its sampling-meter charges. Under the
+   sanitizer every hit is cross-checked bit-identical against a fresh
+   (uncharged) execution. *)
+let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
+  let engine = Runtime.engine t.runtime in
+  let graph = Runtime.graph t.runtime in
+  let run meter = Exec.sampled ?meter engine graph e ~outer ~sample ~inner_table ~limit in
+  match t.cache with
+  | None -> run (Some (sampling_meter t))
+  | Some store ->
+    let vdesc v = Vertex.fingerprint_label (Graph.vertex graph v) in
+    let key =
+      Rox_cache.Fingerprint.make
+        ~epoch:(Rox_cache.Store.epoch store)
+        [
+          "est";
+          (match e.Edge.op with
+           | Edge.Step axis -> "step:" ^ Axis.short_label axis
+           | Edge.Equijoin -> "eq");
+          (match outer with Exec.From_v1 -> "1" | Exec.From_v2 -> "2");
+          vdesc e.Edge.v1;
+          vdesc e.Edge.v2;
+          Rox_cache.Fingerprint.table sample;
+          Rox_cache.Fingerprint.option_table inner_table;
+          string_of_int limit;
+        ]
+    in
+    let estimates = Rox_cache.Store.estimates store in
+    (match Rox_cache.Estimate_cache.find estimates key with
+     | Some cut ->
+       Trace.emit t.trace
+         (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = true });
+       if !Sanitize.enabled then begin
+         let op = Printf.sprintf "State.sampled_cutoff(e%d)" e.Edge.id in
+         let fresh = run None in
+         Sanitize.check_identical ~op ~what:"sampled output"
+           cut.Cutoff.out fresh.Cutoff.out;
+         if
+           cut.Cutoff.est <> fresh.Cutoff.est
+           || cut.Cutoff.produced <> fresh.Cutoff.produced
+           || cut.Cutoff.consumed_outer
+              <> fresh.Cutoff.consumed_outer
+           || cut.Cutoff.completed <> fresh.Cutoff.completed
+         then
+           Sanitize.fail ~op
+             ~contract:Sanitize.Cache_consistent
+             (Printf.sprintf "cached est %g/produced %d, fresh est %g/produced %d"
+                cut.Cutoff.est cut.Cutoff.produced
+                fresh.Cutoff.est fresh.Cutoff.produced)
+       end;
+       cut
+     | None ->
+       Trace.emit t.trace
+         (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = false });
+       let cut = run (Some (sampling_meter t)) in
+       Rox_cache.Estimate_cache.add estimates key cut;
+       cut)
 
 let set_sample_from t v table =
   let s = Sampling.sample t.rng table t.tau in

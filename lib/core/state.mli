@@ -15,6 +15,7 @@ val create :
   ?max_rows:int ->
   ?table_fraction:float ->
   ?trace:Trace.t ->
+  ?cache:Rox_cache.Store.t ->
   Rox_storage.Engine.t ->
   Graph.t ->
   t
@@ -22,7 +23,12 @@ val create :
     tables materialize as uniform samples of that fraction of their index
     domains, so every intermediate stays proportionally small and the
     answer is a sound subset of the exact one (Section 6's "run ROX with
-    samples instead of the complete data"). *)
+    samples instead of the complete data").
+
+    [cache] wires in the cross-query {!Rox_cache.Store}: the runtime
+    consults its relation cache before every physical join, and
+    {!sampled_cutoff} consults its estimate cache before every cut-off
+    sampled execution. *)
 
 val runtime : t -> Runtime.t
 val graph : t -> Graph.t
@@ -60,3 +66,22 @@ val min_weight_edge : t -> Edge.t option
 
 val sampling_meter : t -> Rox_algebra.Cost.meter
 val execution_meter : t -> Rox_algebra.Cost.meter
+
+val cache : t -> Rox_cache.Store.t option
+
+val sampled_cutoff :
+  t ->
+  Edge.t ->
+  outer:Exec.direction ->
+  sample:int array ->
+  inner_table:int array option ->
+  limit:int ->
+  Rox_algebra.Cutoff.t
+(** The [↓l(exec(e, S, T))] of Algorithms 1 and 2 with the estimate cache
+    in front: identical requests (same edge shape, sample contents, inner
+    table and limit, on the same engine epoch) replay the cached
+    {!Rox_algebra.Cutoff.t} — across chain rounds and across queries —
+    and charge no sampling work. Emits a [Trace.Cache_lookup] event per
+    consultation; a hit is cross-checked bit-identical under the
+    sanitizer. Without a cache this is exactly [Exec.sampled] charged to
+    the sampling meter. *)

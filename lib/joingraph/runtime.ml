@@ -7,6 +7,10 @@ type t = {
   engine : Engine.t;
   graph : Graph.t;
   max_rows : int;
+  (* Cross-query relation cache: consulted before running the physical
+     staircase / value join of an edge, keyed by operation shape and input
+     table contents (epoch-scoped). *)
+  cache : Rox_cache.Store.t option;
   (* Applied when a vertex table is first materialized from its index
      domain — the hook behind approximate (sample-driven) execution. *)
   table_sampler : (int -> int array -> int array) option;
@@ -33,12 +37,13 @@ let is_trivial_edge graph (e : Edge.t) =
     Vertex.is_root (Graph.vertex graph e.Edge.v1)
   | Edge.Step _ | Edge.Equijoin -> false
 
-let create ?(max_rows = 50_000_000) ?table_sampler engine graph =
+let create ?(max_rows = 50_000_000) ?cache ?table_sampler engine graph =
   let t =
     {
       engine;
       graph;
       max_rows;
+      cache;
       table_sampler;
       tables = Array.make (Graph.vertex_count graph) None;
       executed_edges = Array.make (Graph.edge_count graph) false;
@@ -110,6 +115,7 @@ type exec_info = {
   pair_count : int;
   rel_rows : int;
   changed : int list;
+  cache_hit : bool;
 }
 
 let rec uf_find t v = if t.equi_uf.(v) = v then v else (t.equi_uf.(v) <- uf_find t t.equi_uf.(v); t.equi_uf.(v))
@@ -173,6 +179,56 @@ let charged_table ?meter t v =
     Rox_algebra.Cost.charge meter (Array.length tab);
     tab
 
+(* The cacheable unit of edge execution: the physical-variant descriptor
+   (results are bit-identical only per variant — pair order differs between
+   a hash join and an index nested-loop), the concrete input tables, and a
+   thunk running the physical operator. *)
+type exec_plan = {
+  variant : string;
+  in1 : int array;
+  in2 : int array;
+  run : Rox_algebra.Cost.meter option -> Exec.pairs;
+}
+
+let edge_fingerprint t (e : Edge.t) store plan =
+  let vdesc v = Vertex.fingerprint_label (Graph.vertex t.graph v) in
+  Rox_cache.Fingerprint.make
+    ~epoch:(Rox_cache.Store.epoch store)
+    [
+      "edge"; plan.variant; vdesc e.Edge.v1; vdesc e.Edge.v2;
+      Rox_cache.Fingerprint.table plan.in1; Rox_cache.Fingerprint.table plan.in2;
+    ]
+
+(* Consult the relation cache around the physical join. A hit replays the
+   stored pair columns; under the sanitizer every hit is cross-checked
+   bit-identical against a fresh (uncharged) execution of the same
+   physical variant. *)
+let cached_pairs ?meter t (e : Edge.t) plan =
+  match t.cache with
+  | None -> (plan.run meter, false)
+  | Some store ->
+    let key = edge_fingerprint t e store plan in
+    let relations = Rox_cache.Store.relations store in
+    (match Rox_cache.Relation_cache.find relations key with
+     | Some v ->
+       let pairs =
+         { Exec.left = v.Rox_cache.Relation_cache.left;
+           right = v.Rox_cache.Relation_cache.right }
+       in
+       if !Sanitize.enabled then begin
+         let op = Printf.sprintf "Runtime.cached_pairs(e%d %s)" e.Edge.id plan.variant in
+         let fresh = plan.run None in
+         Sanitize.check_identical ~op ~what:"left column" pairs.Exec.left fresh.Exec.left;
+         Sanitize.check_identical ~op ~what:"right column" pairs.Exec.right
+           fresh.Exec.right
+       end;
+       (pairs, true)
+     | None ->
+       let pairs = plan.run meter in
+       Rox_cache.Relation_cache.add relations key
+         { Rox_cache.Relation_cache.left = pairs.Exec.left; right = pairs.Exec.right };
+       (pairs, false))
+
 let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
   if executed t e then invalid_arg "Runtime.execute_edge: edge already executed";
   let v1 = e.Edge.v1 and v2 = e.Edge.v2 in
@@ -185,9 +241,9 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
      the inner side is served by the indices — the zero-investment
      discipline the paper's Join Graph execution lives by. *)
   let outer_first = known_size t v1 <= known_size t v2 in
-  let pairs =
+  let plan =
     match e.Edge.op with
-    | Edge.Step _ ->
+    | Edge.Step axis ->
       let dir =
         match step_direction with
         | Some d -> d
@@ -198,7 +254,14 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
         | Exec.From_v1 -> (charged_table ?meter t v1, table_or_domain t v2)
         | Exec.From_v2 -> (table_or_domain t v1, charged_table ?meter t v2)
       in
-      Exec.full_pairs ?meter ~step_direction:dir t.engine t.graph e ~t1 ~t2
+      {
+        variant =
+          Printf.sprintf "step:%s:%s" (Rox_algebra.Axis.short_label axis)
+            (match dir with Exec.From_v1 -> "1" | Exec.From_v2 -> "2");
+        in1 = t1;
+        in2 = t2;
+        run = (fun m -> Exec.full_pairs ?meter:m ~step_direction:dir t.engine t.graph e ~t1 ~t2);
+      }
     | Edge.Equijoin ->
       (* Index nested-loop from the smaller side when the inner endpoint
          has a value-index access path; hash join otherwise. *)
@@ -219,8 +282,19 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
         | Exec.Algo_hash | Exec.Algo_merge ->
           (charged_table ?meter t v1, charged_table ?meter t v2)
       in
-      Exec.full_pairs ?meter ~equi_algo:algo t.engine t.graph e ~t1 ~t2
+      {
+        variant =
+          (match algo with
+           | Exec.Algo_hash -> "eq:hash"
+           | Exec.Algo_merge -> "eq:merge"
+           | Exec.Algo_index_nl Exec.From_v1 -> "eq:nl1"
+           | Exec.Algo_index_nl Exec.From_v2 -> "eq:nl2");
+        in1 = t1;
+        in2 = t2;
+        run = (fun m -> Exec.full_pairs ?meter:m ~equi_algo:algo t.engine t.graph e ~t1 ~t2);
+      }
   in
+  let pairs, cache_hit = cached_pairs ?meter t e plan in
   let c1 = t.comp_of.(v1) and c2 = t.comp_of.(v2) in
   let get cid = match t.components.(cid) with Some r -> r | None -> assert false in
   let rel =
@@ -266,7 +340,7 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
             tab)
       (Relation.vertices rel)
   end;
-  { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed }
+  { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed; cache_hit }
 
 let final_relation ?meter t =
   if not (all_executed t) then

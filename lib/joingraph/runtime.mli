@@ -23,6 +23,7 @@ exception Blowup of { edge : int; rows : int; limit : int }
 
 val create :
   ?max_rows:int ->
+  ?cache:Rox_cache.Store.t ->
   ?table_sampler:(int -> int array -> int array) ->
   Engine.t ->
   Graph.t ->
@@ -30,7 +31,14 @@ val create :
 (** [table_sampler vertex domain] may thin a table when it is first
     materialized from its index — the hook behind the approximate
     (sample-driven) execution mode of Section 6. Tables refreshed from
-    executed relations are never re-sampled. *)
+    executed relations are never re-sampled.
+
+    [cache] wires in the cross-query relation cache: {!execute_edge}
+    consults it (keyed by physical variant, endpoint identities and input
+    table contents, scoped by the engine epoch) before running the
+    staircase / value join, and stores fresh results. Component
+    maintenance and semijoin reduction always run — only the physical
+    join itself is elided on a hit. *)
 
 val engine : t -> Engine.t
 val graph : t -> Graph.t
@@ -71,6 +79,7 @@ type exec_info = {
   pair_count : int;      (** operator result pairs *)
   rel_rows : int;        (** rows of the affected component afterwards *)
   changed : int list;    (** vertices whose T(v) shrank (incl. endpoints) *)
+  cache_hit : bool;      (** the physical join was replayed from the cache *)
 }
 
 val execute_edge :

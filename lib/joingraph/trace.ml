@@ -15,6 +15,7 @@ type event =
       trigger : [ `Stopping_condition | `Exhausted | `Single_edge ];
     }
   | Edge_executed of { edge : int; order : int; pairs : int; rel_rows : int }
+  | Cache_lookup of { edge : int; store : [ `Relation | `Estimate ]; hit : bool }
 
 type t = { mutable events : event list; is_enabled : bool }
 
@@ -32,3 +33,19 @@ let chain_rounds t =
   |> List.filter_map (function
        | Chain_round { round; cutoff; paths } -> Some (round, cutoff, paths)
        | _ -> None)
+
+let cache_hits ?store t =
+  events t
+  |> List.filter (function
+       | Cache_lookup { store = s; hit = true; _ } ->
+         (match store with None -> true | Some wanted -> s = wanted)
+       | _ -> false)
+  |> List.length
+
+let cache_lookups ?store t =
+  events t
+  |> List.filter (function
+       | Cache_lookup { store = s; _ } ->
+         (match store with None -> true | Some wanted -> s = wanted)
+       | _ -> false)
+  |> List.length

@@ -23,6 +23,11 @@ type event =
       trigger : [ `Stopping_condition | `Exhausted | `Single_edge ];
     }
   | Edge_executed of { edge : int; order : int; pairs : int; rel_rows : int }
+  | Cache_lookup of { edge : int; store : [ `Relation | `Estimate ]; hit : bool }
+      (** A [Rox_cache] consultation: [`Relation] lookups guard full edge
+          executions, [`Estimate] lookups guard cut-off sampled runs.
+          Emitted only when a cache store is wired in, so cache-off traces
+          are unchanged. *)
 
 type t
 
@@ -37,3 +42,9 @@ val execution_order : t -> int list
 
 val chain_rounds : t -> (int * int * chain_path list) list
 (** All (round, cutoff, paths) events — the raw data behind Table 2. *)
+
+val cache_hits : ?store:[ `Relation | `Estimate ] -> t -> int
+(** Number of cache hits recorded, optionally for one store only. *)
+
+val cache_lookups : ?store:[ `Relation | `Estimate ] -> t -> int
+(** Number of cache consultations recorded (hits + misses). *)

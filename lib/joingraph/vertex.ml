@@ -15,6 +15,10 @@ let label t =
   | Attr (q, None) -> "@" ^ q
   | Attr (q, Some pred) -> "@" ^ q ^ " " ^ Rox_algebra.Selection.to_string pred
 
+(* Graph-independent identity for cache fingerprints: two vertices with
+   equal keys denote the same base node set, whatever their graph ids. *)
+let fingerprint_label t = Printf.sprintf "d%d:%s" t.doc_id (label t)
+
 let is_element t = match t.annot with Element _ -> true | _ -> false
 let is_root t = match t.annot with Root -> true | _ -> false
 

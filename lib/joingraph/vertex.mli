@@ -21,6 +21,11 @@ val label : t -> string
 (** Display label in the paper's style: "open_auction", "text() < 145",
     "@person", "root". *)
 
+val fingerprint_label : t -> string
+(** Graph-independent identity for cache fingerprints: document id plus
+    annotation label, without the per-graph vertex id — so the same base
+    node set fingerprints identically across queries. *)
+
 val is_element : t -> bool
 val is_root : t -> bool
 

@@ -14,6 +14,10 @@ type t = {
   mutable docs : docref array;
   mutable ndocs : int;
   by_uri : (string, int) Hashtbl.t;
+  (* Generation counter for derived state (caches): any registration or
+     explicit invalidation bumps it, so consumers can scope keys by epoch
+     and retire everything derived from the old document set in O(1). *)
+  mutable epoch : int;
 }
 
 let create () =
@@ -23,7 +27,11 @@ let create () =
     docs = [||];
     ndocs = 0;
     by_uri = Hashtbl.create 16;
+    epoch = 0;
   }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let qnames t = t.qname_pool
 let values t = t.value_pool
@@ -47,6 +55,7 @@ let register t doc =
   t.docs.(t.ndocs) <- r;
   Hashtbl.replace t.by_uri (Doc.uri doc) t.ndocs;
   t.ndocs <- t.ndocs + 1;
+  bump_epoch t;
   r
 
 let add_doc t doc = register t doc

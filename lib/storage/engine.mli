@@ -31,6 +31,15 @@ val doc_count : t -> int
 val get : t -> int -> docref
 (** By document id. @raise Invalid_argument for an unknown id. *)
 
+val epoch : t -> int
+(** Generation counter over the engine's document set. Every registration
+    (and every explicit {!bump_epoch}) increments it; state derived from
+    the documents — notably [Rox_cache] fingerprints — is scoped by the
+    epoch, so a bump retires all of it in O(1) without walking anything. *)
+
+val bump_epoch : t -> unit
+(** Invalidate all epoch-scoped derived state (caches) for this engine. *)
+
 val find_uri : t -> string -> docref option
 val intern_qname : t -> string -> int
 val intern_value : t -> string -> int

@@ -1,6 +1,8 @@
 open Rox_util
 
 let sample rng table tau =
+  if tau < 0 then
+    invalid_arg (Printf.sprintf "Sampling.sample: negative sample size %d" tau);
   let n = Array.length table in
   if tau >= n then Array.copy table
   else begin
@@ -9,8 +11,11 @@ let sample rng table tau =
   end
 
 let sample_fraction rng table frac =
+  if Float.is_nan frac || frac < 0.0 || frac > 1.0 then
+    invalid_arg
+      (Printf.sprintf "Sampling.sample_fraction: fraction %g outside [0, 1]" frac);
   let n = Array.length table in
-  if n = 0 then [||]
+  if n = 0 || frac = 0.0 then [||]
   else begin
     let k = max 1 (int_of_float (frac *. float_of_int n)) in
     sample rng table k

@@ -8,8 +8,11 @@
 
 val sample : Rox_util.Xoshiro.t -> int array -> int -> int array
 (** [sample rng table tau] draws [min tau (length table)] elements without
-    replacement, returned sorted (document order — the input is sorted). *)
+    replacement, returned sorted (document order — the input is sorted).
+    @raise Invalid_argument when [tau] is negative. *)
 
 val sample_fraction : Rox_util.Xoshiro.t -> int array -> float -> int array
 (** Sample a fraction in [0,1] of the table (at least 1 element when the
-    table is non-empty). *)
+    table is non-empty and the fraction is positive; a fraction of [1.0]
+    copies the whole table).
+    @raise Invalid_argument when the fraction is NaN or outside [0, 1]. *)

@@ -194,7 +194,7 @@ where $p/name/text() = $n/text()
 return $n|}
   in
   let graph = compiled.Rox_xquery.Compile.graph in
-  let trace = Rox_core.Trace.create () in
+  let trace = Rox_joingraph.Trace.create () in
   let result = Rox_core.Optimizer.run ~trace compiled in
   check_int "clean graph" 0 (List.length (errors (Graph_check.check graph)));
   check_int "clean trace" 0 (List.length (errors (Trace_check.check graph trace)));

@@ -94,7 +94,7 @@ let run_instance seed =
     let tag nodes = List.map (fun p -> (return_doc, p)) (Array.to_list nodes) in
     (* Route 1: ROX with a per-instance seed, trace enabled. *)
     let options = { Rox_core.Optimizer.default_options with seed = seed + 1 } in
-    let trace = Rox_core.Trace.create () in
+    let trace = Rox_joingraph.Trace.create () in
     let rox, rox_result = Rox_core.Optimizer.answer ~options ~trace compiled in
     (* Route 2: a random-permutation plan through the classical executor. *)
     let plan = shuffled_plan rng compiled.Compile.graph in

@@ -111,6 +111,28 @@ let test_sample_fraction () =
   check_int "at least one" 1 (Array.length (Sampling.sample_fraction rng table 0.0001));
   check_int "empty table" 0 (Array.length (Sampling.sample_fraction rng [||] 0.5))
 
+(* Boundary and validation behavior of the sampling entry points. *)
+let test_sampling_boundaries () =
+  let rng = Rox_util.Xoshiro.create 5 in
+  let table = Array.init 10 (fun i -> i) in
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_bool "negative tau rejected" true
+    (raises (fun () -> Sampling.sample rng table (-1)));
+  check_bool "fraction < 0 rejected" true
+    (raises (fun () -> Sampling.sample_fraction rng table (-0.1)));
+  check_bool "fraction > 1 rejected" true
+    (raises (fun () -> Sampling.sample_fraction rng table 1.5));
+  check_bool "fraction NaN rejected" true
+    (raises (fun () -> Sampling.sample_fraction rng table Float.nan));
+  check_int "tau 0 is empty" 0 (Array.length (Sampling.sample rng table 0));
+  check_int "tau 0 of empty" 0 (Array.length (Sampling.sample rng [||] 0));
+  check_int "fraction 0.0 is empty" 0
+    (Array.length (Sampling.sample_fraction rng table 0.0));
+  check_bool "fraction 1.0 is the whole table" true
+    (Sampling.sample_fraction rng table 1.0 = table);
+  check_int "fraction 1.0 of empty" 0
+    (Array.length (Sampling.sample_fraction rng [||] 1.0))
+
 (* ---------- Engine ---------- *)
 
 let test_engine_registry () =
@@ -144,6 +166,7 @@ let suite =
     prop_sampling;
     Alcotest.test_case "sample all" `Quick test_sample_all;
     Alcotest.test_case "sample fraction" `Quick test_sample_fraction;
+    Alcotest.test_case "sampling boundaries" `Quick test_sampling_boundaries;
     Alcotest.test_case "engine registry" `Quick test_engine_registry;
     Alcotest.test_case "engine shared values" `Quick test_engine_shared_values;
   ]

@@ -7,6 +7,7 @@ let () =
       ("storage", Suite_storage.suite);
       ("algebra", Suite_algebra.suite);
       ("joingraph", Suite_joingraph.suite);
+      ("cache", Suite_cache.suite);
       ("xquery", Suite_xquery.suite);
       ("core", Suite_core.suite);
       ("classical", Suite_classical.suite);
