@@ -1,4 +1,4 @@
-.PHONY: all build test analyze bench-smoke check clean
+.PHONY: all build test analyze sanitize bench-smoke check clean
 
 all: build
 
@@ -13,12 +13,20 @@ test:
 analyze:
 	dune exec bin/rox_cli.exe -- analyze
 
-# Quick cache benchmark: repeated workload against a shared store;
-# writes BENCH_cache.json (join reduction, hit rates, bit-identity).
-bench-smoke:
-	dune exec bench/main.exe -- cache
+# Runtime contract checks (RX301-RX306): the analyze workloads plus the
+# fuzz suite with every operator call cross-checked — columnar kernels
+# bit-for-bit against the row-major reference, sorted flags audited.
+sanitize:
+	ROX_SANITIZE=1 dune exec bin/rox_cli.exe -- analyze
+	ROX_SANITIZE=1 dune exec test/test_main.exe -- test fuzz
 
-check: build test analyze
+# Quick benchmarks: the cache experiment (BENCH_cache.json) and the
+# columnar relation kernels vs the row-major reference
+# (BENCH_relation.json, warns under 2x at 10^5 rows).
+bench-smoke:
+	dune exec bench/main.exe -- cache relation
+
+check: build test analyze sanitize
 	-$(MAKE) bench-smoke
 
 clean:

@@ -49,7 +49,9 @@ let make_tests () =
            in
            let n = ref 0 in
            Value_join.iter_index_nl ~outer_doc:doc
-             ~outer:(Array.sub person_attrs 0 (min 100 (Array.length person_attrs)))
+             ~outer:
+               (Rox_util.Column.slice person_attrs ~pos:0
+                  ~len:(min 100 (Rox_util.Column.length person_attrs)))
              ~inner
              (fun _ _ _ -> incr n);
            !n))
@@ -57,7 +59,7 @@ let make_tests () =
   let cutoff_sample =
     Test.make ~name:"cut-off sampled step (Table 2 / Fig 8)"
       (Staged.stage (fun () ->
-           Cutoff.run ~limit:100 ~outer_len:(Array.length sample100) ~iter:(fun emit ->
+           Cutoff.run ~limit:100 ~outer_len:(Rox_util.Column.length sample100) ~iter:(fun emit ->
                Staircase.iter_pairs ~doc ~axis:Axis.Descendant ~context:sample100
                  ~candidates:bidders (fun cidx _ s -> emit cidx s))))
   in
@@ -69,8 +71,10 @@ let make_tests () =
         (fun _ c s ->
           Rox_util.Int_vec.push lefts c;
           Rox_util.Int_vec.push rights s);
-      { Rox_joingraph.Exec.left = Rox_util.Int_vec.to_array lefts;
-        right = Rox_util.Int_vec.to_array rights }
+      { Rox_joingraph.Exec.left =
+          Rox_util.Column.unsafe_of_array_detect (Rox_util.Int_vec.to_array lefts);
+        right =
+          Rox_util.Column.unsafe_of_array_detect (Rox_util.Int_vec.to_array rights) }
     in
     Test.make ~name:"relation extend (Fig 5 intermediates)"
       (Staged.stage (fun () ->

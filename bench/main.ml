@@ -21,6 +21,7 @@ let experiments ~full =
     ("fig8", "Figure 8: sample size vs overhead", fun () -> Exp_fig8.run ~full ());
     ("ablate", "Ablations of ROX design choices", fun () -> Exp_ablation.run ());
     ("cache", "Cross-query cache: repeated workload reuse", fun () -> Exp_cache.run ~full ());
+    ("relation", "Columnar relation kernels vs row-major reference", fun () -> Exp_relation.run ~full ());
     ("bechamel", "Operator kernel micro-benchmarks", fun () -> Exp_bechamel.run ());
   ]
 

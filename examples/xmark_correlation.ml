@@ -48,9 +48,9 @@ let () =
   let r = Engine.get engine 0 in
   Printf.printf "generated xmark.xml: %d nodes, %d auctions, %d persons, %d items\n\n"
     (Rox_shred.Doc.node_count r.Engine.doc)
-    (Array.length (Element_index.lookup_name r.Engine.elements "open_auction"))
-    (Array.length (Element_index.lookup_name r.Engine.elements "person"))
-    (Array.length (Element_index.lookup_name r.Engine.elements "item"));
+    (Rox_util.Column.length (Element_index.lookup_name r.Engine.elements "open_auction"))
+    (Rox_util.Column.length (Element_index.lookup_name r.Engine.elements "person"))
+    (Rox_util.Column.length (Element_index.lookup_name r.Engine.elements "item"));
   let o1 = describe_run engine "Q1  (current < 145, few bidders each)" (query "<") in
   print_newline ();
   let o2 = describe_run engine "Qm1 (current > 145, many bidders each)" (query ">") in

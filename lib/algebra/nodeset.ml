@@ -107,4 +107,9 @@ let of_unsorted a =
     Sanitize.check_sorted_dedup ~op:"Nodeset.of_unsorted" ~what:"output" out;
   out
 
-let equal a b = a = b
+(* Monomorphic length+element loop: no polymorphic [=] on int arrays. *)
+let equal (a : int array) (b : int array) =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 0

@@ -1,4 +1,10 @@
-type contract = Sorted_dedup | Domain_subset | Cost_bound | Cache_consistent
+type contract =
+  | Sorted_dedup
+  | Domain_subset
+  | Cost_bound
+  | Cache_consistent
+  | Sorted_flag
+  | Kernel_equiv
 
 type violation = {
   op : string;
@@ -19,6 +25,8 @@ let contract_label = function
   | Domain_subset -> "output contained in input domain"
   | Cost_bound -> "Table 1 cost bound"
   | Cache_consistent -> "cache hit bit-identical to fresh execution"
+  | Sorted_flag -> "column sorted flag honest (strictly increasing)"
+  | Kernel_equiv -> "columnar kernel bit-identical to naive reference"
 
 let fail ~op ~contract detail = raise (Violation { op; contract; detail })
 
@@ -52,6 +60,16 @@ let check_identical ~op ~what a b =
         fail ~op ~contract:Cache_consistent
           (Printf.sprintf "%s[%d]: cached %d, fresh %d" what i a.(i) b.(i))
     done
+
+let check_column_flag ~op ~what (c : Rox_util.Column.t) =
+  if not (Rox_util.Column.flag_honest c) then
+    fail ~op ~contract:Sorted_flag
+      (Printf.sprintf "%s carries sorted=true but is not strictly increasing" what)
+
+let check_kernel_equiv ~op ~what ok =
+  if not ok then
+    fail ~op ~contract:Kernel_equiv
+      (Printf.sprintf "%s differs from the naive row-major reference" what)
 
 let check_cost ~op ~charged ~bound =
   if charged > bound then

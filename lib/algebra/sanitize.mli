@@ -19,6 +19,12 @@ type contract =
   | Cache_consistent
       (** a [Rox_cache] hit replayed a result bit-identical to what a
           fresh execution of the fingerprinted operation produces *)
+  | Sorted_flag
+      (** a {!Rox_util.Column.t} carrying [sorted=true] really is strictly
+          increasing — the flag kernels trust for their merge fast paths *)
+  | Kernel_equiv
+      (** a columnar relation kernel produced a result bit-identical to
+          the retained naive row-major reference implementation *)
 
 type violation = {
   op : string;          (** operator, e.g. ["Staircase.join(descendant)"] *)
@@ -48,6 +54,14 @@ val check_subset : op:string -> what:string -> domain:int array -> int array -> 
 val check_identical : op:string -> what:string -> int array -> int array -> unit
 (** [check_identical ~op ~what cached fresh] fails the {!Cache_consistent}
     contract on the first position where the arrays differ. *)
+
+val check_column_flag : op:string -> what:string -> Rox_util.Column.t -> unit
+(** A set sorted flag matches reality ({!Sorted_flag}, RX305). *)
+
+val check_kernel_equiv : op:string -> what:string -> bool -> unit
+(** [check_kernel_equiv ~op ~what ok] fails the {!Kernel_equiv} contract
+    (RX306) when the caller's columnar-vs-naive comparison came back
+    [false]. *)
 
 val check_cost : op:string -> charged:int -> bound:int -> unit
 (** Observed work does not exceed the operator's cost-formula bound. *)

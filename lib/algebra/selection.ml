@@ -34,9 +34,10 @@ let matches doc pred node =
 
 let filter ?meter ~doc ~pred nodes =
   let out = Int_vec.create () in
-  Array.iter
+  Column.iter
     (fun n ->
       Cost.charge meter 1;
       if matches doc pred n then Int_vec.push out n)
     nodes;
-  Int_vec.to_array out
+  (* A filtered subsequence of a strictly increasing column stays so. *)
+  Column.unsafe_of_array ~sorted:(Column.sorted nodes) (Int_vec.to_array out)

@@ -21,5 +21,9 @@ val matches : Rox_shred.Doc.t -> t -> int -> bool
     satisfy a numeric predicate. *)
 
 val filter :
-  ?meter:Cost.meter -> doc:Rox_shred.Doc.t -> pred:t -> int array -> int array
-(** The scan operator [σ(C)]: cost |C|. *)
+  ?meter:Cost.meter ->
+  doc:Rox_shred.Doc.t ->
+  pred:t ->
+  Rox_util.Column.t ->
+  Rox_util.Column.t
+(** The scan operator [σ(C)]: cost |C|. The sorted flag carries over. *)

@@ -6,6 +6,7 @@ open Rox_shred
    cost is O(|consumed C| + |touched S| + |R|) — the Table 1 costs. *)
 
 let iter_pairs ?meter ~doc ~axis ~context ~candidates f =
+  let context = Column.read context and candidates = Column.read candidates in
   let ncand = Array.length candidates in
   (* Emit all candidates within [lo, hi] satisfying [pred]. *)
   let emit_range cidx c lo hi pred =
@@ -101,16 +102,16 @@ let iter_pairs ?meter ~doc ~axis ~context ~candidates f =
 (* Context pruning for containment axes: a context inside the subtree of a
    previous context contributes no new descendants. *)
 let prune_covered doc context =
-  let out = Int_vec.create ~capacity:(Array.length context) () in
+  let out = Int_vec.create ~capacity:(Column.length context) () in
   let covered_until = ref (-1) in
-  Array.iter
+  Column.iter
     (fun c ->
       if c > !covered_until then begin
         Int_vec.push out c;
         covered_until := c + Doc.size doc c
       end)
     context;
-  Int_vec.to_array out
+  Column.unsafe_of_array ~sorted:true (Int_vec.to_array out)
 
 let join_impl ?meter ~doc ~axis ~context candidates =
   match axis with
@@ -120,28 +121,34 @@ let join_impl ?meter ~doc ~axis ~context candidates =
     let pruned = prune_covered doc context in
     let out = Int_vec.create () in
     iter_pairs ?meter ~doc ~axis ~context:pruned ~candidates (fun _ _ s -> Int_vec.push out s);
-    Int_vec.to_array out
+    Column.unsafe_of_array ~sorted:true (Int_vec.to_array out)
   | Axis.Following ->
-    (* Union over contexts is the suffix after the earliest subtree end. *)
-    if Array.length context = 0 then [||]
+    (* Union over contexts is the suffix after the earliest subtree end —
+       a zero-copy slice of the candidate column. *)
+    if Column.is_empty context then Column.empty
     else begin
       let bound =
-        Array.fold_left (fun acc c -> min acc (c + Doc.size doc c)) max_int context
+        Column.fold_left (fun acc c -> min acc (c + Doc.size doc c)) max_int context
       in
-      let start = Bin_search.lower_bound candidates (bound + 1) in
-      let out = Array.sub candidates start (Array.length candidates - start) in
-      Cost.charge meter (Array.length context + Array.length out);
+      let cand = Column.read candidates in
+      let start = Bin_search.lower_bound cand (bound + 1) in
+      let out =
+        Column.slice candidates ~pos:start ~len:(Column.length candidates - start)
+      in
+      Cost.charge meter (Column.length context + Column.length out);
       out
     end
   | Axis.Preceding ->
     (* Union over contexts = preceding of the last context. *)
-    if Array.length context = 0 then [||]
+    if Column.is_empty context then Column.empty
     else begin
-      let c = context.(Array.length context - 1) in
+      let c = Column.get context (Column.length context - 1) in
       let out = Int_vec.create () in
-      iter_pairs ?meter ~doc ~axis ~context:[| c |] ~candidates (fun _ _ s ->
-          Int_vec.push out s);
-      Int_vec.to_array out
+      iter_pairs ?meter ~doc ~axis
+        ~context:(Column.unsafe_of_array ~sorted:true [| c |])
+        ~candidates
+        (fun _ _ s -> Int_vec.push out s);
+      Column.unsafe_of_array ~sorted:true (Int_vec.to_array out)
     end
   | Axis.Child | Axis.Attribute | Axis.Self ->
     (* Distinct contexts yield distinct result ranges per context, but a
@@ -151,31 +158,35 @@ let join_impl ?meter ~doc ~axis ~context candidates =
        dedup-sort to be safe. *)
     let out = Int_vec.create () in
     iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ s -> Int_vec.push out s);
-    Int_vec.sorted_dedup out
+    Column.unsafe_of_array ~sorted:true (Int_vec.sorted_dedup out)
   | Axis.Parent | Axis.Ancestor | Axis.Anc_or_self | Axis.Following_sibling
   | Axis.Preceding_sibling ->
     let out = Int_vec.create () in
     iter_pairs ?meter ~doc ~axis ~context ~candidates (fun _ _ s -> Int_vec.push out s);
-    Int_vec.sorted_dedup out
+    Column.unsafe_of_array ~sorted:true (Int_vec.sorted_dedup out)
 
 let join ?meter ~doc ~axis ~context candidates =
   if not !Sanitize.enabled then join_impl ?meter ~doc ~axis ~context candidates
   else begin
     let op = Printf.sprintf "Staircase.join(%s)" (Axis.to_string axis) in
-    Sanitize.check_sorted_dedup ~op ~what:"context" context;
-    Sanitize.check_sorted_dedup ~op ~what:"candidates" candidates;
+    Sanitize.check_column_flag ~op ~what:"context" context;
+    Sanitize.check_column_flag ~op ~what:"candidates" candidates;
+    Sanitize.check_sorted_dedup ~op ~what:"context" (Column.read context);
+    Sanitize.check_sorted_dedup ~op ~what:"candidates" (Column.read candidates);
     let out, charged =
       Sanitize.observed meter (fun m -> join_impl ~meter:m ~doc ~axis ~context candidates)
     in
-    Sanitize.check_sorted_dedup ~op ~what:"output" out;
-    Sanitize.check_subset ~op ~what:"output" ~domain:candidates out;
+    Sanitize.check_column_flag ~op ~what:"output" out;
+    Sanitize.check_sorted_dedup ~op ~what:"output" (Column.read out);
+    Sanitize.check_subset ~op ~what:"output" ~domain:(Column.read candidates)
+      (Column.read out);
     (* Table 1's |C| + |S| + |R| holds as an exact bound only for the
        pruned containment axes and Following; the sibling/ancestor scans
        pay per ancestor step / per subtree member instead. *)
     (match axis with
      | Axis.Descendant | Axis.Desc_or_self | Axis.Following ->
        Sanitize.check_cost ~op ~charged
-         ~bound:(Array.length context + Array.length candidates + Array.length out)
+         ~bound:(Column.length context + Column.length candidates + Column.length out)
      | _ -> ());
     out
   end

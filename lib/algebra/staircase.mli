@@ -27,8 +27,8 @@ val iter_pairs :
   ?meter:Cost.meter ->
   doc:Doc.t ->
   axis:Axis.t ->
-  context:int array ->
-  candidates:int array ->
+  context:Rox_util.Column.t ->
+  candidates:Rox_util.Column.t ->
   (int -> int -> int -> unit) ->
   unit
 (** [iter_pairs ~doc ~axis ~context ~candidates f] calls [f cidx c s] for
@@ -40,18 +40,19 @@ val join :
   ?meter:Cost.meter ->
   doc:Doc.t ->
   axis:Axis.t ->
-  context:int array ->
-  int array ->
-  int array
+  context:Rox_util.Column.t ->
+  Rox_util.Column.t ->
+  Rox_util.Column.t
 (** [join ~doc ~axis ~context candidates]: duplicate-free document-ordered
-    result nodes. *)
+    result nodes ([sorted] flag set; the Following axis returns a
+    zero-copy slice of the candidates). *)
 
 val count :
   ?meter:Cost.meter ->
   doc:Doc.t ->
   axis:Axis.t ->
-  context:int array ->
-  int array ->
+  context:Rox_util.Column.t ->
+  Rox_util.Column.t ->
   int
 (** Number of pairs (not distinct results) — the intermediate-result
     cardinality a step contributes. *)

@@ -9,7 +9,7 @@ type inner_side =
 type inner_spec = {
   docref : Engine.docref;
   side : inner_side;
-  restrict : int array option;
+  restrict : Column.t option;
 }
 
 let inner_lookup inner value_id =
@@ -18,7 +18,7 @@ let inner_lookup inner value_id =
   | Inner_attr name_id -> Value_index.attr_eq inner.docref.Engine.values ~name_id ~value_id
 
 let iter_index_nl ?meter ~outer_doc ~outer ~inner f =
-  Array.iteri
+  Column.iteri
     (fun cidx onode ->
       Cost.charge meter 1;
       let v = Doc.value_id outer_doc onode in
@@ -26,57 +26,45 @@ let iter_index_nl ?meter ~outer_doc ~outer ~inner f =
         let bucket = inner_lookup inner v in
         match inner.restrict with
         | None ->
-          Array.iter
+          Column.iter
             (fun inode ->
               Cost.charge meter 1;
               f cidx onode inode)
             bucket
         | Some table ->
-          Array.iter
+          Column.iter
             (fun inode ->
               Cost.charge meter 1;
-              if Bin_search.mem table inode then f cidx onode inode)
+              if Column.mem table inode then f cidx onode inode)
             bucket
       end)
     outer
 
 let iter_hash ?meter ~outer_doc ~outer ~inner_doc ~inner f =
-  (* Build on the inner side — the paper's hash join costs |C| + |S| + |R|. *)
-  let table : (int, Int_vec.t) Hashtbl.t = Hashtbl.create (Array.length inner) in
-  Array.iter
+  (* Build on the inner side — the paper's hash join costs |C| + |S| + |R|.
+     The open-addressing multimap keeps keys and per-key chains unboxed. *)
+  let table = Int_table.Multimap.create ~capacity:(Column.length inner) () in
+  Column.iter
     (fun inode ->
       Cost.charge meter 1;
       let v = Doc.value_id inner_doc inode in
-      if v >= 0 then begin
-        let vec =
-          match Hashtbl.find_opt table v with
-          | Some vec -> vec
-          | None ->
-            let vec = Int_vec.create ~capacity:2 () in
-            Hashtbl.replace table v vec;
-            vec
-        in
-        Int_vec.push vec inode
-      end)
+      if v >= 0 then Int_table.Multimap.add table v inode)
     inner;
-  Array.iteri
+  Column.iteri
     (fun cidx onode ->
       Cost.charge meter 1;
       let v = Doc.value_id outer_doc onode in
       if v >= 0 then
-        match Hashtbl.find_opt table v with
-        | None -> ()
-        | Some vec ->
-          Int_vec.iter
-            (fun inode ->
-              Cost.charge meter 1;
-              f cidx onode inode)
-            vec)
+        Int_table.Multimap.iter_key table v (fun inode ->
+            Cost.charge meter 1;
+            f cidx onode inode))
     outer
 
 let by_value doc nodes =
-  let tagged = Array.map (fun n -> (Doc.value_id doc n, n)) nodes in
-  Array.sort (fun (a, pa) (b, pb) -> match compare a b with 0 -> compare pa pb | c -> c) tagged;
+  let tagged = Array.map (fun n -> (Doc.value_id doc n, n)) (Column.read nodes) in
+  Array.sort
+    (fun (a, pa) (b, pb) -> match Int.compare a b with 0 -> Int.compare pa pb | c -> c)
+    tagged;
   tagged
 
 let iter_merge ?meter ~outer_doc ~outer ~inner_doc ~inner f =

@@ -23,7 +23,7 @@ type inner_side =
 type inner_spec = {
   docref : Engine.docref;
   side : inner_side;
-  restrict : int array option;
+  restrict : Rox_util.Column.t option;
       (** When the inner vertex already has a materialized (reduced) table,
           index hits are filtered against it. *)
 }
@@ -31,7 +31,7 @@ type inner_spec = {
 val iter_index_nl :
   ?meter:Cost.meter ->
   outer_doc:Rox_shred.Doc.t ->
-  outer:int array ->
+  outer:Rox_util.Column.t ->
   inner:inner_spec ->
   (int -> int -> int -> unit) ->
   unit
@@ -39,18 +39,18 @@ val iter_index_nl :
 val iter_hash :
   ?meter:Cost.meter ->
   outer_doc:Rox_shred.Doc.t ->
-  outer:int array ->
+  outer:Rox_util.Column.t ->
   inner_doc:Rox_shred.Doc.t ->
-  inner:int array ->
+  inner:Rox_util.Column.t ->
   (int -> int -> int -> unit) ->
   unit
 
 val iter_merge :
   ?meter:Cost.meter ->
   outer_doc:Rox_shred.Doc.t ->
-  outer:int array ->
+  outer:Rox_util.Column.t ->
   inner_doc:Rox_shred.Doc.t ->
-  inner:int array ->
+  inner:Rox_util.Column.t ->
   (int -> int -> int -> unit) ->
   unit
 (** Pairs are emitted in value order, not outer order — full execution

@@ -9,6 +9,8 @@ let code_of_contract = function
   | Sanitize.Domain_subset -> "RX302"
   | Sanitize.Cost_bound -> "RX303"
   | Sanitize.Cache_consistent -> "RX304"
+  | Sanitize.Sorted_flag -> "RX305"
+  | Sanitize.Kernel_equiv -> "RX306"
 
 let diagnostic_of_violation ?label (v : Sanitize.violation) =
   let message =

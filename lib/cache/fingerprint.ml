@@ -22,4 +22,21 @@ let option_table = function
   | Some a -> table a
   | None -> "domain"
 
+(* Hash a column without copying its view; content-identical to [table]
+   of the same values, so row-major and columnar producers agree. *)
+let column_hash64 ~seed c =
+  let h = ref seed in
+  let mix x = h := Int64.mul (Int64.logxor !h (Int64.of_int x)) fnv_prime in
+  mix (Rox_util.Column.length c);
+  Rox_util.Column.iter mix c;
+  !h
+
+let column c =
+  Printf.sprintf "%d.%Lx.%Lx" (Rox_util.Column.length c)
+    (column_hash64 ~seed:seed1 c) (column_hash64 ~seed:seed2 c)
+
+let option_column = function
+  | Some c -> column c
+  | None -> "domain"
+
 let make ~epoch parts = Printf.sprintf "e%d|%s" epoch (String.concat "|" parts)

@@ -28,6 +28,12 @@ val option_table : int array option -> string
     served by the vertex's index domain rather than a materialized table —
     stable within an epoch). *)
 
+val column : Rox_util.Column.t -> string
+(** Content identity of a column — equal to [table] of the same values,
+    computed without copying the view. *)
+
+val option_column : Rox_util.Column.t option -> string
+
 val make : epoch:int -> string list -> t
 (** Join the descriptor parts under the epoch: ["e<epoch>|p1|p2|..."].
     Parts must not contain ['|'] (enforced nowhere hot; keep descriptors

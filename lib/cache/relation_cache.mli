@@ -8,10 +8,10 @@
     contents, so a hit is valid for *any* query that executes the same
     edge shape against the same inputs on the same engine epoch.
 
-    Stored arrays are returned as-is and must be treated as immutable by
-    consumers (the join-graph layer never mutates pair arrays). *)
+    Stored columns are returned as-is; {!Rox_util.Column.t} is immutable
+    by construction, so hits share storage with the producer. *)
 
-type value = { left : int array; right : int array }
+type value = { left : Rox_util.Column.t; right : Rox_util.Column.t }
 
 type t
 
@@ -21,7 +21,8 @@ val create : budget:int -> t
 val find : t -> Fingerprint.t -> value option
 val add : t -> Fingerprint.t -> value -> unit
 val weight : value -> int
-(** The byte weight charged for a value: 8 per node plus entry overhead. *)
+(** The byte weight charged for a value: underlying column storage (shared
+    storage counted once) plus entry overhead. *)
 
 val stats : t -> Lru.stats
 val clear : t -> unit

@@ -7,7 +7,7 @@ let input_size engine graph (slot : Enumerate.slot) =
   List.iter
     (fun e -> ignore (Runtime.execute_edge runtime e : Runtime.exec_info))
     slot.Enumerate.step_edges;
-  Array.length (Runtime.table_or_domain runtime slot.Enumerate.join_vertex)
+  Rox_util.Column.length (Runtime.table_or_domain runtime slot.Enumerate.join_vertex)
 
 let join_order engine graph (template : Enumerate.template) =
   let sized =
@@ -34,7 +34,7 @@ let static_order engine graph =
     else begin
       (* Unknowable cross-document cardinality: rank behind every
          single-document operator, smaller inputs first. *)
-      let size v = Array.length (domain v) in
+      let size v = Rox_util.Column.length (domain v) in
       1e12 +. float_of_int (size e.Edge.v1 + size e.Edge.v2)
     end
   in

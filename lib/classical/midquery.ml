@@ -102,7 +102,7 @@ let execute ?max_rows ?(validity_factor = 5.0) engine graph =
     Array.mapi
       (fun i base ->
         match Runtime.table runtime i with
-        | Some t -> float_of_int (Array.length t)
+        | Some t -> float_of_int (Rox_util.Column.length t)
         | None -> base)
       (base_estimates engine graph)
   in

@@ -11,7 +11,7 @@ type seg = {
   s_edges : Edge.t list;  (* forward order *)
   s_edge_ids : int list;
   s_stop : int;
-  s_input : int array;    (* I(p): sampled tuples flowing through the chain *)
+  s_input : Rox_util.Column.t;  (* I(p): sampled tuples flowing through the chain *)
   s_cost : float;
   s_sf : float;
   s_label : string;
@@ -129,7 +129,7 @@ let run ?(grow_cutoff = true) ?(max_rounds = 12) state =
                         s_edges = p.s_edges @ [ e' ];
                         s_edge_ids = e'.Edge.id :: p.s_edge_ids;
                         s_stop = v';
-                        s_input = cut.Rox_algebra.Cutoff.out;
+                        s_input = Rox_util.Column.unsafe_of_array_detect cut.Rox_algebra.Cutoff.out;
                         s_cost = p.s_cost +. (est *. source_card /. float_of_int tau);
                         s_sf = est /. float_of_int tau;
                         (* The first extension continues the segment's name;

@@ -19,7 +19,7 @@ let edge_weight state (e : Edge.t) =
   | Some (outer, v) ->
     let sample = Option.get (State.sample state v) in
     let card = Option.get (State.card state v) in
-    if Array.length sample = 0 then Some 0.0
+    if Rox_util.Column.is_empty sample then Some 0.0
     else begin
       let v' = Edge.other_end e v in
       let inner_table = Runtime.table (State.runtime state) v' in
@@ -27,7 +27,7 @@ let edge_weight state (e : Edge.t) =
         State.sampled_cutoff state e ~outer ~sample ~inner_table
           ~limit:(State.tau state)
       in
-      Some (card /. float_of_int (Array.length sample) *. cut.Rox_algebra.Cutoff.est)
+      Some (card /. float_of_int (Rox_util.Column.length sample) *. cut.Rox_algebra.Cutoff.est)
     end
 
 let reweigh_incident state vertices =

@@ -13,7 +13,7 @@ let variant_cost state e ~outer =
   | Some _, Some card when card <= 0.0 ->
     (* Executing from an empty side is free. *)
     Some 0.0
-  | Some sample, Some card when Array.length sample > 0 ->
+  | Some sample, Some card when Rox_util.Column.length sample > 0 ->
     let scratch = Cost.new_counter () in
     let inner_table = Runtime.table (State.runtime state) (Edge.other_end e v) in
     ignore
@@ -25,7 +25,7 @@ let variant_cost state e ~outer =
     let spent = Cost.total scratch in
     (* The probing itself is real sampling work. *)
     Cost.charge (Some (State.sampling_meter state)) spent;
-    Some (float_of_int spent *. card /. float_of_int (Array.length sample))
+    Some (float_of_int spent *. card /. float_of_int (Rox_util.Column.length sample))
   | _ -> None
 
 let choose state (e : Edge.t) =

@@ -10,7 +10,7 @@ type t = {
   counter : Cost.counter;
   trace : Trace.t;
   cache : Rox_cache.Store.t option;
-  samples : int array option array;
+  samples : Column.t option array;
   cards : float option array;
   weights : float option array;
 }
@@ -78,8 +78,8 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
           (match outer with Exec.From_v1 -> "1" | Exec.From_v2 -> "2");
           vdesc e.Edge.v1;
           vdesc e.Edge.v2;
-          Rox_cache.Fingerprint.table sample;
-          Rox_cache.Fingerprint.option_table inner_table;
+          Rox_cache.Fingerprint.column sample;
+          Rox_cache.Fingerprint.option_column inner_table;
           string_of_int limit;
         ]
     in
@@ -117,14 +117,14 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
 let set_sample_from t v table =
   let s = Sampling.sample t.rng table t.tau in
   (* Drawing the sample touches |s| tuples. *)
-  Cost.charge (Some (sampling_meter t)) (Array.length s);
+  Cost.charge (Some (sampling_meter t)) (Column.length s);
   t.samples.(v) <- Some s;
-  t.cards.(v) <- Some (float_of_int (Array.length table))
+  t.cards.(v) <- Some (float_of_int (Column.length table))
 
 let set_table t v table =
   (* Runtime tables are refreshed by Runtime.execute_edge itself; this
      entry point is for the rare direct installs (tests). *)
-  ignore (Runtime.ensure_table t.runtime v : int array);
+  ignore (Runtime.ensure_table t.runtime v : Column.t);
   set_sample_from t v table
 
 let refresh_vertex t v =
@@ -137,7 +137,7 @@ let init_vertex_from_index t v =
   if Exec.can_index_init vertex then begin
     let domain = Exec.vertex_domain (engine t) vertex in
     set_sample_from t v domain;
-    Trace.emit t.trace (Trace.Vertex_initialized { vertex = v; card = Array.length domain });
+    Trace.emit t.trace (Trace.Vertex_initialized { vertex = v; card = Column.length domain });
     true
   end
   else false

@@ -38,13 +38,13 @@ val rng : t -> Rox_util.Xoshiro.t
 val counter : t -> Rox_algebra.Cost.counter
 val trace : t -> Trace.t
 
-val sample : t -> int -> int array option
+val sample : t -> int -> Rox_util.Column.t option
 (** S(v). *)
 
 val card : t -> int -> float option
 (** card(v); [None] while unknown. *)
 
-val set_table : t -> int -> int array -> unit
+val set_table : t -> int -> Rox_util.Column.t -> unit
 (** Install T(v) and refresh S(v) (a fresh τ-sample) and card(v). *)
 
 val refresh_vertex : t -> int -> unit
@@ -73,8 +73,8 @@ val sampled_cutoff :
   t ->
   Edge.t ->
   outer:Exec.direction ->
-  sample:int array ->
-  inner_table:int array option ->
+  sample:Rox_util.Column.t ->
+  inner_table:Rox_util.Column.t option ->
   limit:int ->
   Rox_algebra.Cutoff.t
 (** The [↓l(exec(e, S, T))] of Algorithms 1 and 2 with the estimate cache

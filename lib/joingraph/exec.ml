@@ -19,35 +19,35 @@ let range_of_pred = function
 let vertex_domain engine (v : Vertex.t) =
   let r = docref engine v in
   match v.Vertex.annot with
-  | Vertex.Root -> [| 0 |]
+  | Vertex.Root -> Column.unsafe_of_array ~sorted:true [| 0 |]
   | Vertex.Element q ->
     (match Engine.qname_id engine q with
      | Some id -> Element_index.lookup r.Engine.elements id
-     | None -> [||])
+     | None -> Column.empty)
   | Vertex.Text None -> Kind_index.lookup r.Engine.kinds Rox_shred.Nodekind.Text
   | Vertex.Text (Some (Selection.Eq s)) ->
     (match Engine.value_id engine s with
      | Some id -> Value_index.text_eq r.Engine.values id
-     | None -> [||])
+     | None -> Column.empty)
   | Vertex.Text (Some pred) ->
     (match range_of_pred pred with
      | Some (lo, hi) -> Value_index.text_range r.Engine.values ?lo ?hi ()
      | None -> assert false)
   | Vertex.Attr (q, pred) ->
     (match Engine.qname_id engine q with
-     | None -> [||]
+     | None -> Column.empty
      | Some name_id ->
        (match pred with
         | None -> Element_index.lookup_attr r.Engine.elements name_id
         | Some (Selection.Eq s) ->
           (match Engine.value_id engine s with
            | Some value_id -> Value_index.attr_eq r.Engine.values ~name_id ~value_id
-           | None -> [||])
+           | None -> Column.empty)
         | Some p ->
           Selection.filter ~doc:r.Engine.doc ~pred:p
             (Element_index.lookup_attr r.Engine.elements name_id)))
 
-let vertex_domain_count engine v = Array.length (vertex_domain engine v)
+let vertex_domain_count engine v = Column.length (vertex_domain engine v)
 
 let can_index_init (v : Vertex.t) =
   match v.Vertex.annot with
@@ -55,9 +55,14 @@ let can_index_init (v : Vertex.t) =
   | Vertex.Text (Some (Selection.Eq _)) | Vertex.Attr (_, Some (Selection.Eq _)) -> true
   | Vertex.Text _ | Vertex.Attr _ -> false
 
-type pairs = { left : int array; right : int array }
+type pairs = { left : Column.t; right : Column.t }
 
-let pair_count p = Array.length p.left
+let pair_count p = Column.length p.left
+
+(* The builders below fill plain vectors; wrapping detects sortedness in
+   one scan so a strictly-increasing pair column (e.g. a fresh selective
+   step) keeps its document-order certificate for downstream kernels. *)
+let freeze vec = Column.unsafe_of_array_detect (Int_vec.to_array vec)
 
 type equi_algo = Algo_hash | Algo_merge | Algo_index_nl of direction
 
@@ -91,7 +96,7 @@ let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) 
     let dir =
       match step_direction with
       | Some d -> d
-      | None -> if Array.length t1 <= Array.length t2 then From_v1 else From_v2
+      | None -> if Column.length t1 <= Column.length t2 then From_v1 else From_v2
     in
     let lefts = Int_vec.create () and rights = Int_vec.create () in
     (match dir with
@@ -106,7 +111,7 @@ let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) 
          (fun _ c s ->
            Int_vec.push lefts s;
            Int_vec.push rights c));
-    { left = Int_vec.to_array lefts; right = Int_vec.to_array rights }
+    { left = freeze lefts; right = freeze rights }
   | Edge.Equijoin ->
     let algo =
       match equi_algo with
@@ -119,7 +124,7 @@ let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) 
     (match algo with
      | Algo_hash ->
        (* Build on the smaller side. *)
-       if Array.length t2 <= Array.length t1 then
+       if Column.length t2 <= Column.length t1 then
          Value_join.iter_hash ?meter ~outer_doc:doc1 ~outer:t1 ~inner_doc:doc2 ~inner:t2
            (fun _ o i ->
              Int_vec.push lefts o;
@@ -146,7 +151,7 @@ let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) 
           Value_join.iter_index_nl ?meter ~outer_doc:doc2 ~outer:t2 ~inner (fun _ o i ->
               Int_vec.push lefts i;
               Int_vec.push rights o)));
-    { left = Int_vec.to_array lefts; right = Int_vec.to_array rights }
+    { left = freeze lefts; right = freeze rights }
 
 let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
   if not !Sanitize.enabled then
@@ -157,21 +162,27 @@ let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~
       | Edge.Step axis -> Printf.sprintf "Exec.full_pairs(step %s)" (Axis.to_string axis)
       | Edge.Equijoin -> "Exec.full_pairs(equijoin)"
     in
-    Sanitize.check_sorted_dedup ~op ~what:"t1" t1;
-    Sanitize.check_sorted_dedup ~op ~what:"t2" t2;
+    Sanitize.check_column_flag ~op ~what:"t1" t1;
+    Sanitize.check_column_flag ~op ~what:"t2" t2;
+    Sanitize.check_sorted_dedup ~op ~what:"t1" (Column.read t1);
+    Sanitize.check_sorted_dedup ~op ~what:"t2" (Column.read t2);
     let pairs, charged =
       Sanitize.observed meter (fun m ->
           full_pairs_impl ~meter:m ?equi_algo ?step_direction engine graph e ~t1 ~t2)
     in
-    Sanitize.check_subset ~op ~what:"left column" ~domain:t1 pairs.left;
-    Sanitize.check_subset ~op ~what:"right column" ~domain:t2 pairs.right;
+    Sanitize.check_column_flag ~op ~what:"pairs.left" pairs.left;
+    Sanitize.check_column_flag ~op ~what:"pairs.right" pairs.right;
+    Sanitize.check_subset ~op ~what:"left column" ~domain:(Column.read t1)
+      (Column.read pairs.left);
+    Sanitize.check_subset ~op ~what:"right column" ~domain:(Column.read t2)
+      (Column.read pairs.right);
     (* Only the hash and merge value joins have a |C| + |S| + |R| Table 1
        bound expressible in the sizes at hand; index-NL work depends on
        bucket sizes, steps on subtree shapes. *)
     (match (e.Edge.op, equi_algo) with
      | Edge.Equijoin, (None | Some Algo_hash | Some Algo_merge) ->
        Sanitize.check_cost ~op ~charged
-         ~bound:(Array.length t1 + Array.length t2 + Array.length pairs.left)
+         ~bound:(Column.length t1 + Column.length t2 + Column.length pairs.left)
      | _ -> ());
     pairs
   end
@@ -189,12 +200,12 @@ let sampled ?meter engine graph (e : Edge.t) ~outer ~sample ~inner_table ~limit 
       | Some t -> t
       | None -> vertex_domain engine inner_v
     in
-    Cutoff.run ~limit ~outer_len:(Array.length sample) ~iter:(fun emit ->
+    Cutoff.run ~limit ~outer_len:(Column.length sample) ~iter:(fun emit ->
         Staircase.iter_pairs ?meter ~doc ~axis ~context:sample ~candidates (fun cidx _ s ->
             emit cidx s))
   | Edge.Equijoin ->
     let outer_doc = (docref engine outer_v).Engine.doc in
     let inner = inner_spec engine inner_v inner_table in
-    Cutoff.run ~limit ~outer_len:(Array.length sample) ~iter:(fun emit ->
+    Cutoff.run ~limit ~outer_len:(Column.length sample) ~iter:(fun emit ->
         Value_join.iter_index_nl ?meter ~outer_doc ~outer:sample ~inner (fun cidx _ i ->
             emit cidx i))

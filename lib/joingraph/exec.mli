@@ -13,7 +13,7 @@ open Rox_storage
 type direction = From_v1 | From_v2
 (** Which endpoint provides the context (outer / sampled) input. *)
 
-val vertex_domain : Engine.t -> Vertex.t -> int array
+val vertex_domain : Engine.t -> Vertex.t -> Rox_util.Column.t
 (** The full base node set of a vertex, through the best index: element
     index for elements, value index for equality / range predicates, kind
     or attribute-name index otherwise. Includes the vertex predicate. *)
@@ -26,8 +26,10 @@ val can_index_init : Vertex.t -> bool
 (** Algorithm 1 (lines 1-2, 9-12) initializes only root vertices, elements
     and text/attribute nodes with an equality predicate. *)
 
-type pairs = { left : int array; right : int array }
-(** Parallel arrays: [left.(i)] is the v1-side node of pair [i]. *)
+type pairs = { left : Rox_util.Column.t; right : Rox_util.Column.t }
+(** Parallel columns: [left.(i)] is the v1-side node of pair [i]. The
+    sorted flags are detected at construction, so strictly-increasing
+    pair columns carry their document-order certificate downstream. *)
 
 val pair_count : pairs -> int
 
@@ -40,8 +42,8 @@ val full_pairs :
   Engine.t ->
   Graph.t ->
   Edge.t ->
-  t1:int array ->
-  t2:int array ->
+  t1:Rox_util.Column.t ->
+  t2:Rox_util.Column.t ->
   pairs
 (** Complete evaluation of an edge against materialized endpoint tables.
     Steps default to taking the smaller side as context; equi-joins default
@@ -53,8 +55,8 @@ val sampled :
   Graph.t ->
   Edge.t ->
   outer:direction ->
-  sample:int array ->
-  inner_table:int array option ->
+  sample:Rox_util.Column.t ->
+  inner_table:Rox_util.Column.t option ->
   limit:int ->
   Rox_algebra.Cutoff.t
 (** Zero-investment cut-off sampled evaluation: the [↓l(exec(e, S, T))] of

@@ -1,3 +1,4 @@
+open Rox_util
 open Rox_storage
 open Rox_algebra
 
@@ -13,8 +14,8 @@ type t = {
   cache : Rox_cache.Store.t option;
   (* Applied when a vertex table is first materialized from its index
      domain — the hook behind approximate (sample-driven) execution. *)
-  table_sampler : (int -> int array -> int array) option;
-  tables : int array option array;
+  table_sampler : (int -> Column.t -> Column.t) option;
+  tables : Column.t option array;
   executed_edges : bool array;
   implied_edges : bool array;
   (* Component id per vertex (-1 = none); components.(cid) = Some relation. *)
@@ -149,7 +150,7 @@ let refresh_tables t rel =
       let fresh = Relation.column_distinct rel v in
       let dirty =
         match t.tables.(v) with
-        | Some old -> Array.length old <> Array.length fresh
+        | Some old -> Column.length old <> Column.length fresh
         | None -> true
       in
       t.tables.(v) <- Some fresh;
@@ -166,7 +167,7 @@ let is_value_vertex t v =
    lookups expose counts for free (Section 2.2). *)
 let known_size t v =
   match t.tables.(v) with
-  | Some tab -> Array.length tab
+  | Some tab -> Column.length tab
   | None -> Exec.vertex_domain_count t.engine (Graph.vertex t.graph v)
 
 (* Materializing a table from its index costs |R| (Table 1's Delt / value
@@ -176,7 +177,7 @@ let charged_table ?meter t v =
   | Some tab -> tab
   | None ->
     let tab = ensure_table t v in
-    Rox_algebra.Cost.charge meter (Array.length tab);
+    Rox_algebra.Cost.charge meter (Column.length tab);
     tab
 
 (* The cacheable unit of edge execution: the physical-variant descriptor
@@ -185,8 +186,8 @@ let charged_table ?meter t v =
    thunk running the physical operator. *)
 type exec_plan = {
   variant : string;
-  in1 : int array;
-  in2 : int array;
+  in1 : Column.t;
+  in2 : Column.t;
   run : Rox_algebra.Cost.meter option -> Exec.pairs;
 }
 
@@ -196,7 +197,7 @@ let edge_fingerprint t (e : Edge.t) store plan =
     ~epoch:(Rox_cache.Store.epoch store)
     [
       "edge"; plan.variant; vdesc e.Edge.v1; vdesc e.Edge.v2;
-      Rox_cache.Fingerprint.table plan.in1; Rox_cache.Fingerprint.table plan.in2;
+      Rox_cache.Fingerprint.column plan.in1; Rox_cache.Fingerprint.column plan.in2;
     ]
 
 (* Consult the relation cache around the physical join. A hit replays the
@@ -218,9 +219,10 @@ let cached_pairs ?meter t (e : Edge.t) plan =
        if !Sanitize.enabled then begin
          let op = Printf.sprintf "Runtime.cached_pairs(e%d %s)" e.Edge.id plan.variant in
          let fresh = plan.run None in
-         Sanitize.check_identical ~op ~what:"left column" pairs.Exec.left fresh.Exec.left;
-         Sanitize.check_identical ~op ~what:"right column" pairs.Exec.right
-           fresh.Exec.right
+         Sanitize.check_identical ~op ~what:"left column"
+           (Column.read pairs.Exec.left) (Column.read fresh.Exec.left);
+         Sanitize.check_identical ~op ~what:"right column"
+           (Column.read pairs.Exec.right) (Column.read fresh.Exec.right)
        end;
        (pairs, true)
      | None ->
@@ -334,10 +336,11 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
         | None -> ()
         | Some tab ->
           let what = Printf.sprintf "T(v%d)" v in
-          Sanitize.check_sorted_dedup ~op ~what tab;
+          Sanitize.check_column_flag ~op ~what tab;
+          Sanitize.check_sorted_dedup ~op ~what (Column.read tab);
           Sanitize.check_subset ~op ~what
-            ~domain:(Exec.vertex_domain t.engine (Graph.vertex t.graph v))
-            tab)
+            ~domain:(Column.read (Exec.vertex_domain t.engine (Graph.vertex t.graph v)))
+            (Column.read tab))
       (Relation.vertices rel)
   end;
   { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed; cache_hit }

@@ -24,7 +24,7 @@ exception Blowup of { edge : int; rows : int; limit : int }
 val create :
   ?max_rows:int ->
   ?cache:Rox_cache.Store.t ->
-  ?table_sampler:(int -> int array -> int array) ->
+  ?table_sampler:(int -> Rox_util.Column.t -> Rox_util.Column.t) ->
   Engine.t ->
   Graph.t ->
   t
@@ -62,14 +62,14 @@ val unexecuted_incident : t -> int -> Edge.t list
 
 val all_executed : t -> bool
 
-val table : t -> int -> int array option
+val table : t -> int -> Rox_util.Column.t option
 (** T(v), if materialized. *)
 
-val table_or_domain : t -> int -> int array
+val table_or_domain : t -> int -> Rox_util.Column.t
 (** T(v), or the vertex's index domain when not yet materialized — the
     inner input for full or sampled edge evaluation. *)
 
-val ensure_table : t -> int -> int array
+val ensure_table : t -> int -> Rox_util.Column.t
 (** Materialize T(v) from its index domain if unset, and return it. *)
 
 val component_rows : t -> int array

@@ -3,8 +3,8 @@ open Rox_shred
 
 type t = {
   doc : Doc.t;
-  by_name : (int, int array) Hashtbl.t;
-  attrs_by_name : (int, int array) Hashtbl.t;
+  by_name : (int, Column.t) Hashtbl.t;
+  attrs_by_name : (int, Column.t) Hashtbl.t;
 }
 
 let build doc =
@@ -30,28 +30,32 @@ let build doc =
   (* Rows were visited in pre order, so each vector is already sorted. *)
   let freeze acc =
     let out = Hashtbl.create (Hashtbl.length acc) in
-    Hashtbl.iter (fun name vec -> Hashtbl.replace out name (Int_vec.to_array vec)) acc;
+    Hashtbl.iter
+      (fun name vec ->
+        Hashtbl.replace out name
+          (Column.unsafe_of_array ~sorted:true (Int_vec.to_array vec)))
+      acc;
     out
   in
   { doc; by_name = freeze acc; attrs_by_name = freeze attr_acc }
 
 let find_or_empty tbl key =
-  match Hashtbl.find_opt tbl key with Some a -> a | None -> [||]
+  match Hashtbl.find_opt tbl key with Some a -> a | None -> Column.empty
 
 let lookup t name_id = find_or_empty t.by_name name_id
 
 let lookup_name t name =
   match Str_pool.find (Doc.qname_pool t.doc) name with
   | Some id -> lookup t id
-  | None -> [||]
+  | None -> Column.empty
 
-let count t name_id = Array.length (lookup t name_id)
+let count t name_id = Column.length (lookup t name_id)
 
 let names t =
   let out = Int_vec.create () in
   Hashtbl.iter (fun name _ -> Int_vec.push out name) t.by_name;
   let arr = Int_vec.to_array out in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let lookup_attr t name_id = find_or_empty t.attrs_by_name name_id
@@ -59,6 +63,6 @@ let lookup_attr t name_id = find_or_empty t.attrs_by_name name_id
 let lookup_attr_name t name =
   match Str_pool.find (Doc.qname_pool t.doc) name with
   | Some id -> lookup_attr t id
-  | None -> [||]
+  | None -> Column.empty
 
-let count_attr t name_id = Array.length (lookup_attr t name_id)
+let count_attr t name_id = Column.length (lookup_attr t name_id)

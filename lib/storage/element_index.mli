@@ -9,11 +9,11 @@ type t
 
 val build : Rox_shred.Doc.t -> t
 
-val lookup : t -> int -> int array
-(** [lookup idx qname_id] is the shared (do not mutate) sorted pre array;
-    [||] when the name does not occur. *)
+val lookup : t -> int -> Rox_util.Column.t
+(** [lookup idx qname_id] is the shared sorted pre column (zero-copy,
+    [sorted] flag set); empty when the name does not occur. *)
 
-val lookup_name : t -> string -> int array
+val lookup_name : t -> string -> Rox_util.Column.t
 (** Resolves the string through the document's qname pool first. *)
 
 val count : t -> int -> int
@@ -22,9 +22,9 @@ val count : t -> int -> int
 val names : t -> int array
 (** All element qname ids present in the document. *)
 
-val lookup_attr : t -> int -> int array
+val lookup_attr : t -> int -> Rox_util.Column.t
 (** Attribute nodes with the given interned attribute name — the analogous
     access path for "@name" vertices. *)
 
-val lookup_attr_name : t -> string -> int array
+val lookup_attr_name : t -> string -> Rox_util.Column.t
 val count_attr : t -> int -> int

@@ -1,7 +1,7 @@
 open Rox_util
 open Rox_shred
 
-type t = { by_kind : int array array; everything : int array }
+type t = { by_kind : Column.t array; everything : Column.t }
 
 let build doc =
   let vecs = Array.init 6 (fun _ -> Int_vec.create ()) in
@@ -10,8 +10,10 @@ let build doc =
     Int_vec.push vecs.(Nodekind.to_int (Doc.kind doc pre)) pre;
     Int_vec.push all pre
   done;
-  { by_kind = Array.map Int_vec.to_array vecs; everything = Int_vec.to_array all }
+  { by_kind =
+      Array.map (fun v -> Column.unsafe_of_array ~sorted:true (Int_vec.to_array v)) vecs;
+    everything = Column.unsafe_of_array ~sorted:true (Int_vec.to_array all) }
 
 let lookup t kind = t.by_kind.(Nodekind.to_int kind)
 let all t = t.everything
-let count t kind = Array.length (lookup t kind)
+let count t kind = Column.length (lookup t kind)

@@ -8,10 +8,10 @@ type t
 
 val build : Rox_shred.Doc.t -> t
 
-val lookup : t -> Rox_shred.Nodekind.t -> int array
-(** Shared sorted pre array of all nodes of that kind. *)
+val lookup : t -> Rox_shred.Nodekind.t -> Rox_util.Column.t
+(** Shared sorted pre column (zero-copy, [sorted] flag set). *)
 
-val all : t -> int array
+val all : t -> Rox_util.Column.t
 (** Every node except the virtual doc root — the [D*] input. *)
 
 val count : t -> Rox_shred.Nodekind.t -> int

@@ -3,19 +3,22 @@ open Rox_util
 let sample rng table tau =
   if tau < 0 then
     invalid_arg (Printf.sprintf "Sampling.sample: negative sample size %d" tau);
-  let n = Array.length table in
-  if tau >= n then Array.copy table
+  let n = Column.length table in
+  if tau >= n then table
   else begin
     let idx = Xoshiro.sample_without_replacement rng n tau in
-    Array.map (fun i -> table.(i)) idx
+    (* Ascending distinct positions of the table: document order — and
+       strict increase — survive sampling. *)
+    Column.unsafe_of_array ~sorted:(Column.sorted table)
+      (Array.map (fun i -> Column.get table i) idx)
   end
 
 let sample_fraction rng table frac =
   if Float.is_nan frac || frac < 0.0 || frac > 1.0 then
     invalid_arg
       (Printf.sprintf "Sampling.sample_fraction: fraction %g outside [0, 1]" frac);
-  let n = Array.length table in
-  if n = 0 || frac = 0.0 then [||]
+  let n = Column.length table in
+  if n = 0 || frac = 0.0 then Column.empty
   else begin
     let k = max 1 (int_of_float (frac *. float_of_int n)) in
     sample rng table k

@@ -6,12 +6,15 @@
     arrays. Samples keep document order so they remain valid staircase-join
     context inputs. *)
 
-val sample : Rox_util.Xoshiro.t -> int array -> int -> int array
+val sample : Rox_util.Xoshiro.t -> Rox_util.Column.t -> int -> Rox_util.Column.t
 (** [sample rng table tau] draws [min tau (length table)] elements without
-    replacement, returned sorted (document order — the input is sorted).
+    replacement, returned sorted (document order — the input is sorted;
+    the sorted flag carries over, and a [tau >= length] draw is the table
+    itself, zero-copy).
     @raise Invalid_argument when [tau] is negative. *)
 
-val sample_fraction : Rox_util.Xoshiro.t -> int array -> float -> int array
+val sample_fraction :
+  Rox_util.Xoshiro.t -> Rox_util.Column.t -> float -> Rox_util.Column.t
 (** Sample a fraction in [0,1] of the table (at least 1 element when the
     table is non-empty and the fraction is positive; a fraction of [1.0]
     copies the whole table).

@@ -2,9 +2,9 @@ open Rox_util
 open Rox_shred
 
 type t = {
-  text_by_value : (int, int array) Hashtbl.t;
-  attr_by_name_value : (int * int, int array) Hashtbl.t;
-  attr_by_value : (int, int array) Hashtbl.t;
+  text_by_value : (int, Column.t) Hashtbl.t;
+  attr_by_name_value : (int * int, Column.t) Hashtbl.t;
+  attr_by_value : (int, Column.t) Hashtbl.t;
   (* Numeric access path: parallel arrays sorted by numeric value. *)
   num_values : float array;
   num_pres : int array;
@@ -44,13 +44,19 @@ let build doc =
       push attr_v_acc v pre
     | Nodekind.Doc | Nodekind.Elem | Nodekind.Comment | Nodekind.Pi -> ()
   done;
+  (* Buckets were filled in pre order: already sorted and duplicate-free. *)
   let freeze tbl =
     let out = Hashtbl.create (Hashtbl.length tbl) in
-    Hashtbl.iter (fun k v -> Hashtbl.replace out k (Int_vec.to_array v)) tbl;
+    Hashtbl.iter
+      (fun k v -> Hashtbl.replace out k (Column.unsafe_of_array ~sorted:true (Int_vec.to_array v)))
+      tbl;
     out
   in
   let num_pairs = Array.of_list !nums in
-  Array.sort (fun (a, pa) (b, pb) -> match compare a b with 0 -> compare pa pb | c -> c) num_pairs;
+  Array.sort
+    (fun (a, pa) (b, pb) ->
+      match Float.compare a b with 0 -> Int.compare pa pb | c -> c)
+    num_pairs;
   {
     text_by_value = freeze text_acc;
     attr_by_name_value = freeze attr_nv_acc;
@@ -60,12 +66,12 @@ let build doc =
   }
 
 let find_or_empty tbl key =
-  match Hashtbl.find_opt tbl key with Some a -> a | None -> [||]
+  match Hashtbl.find_opt tbl key with Some a -> a | None -> Column.empty
 
 let text_eq t value_id = find_or_empty t.text_by_value value_id
-let text_eq_count t value_id = Array.length (text_eq t value_id)
+let text_eq_count t value_id = Column.length (text_eq t value_id)
 let attr_eq t ~name_id ~value_id = find_or_empty t.attr_by_name_value (name_id, value_id)
-let attr_eq_count t ~name_id ~value_id = Array.length (attr_eq t ~name_id ~value_id)
+let attr_eq_count t ~name_id ~value_id = Column.length (attr_eq t ~name_id ~value_id)
 let attr_eq_any_name t ~value_id = find_or_empty t.attr_by_value value_id
 
 (* Boundary indices in the numeric-sorted arrays for [lo, hi]. *)
@@ -98,8 +104,8 @@ let range_bounds t ?lo ?hi () =
 let text_range t ?lo ?hi () =
   let start, stop = range_bounds t ?lo ?hi () in
   let out = Array.sub t.num_pres start (max 0 (stop - start)) in
-  Array.sort compare out;
-  out
+  Array.sort Int.compare out;
+  Column.unsafe_of_array ~sorted:true out
 
 let text_range_count t ?lo ?hi () =
   let start, stop = range_bounds t ?lo ?hi () in

@@ -18,22 +18,22 @@ type t
 
 val build : Rox_shred.Doc.t -> t
 
-val text_eq : t -> int -> int array
+val text_eq : t -> int -> Rox_util.Column.t
 (** [text_eq idx value_id]: text nodes whose value equals the interned
-    value — shared sorted array. *)
+    value — shared sorted column (zero-copy, [sorted] flag set). *)
 
 val text_eq_count : t -> int -> int
 
-val attr_eq : t -> name_id:int -> value_id:int -> int array
+val attr_eq : t -> name_id:int -> value_id:int -> Rox_util.Column.t
 (** Attribute nodes with a given name and value. *)
 
 val attr_eq_count : t -> name_id:int -> value_id:int -> int
 
-val attr_eq_any_name : t -> value_id:int -> int array
+val attr_eq_any_name : t -> value_id:int -> Rox_util.Column.t
 (** Attribute nodes with a given value, any attribute name — used by value
     equi-joins whose attribute name is fixed per vertex anyway. *)
 
-val text_range : t -> ?lo:float -> ?hi:float -> unit -> int array
+val text_range : t -> ?lo:float -> ?hi:float -> unit -> Rox_util.Column.t
 (** Text nodes whose value parses as a number within [lo, hi] (inclusive;
     bounds optional). Result is freshly allocated, sorted on pre. *)
 

@@ -31,7 +31,7 @@ let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))
 

@@ -71,20 +71,21 @@ let sample_without_replacement t n k =
     let all = Array.init n (fun i -> i) in
     shuffle t all;
     let out = Array.sub all 0 k in
-    Array.sort compare out;
+    Array.sort Int.compare out;
     out
   end
   else begin
-    (* Floyd's algorithm: k iterations, set-membership via Hashtbl. *)
-    let seen = Hashtbl.create (2 * k) in
+    (* Floyd's algorithm: k iterations, set-membership via the unboxed
+       open-addressing [Int_table]. *)
+    let seen = Int_table.create ~capacity:(2 * k) () in
     for j = n - k to n - 1 do
       let r = int t (j + 1) in
-      if Hashtbl.mem seen r then Hashtbl.replace seen j ()
-      else Hashtbl.replace seen r ()
+      if Int_table.mem seen r then Int_table.add seen j
+      else Int_table.add seen r
     done;
     let out = Array.make k 0 in
     let i = ref 0 in
-    Hashtbl.iter (fun key () -> out.(!i) <- key; incr i) seen;
-    Array.sort compare out;
+    Int_table.iter (fun key _ -> out.(!i) <- key; incr i) seen;
+    Array.sort Int.compare out;
     out
   end

@@ -5,7 +5,7 @@ let author_multiset (r : Engine.docref) =
   let counts = Hashtbl.create 256 in
   let doc = r.Engine.doc in
   let authors = Element_index.lookup_name r.Engine.elements "author" in
-  Array.iter
+  Rox_util.Column.iter
     (fun a ->
       (* The author element's text children. *)
       Array.iter

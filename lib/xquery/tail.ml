@@ -10,6 +10,6 @@ let apply ?meter spec rel =
   let distinct = Relation.distinct ?meter projected in
   let sorted = Relation.sort_rows distinct in
   let final = Relation.project sorted [| spec.return_vertex |] in
-  Relation.column final spec.return_vertex
+  Rox_util.Column.read (Relation.column final spec.return_vertex)
 
 let count ?meter spec rel = Array.length (apply ?meter spec rel)

@@ -96,6 +96,12 @@ let naive_axis engine ~doc_id ~pre axis =
 
 let int_array = Alcotest.(array int)
 
+(* Column bridges: tests state expectations as int arrays; the kernels
+   speak {!Rox_util.Column.t}. *)
+let col a = Rox_util.Column.unsafe_of_array_detect a
+let arr c = Rox_util.Column.to_array c
+let clen c = Rox_util.Column.length c
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)

@@ -44,16 +44,16 @@ let staircase_matches_naive seed axis =
   let rng = Rox_util.Xoshiro.create (seed + 1) in
   (* A random sorted duplicate-free context. *)
   let k = 1 + Rox_util.Xoshiro.int rng (max 1 (n - 1)) in
-  let context = Rox_util.Xoshiro.sample_without_replacement rng n k in
+  let context = col (Rox_util.Xoshiro.sample_without_replacement rng n k) in
   let candidates = Kind_index.all (kinds_of engine 0) in
   let result = Staircase.join ~doc ~axis ~context candidates in
   let expected =
-    Array.to_list context
+    Array.to_list (arr context)
     |> List.concat_map (fun c -> naive_axis engine ~doc_id:0 ~pre:c axis)
     |> List.filter (fun p -> p <> 0) (* candidates exclude the virtual root *)
     |> List.sort_uniq compare
   in
-  Array.to_list result = expected
+  Array.to_list (arr result) = expected
 
 let axis_props =
   Array.to_list Axis.all
@@ -71,7 +71,7 @@ let test_staircase_desc_restricted () =
   (* descendants of <b> restricted to c: the two nested c's. *)
   let bs = Element_index.lookup_name r.Engine.elements "b" in
   let result = Staircase.join ~doc ~axis:Axis.Descendant ~context:bs cs in
-  check_int "two c under b" 2 (Array.length result)
+  check_int "two c under b" 2 (clen result)
 
 let test_staircase_pairs_grouped () =
   (* iter_pairs must emit in ascending context-index order (cut-off contract). *)
@@ -181,7 +181,7 @@ let test_selection () =
   let _, r = engine_of_xml "<a><n>5</n><n>15</n><n>x</n><n>10</n></a>" in
   let doc = r.Engine.doc in
   let texts = Kind_index.lookup r.Engine.kinds Nodekind.Text in
-  let count pred = Array.length (Selection.filter ~doc ~pred texts) in
+  let count pred = clen (Selection.filter ~doc ~pred texts) in
   check_int "lt" 2 (count (Selection.Lt 15.0));
   check_int "le" 3 (count (Selection.Le 15.0));
   check_int "gt" 1 (count (Selection.Gt 10.0));

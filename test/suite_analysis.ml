@@ -212,7 +212,7 @@ let test_sanitizer_unsorted_nodeset () =
   (* An unsorted context violates the Table 1 node-sequence contract. *)
   match
     Contract.wrap (fun () ->
-        Staircase.join ~doc ~axis:Axis.Descendant ~context:[| 5; 3 |] candidates)
+        Staircase.join ~doc ~axis:Axis.Descendant ~context:(col [| 5; 3 |]) candidates)
   with
   | Ok _ -> Alcotest.fail "sanitizer accepted an unsorted context"
   | Error d ->

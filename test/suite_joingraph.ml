@@ -61,17 +61,17 @@ let test_vertex_labels () =
 let test_vertex_domain () =
   let engine, _ = engine_of_xml "<a><n>10</n><n>200</n><b x=\"7\"/><b x=\"9\"/></a>" in
   let dom annot = Exec.vertex_domain engine { Vertex.id = 0; doc_id = 0; annot } in
-  check_bool "root" true (dom Vertex.Root = [| 0 |]);
-  check_int "element" 2 (Array.length (dom (Vertex.Element "n")));
-  check_int "missing element" 0 (Array.length (dom (Vertex.Element "zz")));
-  check_int "all texts" 2 (Array.length (dom (Vertex.Text None)));
-  check_int "text eq" 1 (Array.length (dom (Vertex.Text (Some (Selection.Eq "10")))));
-  check_int "text lt strict" 1 (Array.length (dom (Vertex.Text (Some (Selection.Lt 200.0)))));
-  check_int "text le" 2 (Array.length (dom (Vertex.Text (Some (Selection.Le 200.0)))));
-  check_int "text gt strict" 0 (Array.length (dom (Vertex.Text (Some (Selection.Gt 200.0)))));
-  check_int "attrs" 2 (Array.length (dom (Vertex.Attr ("x", None))));
-  check_int "attr eq" 1 (Array.length (dom (Vertex.Attr ("x", Some (Selection.Eq "7")))));
-  check_int "attr range" 1 (Array.length (dom (Vertex.Attr ("x", Some (Selection.Gt 8.0)))));
+  check_bool "root" true (arr (dom Vertex.Root) = [| 0 |]);
+  check_int "element" 2 (clen (dom (Vertex.Element "n")));
+  check_int "missing element" 0 (clen (dom (Vertex.Element "zz")));
+  check_int "all texts" 2 (clen (dom (Vertex.Text None)));
+  check_int "text eq" 1 (clen (dom (Vertex.Text (Some (Selection.Eq "10")))));
+  check_int "text lt strict" 1 (clen (dom (Vertex.Text (Some (Selection.Lt 200.0)))));
+  check_int "text le" 2 (clen (dom (Vertex.Text (Some (Selection.Le 200.0)))));
+  check_int "text gt strict" 0 (clen (dom (Vertex.Text (Some (Selection.Gt 200.0)))));
+  check_int "attrs" 2 (clen (dom (Vertex.Attr ("x", None))));
+  check_int "attr eq" 1 (clen (dom (Vertex.Attr ("x", Some (Selection.Eq "7")))));
+  check_int "attr range" 1 (clen (dom (Vertex.Attr ("x", Some (Selection.Gt 8.0)))));
   check_bool "count agrees" true
     (Exec.vertex_domain_count engine { Vertex.id = 0; doc_id = 0; annot = Vertex.Text None } = 2)
 
@@ -102,7 +102,7 @@ let test_full_pairs_directions () =
   let rev = Exec.full_pairs ~step_direction:Exec.From_v2 engine g e ~t1 ~t2 in
   let norm p =
     List.sort compare
-      (List.combine (Array.to_list p.Exec.left) (Array.to_list p.Exec.right))
+      (List.combine (Array.to_list (arr p.Exec.left)) (Array.to_list (arr p.Exec.right)))
   in
   check_int "three text children" 3 (Exec.pair_count fwd);
   check_bool "reverse direction same pairs" true (norm fwd = norm rev)
@@ -130,14 +130,15 @@ let test_sampled_equijoin () =
 
 (* ---------- Relation ---------- *)
 
-let pairs left right = { Exec.left = Array.of_list left; right = Array.of_list right }
+let pairs left right =
+  { Exec.left = col (Array.of_list left); right = col (Array.of_list right) }
 
 let test_relation_basics () =
   let r = Relation.of_pairs ~v1:0 ~v2:1 (pairs [ 1; 1; 2 ] [ 10; 11; 10 ]) in
   check_int "rows" 3 (Relation.rows r);
   check_int "width" 2 (Relation.width r);
-  check_bool "column v1" true (Relation.column r 0 = [| 1; 1; 2 |]);
-  check_bool "distinct v1" true (Relation.column_distinct r 0 = [| 1; 2 |]);
+  check_bool "column v1" true (arr (Relation.column r 0) = [| 1; 1; 2 |]);
+  check_bool "distinct v1" true (arr (Relation.column_distinct r 0) = [| 1; 2 |]);
   check_bool "has vertex" true (Relation.has_vertex r 1);
   check_bool "hasn't vertex" false (Relation.has_vertex r 9)
 
@@ -146,8 +147,8 @@ let test_relation_extend () =
   (* Extend on column 1: 10 -> {100, 101}; 11 -> {} *)
   let r2 = Relation.extend r ~on:1 ~new_vertex:2 (pairs [ 10; 10 ] [ 100; 101 ]) in
   check_int "rows" 2 (Relation.rows r2);
-  check_bool "new column" true (Relation.column_distinct r2 2 = [| 100; 101 |]);
-  check_bool "old rows filtered" true (Relation.column_distinct r2 0 = [| 1 |])
+  check_bool "new column" true (arr (Relation.column_distinct r2 2) = [| 100; 101 |]);
+  check_bool "old rows filtered" true (arr (Relation.column_distinct r2 0) = [| 1 |])
 
 let test_relation_fuse () =
   let left = Relation.of_pairs ~v1:0 ~v2:1 (pairs [ 1; 2 ] [ 10; 20 ]) in
@@ -156,30 +157,74 @@ let test_relation_fuse () =
   let fused = Relation.fuse left right ~on_left:1 ~on_right:2 (pairs [ 10 ] [ 100 ]) in
   check_int "one row" 1 (Relation.rows fused);
   check_int "width 4" 4 (Relation.width fused);
-  check_bool "values" true (Relation.column fused 3 = [| 7 |])
+  check_bool "values" true (arr (Relation.column fused 3) = [| 7 |])
 
 let test_relation_filter_pairs () =
   let r = Relation.of_pairs ~v1:0 ~v2:1 (pairs [ 1; 2; 3 ] [ 10; 20; 30 ]) in
   let filtered = Relation.filter_pairs r ~c1:0 ~c2:1 (pairs [ 1; 3 ] [ 10; 30 ]) in
   check_int "two rows" 2 (Relation.rows filtered);
-  check_bool "kept" true (Relation.column filtered 0 = [| 1; 3 |])
+  check_bool "kept" true (arr (Relation.column filtered 0) = [| 1; 3 |])
 
 let test_relation_distinct_sort_project () =
   let r = Relation.of_pairs ~v1:0 ~v2:1 (pairs [ 2; 1; 2 ] [ 20; 10; 20 ]) in
   let d = Relation.distinct r in
   check_int "distinct rows" 2 (Relation.rows d);
   let s = Relation.sort_rows d in
-  check_bool "sorted" true (Relation.column s 0 = [| 1; 2 |]);
+  check_bool "sorted" true (arr (Relation.column s 0) = [| 1; 2 |]);
   let p = Relation.project s [| 1 |] in
   check_int "projected width" 1 (Relation.width p);
-  check_bool "projected col" true (Relation.column p 1 = [| 10; 20 |])
+  check_bool "projected col" true (arr (Relation.column p 1) = [| 10; 20 |])
 
 let test_relation_cross () =
-  let a = Relation.singleton ~vertex:0 [| 1; 2 |] in
-  let b = Relation.singleton ~vertex:1 [| 7; 8; 9 |] in
+  let a = Relation.singleton ~vertex:0 (col [| 1; 2 |]) in
+  let b = Relation.singleton ~vertex:1 (col [| 7; 8; 9 |]) in
   let c = Relation.cross a b in
   check_int "6 rows" 6 (Relation.rows c);
   check_int "width 2" 2 (Relation.width c)
+
+(* Edge shapes through every columnar kernel, checked bit-for-bit
+   against the row-major reference [Relation.Naive]: zero-row, one-row
+   and duplicate-heavy relations exercise the empty allocations, the
+   sorted fast paths and the CSR pair grouping. *)
+let test_relation_kernels_vs_naive () =
+  let module N = Relation.Naive in
+  let agree name got ref_ =
+    check_bool name true (Relation.equal got (N.to_relation ref_))
+  in
+  let check_shape name l r =
+    let la = Array.of_list l and ra = Array.of_list r in
+    let naive = N.of_pairs ~v1:0 ~v2:1 ~left:la ~right:ra in
+    let rel = Relation.of_pairs ~v1:0 ~v2:1 (pairs l r) in
+    let pl = [| 3; 5; 3 |] and pr = [| 100; 101; 102 |] in
+    agree (name ^ ": extend")
+      (Relation.extend rel ~on:0 ~new_vertex:2 (pairs [ 3; 5; 3 ] [ 100; 101; 102 ]))
+      (N.extend naive ~on:0 ~new_vertex:2 ~left:pl ~right:pr);
+    let naive_o = N.of_pairs ~v1:3 ~v2:4 ~left:[| 9; 7 |] ~right:[| 40; 41 |] in
+    let rel_o = Relation.of_pairs ~v1:3 ~v2:4 (pairs [ 9; 7 ] [ 40; 41 ]) in
+    agree (name ^ ": fuse")
+      (Relation.fuse rel rel_o ~on_left:1 ~on_right:3 (pairs [ 9; 7 ] [ 9; 9 ]))
+      (N.fuse naive naive_o ~on_left:1 ~on_right:3 ~pl:[| 9; 7 |] ~pr:[| 9; 9 |]);
+    agree (name ^ ": filter_pairs")
+      (Relation.filter_pairs rel ~c1:0 ~c2:1 (pairs [ 3; 5 ] [ 9; 7 ]))
+      (N.filter_pairs naive ~c1:0 ~c2:1 ~left:[| 3; 5 |] ~right:[| 9; 7 |]);
+    agree (name ^ ": distinct") (Relation.distinct rel) (N.distinct naive);
+    agree (name ^ ": sort_rows") (Relation.sort_rows rel) (N.sort_rows naive);
+    agree (name ^ ": project") (Relation.project rel [| 1 |]) (N.project naive [| 1 |]);
+    agree (name ^ ": cross") (Relation.cross rel rel_o) (N.cross naive naive_o)
+  in
+  check_shape "zero-row" [] [];
+  check_shape "one-row" [ 3 ] [ 9 ];
+  check_shape "dup-heavy" [ 3; 3; 3; 3 ] [ 9; 9; 9; 9 ];
+  (* One-column relation: singleton's sorted flag makes distinct and
+     sort_rows no-ops and puts extend on its merge path. *)
+  let nodes = [| 2; 5; 9 |] in
+  let one_n = N.singleton ~vertex:0 nodes in
+  let one = Relation.singleton ~vertex:0 (col nodes) in
+  agree "one-column: distinct" (Relation.distinct one) (N.distinct one_n);
+  agree "one-column: sort_rows" (Relation.sort_rows one) (N.sort_rows one_n);
+  agree "one-column: extend (merge path)"
+    (Relation.extend one ~on:0 ~new_vertex:1 (pairs [ 2; 2; 9 ] [ 7; 8; 1 ]))
+    (N.extend one_n ~on:0 ~new_vertex:1 ~left:[| 2; 2; 9 |] ~right:[| 7; 8; 1 |])
 
 let test_relation_iter_rows () =
   let r = Relation.of_pairs ~v1:0 ~v2:1 (pairs [ 1; 2 ] [ 10; 20 ]) in
@@ -241,14 +286,14 @@ let test_runtime_tables_shrink () =
   match edges with
   | [ sa; sb; j ] ->
     ignore (Runtime.execute_edge rt sa : Runtime.exec_info);
-    check_int "T(ta) full" 3 (Array.length (Option.get (Runtime.table rt ta.Vertex.id)));
+    check_int "T(ta) full" 3 (clen (Option.get (Runtime.table rt ta.Vertex.id)));
     ignore (Runtime.execute_edge rt sb : Runtime.exec_info);
     let info = Runtime.execute_edge rt j in
     (* x joins x: left has two x texts, right one. *)
     check_int "pairs" 2 info.Runtime.pair_count;
-    check_int "T(ta) reduced" 2 (Array.length (Option.get (Runtime.table rt ta.Vertex.id)));
-    check_int "T(tb) reduced" 1 (Array.length (Option.get (Runtime.table rt tb.Vertex.id)));
-    check_int "T(a) reduced" 2 (Array.length (Option.get (Runtime.table rt a.Vertex.id)));
+    check_int "T(ta) reduced" 2 (clen (Option.get (Runtime.table rt ta.Vertex.id)));
+    check_int "T(tb) reduced" 1 (clen (Option.get (Runtime.table rt tb.Vertex.id)));
+    check_int "T(a) reduced" 2 (clen (Option.get (Runtime.table rt a.Vertex.id)));
     check_bool "a flagged changed" true (List.mem a.Vertex.id info.Runtime.changed);
     check_bool "all executed" true (Runtime.all_executed rt)
   | _ -> Alcotest.fail "unexpected edges"
@@ -307,8 +352,8 @@ let test_relation_too_large () =
   check_int "uncapped rows" 9 (Relation.rows (Relation.extend r ~on:1 ~new_vertex:2 p))
 
 let test_cross_too_large () =
-  let a = Relation.singleton ~vertex:0 (Array.init 100 (fun i -> i)) in
-  let b = Relation.singleton ~vertex:1 (Array.init 100 (fun i -> i)) in
+  let a = Relation.singleton ~vertex:0 (col (Array.init 100 (fun i -> i))) in
+  let b = Relation.singleton ~vertex:1 (col (Array.init 100 (fun i -> i))) in
   match Relation.cross ~max_rows:5000 a b with
   | exception Relation.Too_large _ -> ()
   | _ -> Alcotest.fail "expected Too_large from cross"
@@ -341,6 +386,8 @@ let suite =
     Alcotest.test_case "relation filter pairs" `Quick test_relation_filter_pairs;
     Alcotest.test_case "relation distinct/sort/project" `Quick test_relation_distinct_sort_project;
     Alcotest.test_case "relation cross" `Quick test_relation_cross;
+    Alcotest.test_case "relation kernels vs naive shapes" `Quick
+      test_relation_kernels_vs_naive;
     Alcotest.test_case "relation iter rows" `Quick test_relation_iter_rows;
     Alcotest.test_case "runtime trivial edges" `Quick test_runtime_trivial_edges;
     Alcotest.test_case "runtime order independence" `Quick test_runtime_execute_all_orders;

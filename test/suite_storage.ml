@@ -11,22 +11,22 @@ let engine_and_doc xml =
 let test_element_index () =
   let _, r = engine_and_doc "<a><b/><c><b x=\"1\"/></c><b/></a>" in
   let bs = Element_index.lookup_name r.Engine.elements "b" in
-  check_int "three b" 3 (Array.length bs);
-  check_bool "sorted" true (Rox_algebra.Nodeset.is_sorted_dedup bs);
-  check_int "one a" 1 (Array.length (Element_index.lookup_name r.Engine.elements "a"));
-  check_int "missing" 0 (Array.length (Element_index.lookup_name r.Engine.elements "zz"));
-  Array.iter
+  check_int "three b" 3 (clen bs);
+  check_bool "sorted" true (Rox_algebra.Nodeset.is_sorted_dedup (arr bs));
+  check_int "one a" 1 (clen (Element_index.lookup_name r.Engine.elements "a"));
+  check_int "missing" 0 (clen (Element_index.lookup_name r.Engine.elements "zz"));
+  Rox_util.Column.iter
     (fun pre -> check_bool "kind elem" true (Doc.kind r.Engine.doc pre = Nodekind.Elem))
     bs
 
 let test_attr_index () =
   let _, r = engine_and_doc {|<a x="1"><b x="2" y="3"/><c y="4"/></a>|} in
   let xs = Element_index.lookup_attr_name r.Engine.elements "x" in
-  check_int "two @x" 2 (Array.length xs);
-  Array.iter
+  check_int "two @x" 2 (clen xs);
+  Rox_util.Column.iter
     (fun pre -> check_bool "kind attr" true (Doc.kind r.Engine.doc pre = Nodekind.Attr))
     xs;
-  check_int "two @y" 2 (Array.length (Element_index.lookup_attr_name r.Engine.elements "y"))
+  check_int "two @y" 2 (clen (Element_index.lookup_attr_name r.Engine.elements "y"))
 
 let prop_element_index_complete =
   qtest ~count:100 "element index = scan" QCheck.small_int (fun seed ->
@@ -37,7 +37,7 @@ let prop_element_index_complete =
       for pre = 1 to Doc.node_count doc - 1 do
         if Doc.kind doc pre = Nodekind.Elem then begin
           let indexed = Element_index.lookup r.Engine.elements (Doc.name_id doc pre) in
-          if not (Rox_util.Bin_search.mem indexed pre) then ok := false
+          if not (Rox_util.Column.mem indexed pre) then ok := false
         end
       done;
       !ok)
@@ -51,7 +51,7 @@ let test_kind_index () =
   check_int "attrs" 1 (Kind_index.count r.Engine.kinds Nodekind.Attr);
   check_int "comments" 1 (Kind_index.count r.Engine.kinds Nodekind.Comment);
   check_int "pis" 1 (Kind_index.count r.Engine.kinds Nodekind.Pi);
-  check_int "all" 7 (Array.length (Kind_index.all r.Engine.kinds))
+  check_int "all" 7 (clen (Kind_index.all r.Engine.kinds))
 
 (* ---------- Value index ---------- *)
 
@@ -62,7 +62,7 @@ let test_value_index_eq () =
   check_int "text y" 1 (Value_index.text_eq_count r.Engine.values (vid "y"));
   let name_v = Option.get (Engine.qname_id engine "v") in
   check_int "attr v=x" 1 (Value_index.attr_eq_count r.Engine.values ~name_id:name_v ~value_id:(vid "x"));
-  check_int "any-name attr x" 1 (Array.length (Value_index.attr_eq_any_name r.Engine.values ~value_id:(vid "x")))
+  check_int "any-name attr x" 1 (clen (Value_index.attr_eq_any_name r.Engine.values ~value_id:(vid "x")))
 
 let test_value_index_range () =
   let _, r =
@@ -76,8 +76,8 @@ let test_value_index_range () =
   check_int "range [21,)" 2 (Value_index.text_range_count vi ~lo:21.0 ());
   check_int "open range" 4 (Value_index.text_range_count vi ());
   let nodes = Value_index.text_range vi ~lo:15.0 ~hi:26.0 () in
-  check_bool "sorted on pre" true (Rox_algebra.Nodeset.is_sorted_dedup nodes);
-  check_int "count = length" 2 (Array.length nodes)
+  check_bool "sorted on pre" true (Rox_algebra.Nodeset.is_sorted_dedup (arr nodes));
+  check_int "count = length" 2 (clen nodes)
 
 let test_range_boundaries () =
   let _, r = engine_and_doc "<a><n>5</n><n>5</n><n>6</n></a>" in
@@ -93,28 +93,28 @@ let prop_sampling =
   qtest ~count:100 "sample: size, sorted, subset" QCheck.(pair small_int (int_range 0 50))
     (fun (seed, tau) ->
       let rng = Rox_util.Xoshiro.create seed in
-      let table = Array.init 200 (fun i -> i * 3) in
+      let table = col (Array.init 200 (fun i -> i * 3)) in
       let s = Sampling.sample rng table tau in
-      Array.length s = min tau 200
-      && Rox_algebra.Nodeset.is_sorted_dedup s
-      && Array.for_all (fun x -> Rox_util.Bin_search.mem table x) s)
+      clen s = min tau 200
+      && Rox_algebra.Nodeset.is_sorted_dedup (arr s)
+      && Array.for_all (fun x -> Rox_util.Column.mem table x) (arr s))
 
 let test_sample_all () =
   let rng = Rox_util.Xoshiro.create 3 in
-  let table = [| 1; 5; 9 |] in
-  check_bool "tau >= n copies" true (Sampling.sample rng table 10 = table)
+  let table = col [| 1; 5; 9 |] in
+  check_bool "tau >= n copies" true (Rox_util.Column.equal (Sampling.sample rng table 10) table)
 
 let test_sample_fraction () =
   let rng = Rox_util.Xoshiro.create 3 in
-  let table = Array.init 100 (fun i -> i) in
-  check_int "half" 50 (Array.length (Sampling.sample_fraction rng table 0.5));
-  check_int "at least one" 1 (Array.length (Sampling.sample_fraction rng table 0.0001));
-  check_int "empty table" 0 (Array.length (Sampling.sample_fraction rng [||] 0.5))
+  let table = col (Array.init 100 (fun i -> i)) in
+  check_int "half" 50 (clen (Sampling.sample_fraction rng table 0.5));
+  check_int "at least one" 1 (clen (Sampling.sample_fraction rng table 0.0001));
+  check_int "empty table" 0 (clen (Sampling.sample_fraction rng Rox_util.Column.empty 0.5))
 
 (* Boundary and validation behavior of the sampling entry points. *)
 let test_sampling_boundaries () =
   let rng = Rox_util.Xoshiro.create 5 in
-  let table = Array.init 10 (fun i -> i) in
+  let table = col (Array.init 10 (fun i -> i)) in
   let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
   check_bool "negative tau rejected" true
     (raises (fun () -> Sampling.sample rng table (-1)));
@@ -124,14 +124,14 @@ let test_sampling_boundaries () =
     (raises (fun () -> Sampling.sample_fraction rng table 1.5));
   check_bool "fraction NaN rejected" true
     (raises (fun () -> Sampling.sample_fraction rng table Float.nan));
-  check_int "tau 0 is empty" 0 (Array.length (Sampling.sample rng table 0));
-  check_int "tau 0 of empty" 0 (Array.length (Sampling.sample rng [||] 0));
+  check_int "tau 0 is empty" 0 (clen (Sampling.sample rng table 0));
+  check_int "tau 0 of empty" 0 (clen (Sampling.sample rng Rox_util.Column.empty 0));
   check_int "fraction 0.0 is empty" 0
-    (Array.length (Sampling.sample_fraction rng table 0.0));
+    (clen (Sampling.sample_fraction rng table 0.0));
   check_bool "fraction 1.0 is the whole table" true
-    (Sampling.sample_fraction rng table 1.0 = table);
+    (Rox_util.Column.equal (Sampling.sample_fraction rng table 1.0) table);
   check_int "fraction 1.0 of empty" 0
-    (Array.length (Sampling.sample_fraction rng [||] 1.0))
+    (clen (Sampling.sample_fraction rng Rox_util.Column.empty 1.0))
 
 (* ---------- Engine ---------- *)
 

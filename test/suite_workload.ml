@@ -18,7 +18,7 @@ let test_xmark_populations () =
   let engine = Engine.create () in
   let params = Xmark.scaled 0.1 in
   let r = Xmark.generate ~params engine ~uri:"x.xml" in
-  let count name = Array.length (Element_index.lookup_name r.Engine.elements name) in
+  let count name = clen (Element_index.lookup_name r.Engine.elements name) in
   check_int "items" params.Xmark.n_items (count "item");
   check_int "persons" params.Xmark.n_persons (count "person");
   check_int "auctions" params.Xmark.n_auctions (count "open_auction");
@@ -47,7 +47,7 @@ let test_xmark_correlation () =
             | _ -> ())
           kids;
         (!price, !bidders))
-      auctions
+      (arr auctions)
   in
   let low = Array.to_list stats |> List.filter (fun (p, _) -> p < 145.0) in
   let high = Array.to_list stats |> List.filter (fun (p, _) -> p >= 145.0) in
@@ -99,7 +99,7 @@ let test_dblp_tag_counts () =
         (actual >= expected && actual <= expected + 8);
       (* The index agrees with the reported count. *)
       check_int "index count agrees" actual
-        (Array.length (Element_index.lookup_name l.Dblp.docref.Engine.elements "author")))
+        (clen (Element_index.lookup_name l.Dblp.docref.Engine.elements "author")))
     loaded
 
 let test_dblp_subset_invariance () =

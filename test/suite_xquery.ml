@@ -269,7 +269,7 @@ let test_axis_queries_nonempty () =
 let test_tail () =
   let rel =
     Relation.of_pairs ~v1:0 ~v2:1
-      { Exec.left = [| 3; 1; 3; 1 |]; right = [| 30; 10; 30; 11 |] }
+      { Exec.left = col [| 3; 1; 3; 1 |]; right = col [| 30; 10; 30; 11 |] }
   in
   let spec = { Tail.key_vertices = [| 0; 1 |]; return_vertex = 0 } in
   let out = Tail.apply spec rel in
