@@ -13,18 +13,21 @@ test:
 analyze:
 	dune exec bin/rox_cli.exe -- analyze
 
-# Runtime contract checks (RX301-RX306): the analyze workloads plus the
+# Runtime contract checks (RX301-RX307): the analyze workloads plus the
 # fuzz suite with every operator call cross-checked — columnar kernels
-# bit-for-bit against the row-major reference, sorted flags audited.
+# bit-for-bit against the row-major reference, sorted flags audited,
+# session confinement (no global reads on a session's path) armed.
 sanitize:
 	ROX_SANITIZE=1 dune exec bin/rox_cli.exe -- analyze
 	ROX_SANITIZE=1 dune exec test/test_main.exe -- test fuzz
 
-# Quick benchmarks: the cache experiment (BENCH_cache.json) and the
+# Quick benchmarks: the cache experiment (BENCH_cache.json), the
 # columnar relation kernels vs the row-major reference
-# (BENCH_relation.json, warns under 2x at 10^5 rows).
+# (BENCH_relation.json, warns under 2x at 10^5 rows), and concurrent
+# sessions on OCaml 5 domains (BENCH_parallel.json, bit-identity
+# enforced; speedup tracks physical cores).
 bench-smoke:
-	dune exec bench/main.exe -- cache relation
+	dune exec bench/main.exe -- cache relation parallel
 
 check: build test analyze sanitize
 	-$(MAKE) bench-smoke

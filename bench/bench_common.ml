@@ -95,23 +95,38 @@ let work run = Rox_algebra.Cost.total run.Executor.counter
    materialized tuples and assessed a penalty larger than any honest plan —
    they would only be worse if allowed to finish. *)
 let plan_max_rows = 1_000_000
+
+(* One throwaway session per fixed-plan run: counters must not accumulate
+   across plan evaluations. *)
+let plan_session ?(max_rows = plan_max_rows) () =
+  Rox_core.Session.create
+    ~config:
+      { (Rox_core.Session.default_config ()) with
+        Rox_core.Session.budgets =
+          { Rox_core.Session.default_budgets with max_rows } }
+    ()
 let blowup_penalty = 30_000_000
 
 type plan_eval = { p_work : int; p_join_rows : int; p_blown : bool }
 
 let eval_plan ctx graph edges =
-  match Executor.execute ~max_rows:plan_max_rows ctx.engine graph edges with
+  match Executor.execute (plan_session ()) ctx.engine graph edges with
   | run -> { p_work = work run; p_join_rows = run.Executor.join_rows; p_blown = false }
   | exception Runtime.Blowup { rows; _ } ->
     { p_work = blowup_penalty; p_join_rows = max rows blowup_penalty; p_blown = true }
 
 let execute_plan ctx graph edges =
-  try Some (Executor.execute ~max_rows:plan_max_rows ctx.engine graph edges)
+  try Some (Executor.execute (plan_session ()) ctx.engine graph edges)
   with Runtime.Blowup _ -> None
 
 (* Evaluate every plan class for one combo. Returns None when the combo is
    degenerate (no template). *)
-let plan_classes ?(rox_options = Rox_core.Optimizer.default_options) ctx compiled =
+let plan_classes ?rox_config ctx compiled =
+  let rox_config =
+    match rox_config with
+    | Some c -> c
+    | None -> Rox_core.Session.default_config ()
+  in
   let graph = compiled.Compile.graph in
   match Enumerate.analyze graph with
   | None -> None
@@ -166,7 +181,11 @@ let plan_classes ?(rox_options = Rox_core.Optimizer.default_options) ctx compile
         | None -> max_int
       in
       (* ROX. *)
-      match Rox_core.Optimizer.run ~options:rox_options compiled with
+      match
+        Rox_core.Optimizer.run
+          (Rox_core.Session.create ~config:rox_config ())
+          compiled
+      with
       | exception Runtime.Blowup _ -> None
       | rox ->
       let counter = rox.Rox_core.Optimizer.counter in

@@ -9,17 +9,19 @@ open Rox_workload
 open Rox_core
 open Bench_common
 
-let variants =
+let base_config () = Session.default_config ()
+
+let variants () =
   [
-    ("ROX (full)", Optimizer.default_options);
-    ("no resample", { Optimizer.default_options with resample = false });
-    ("greedy (no chain)", { Optimizer.default_options with use_chain = false });
-    ("fixed cutoff", { Optimizer.default_options with grow_cutoff = false });
-    ("no operator race", { Optimizer.default_options with race_operators = false });
+    ("ROX (full)", base_config ());
+    ("no resample", { (base_config ()) with Session.resample = false });
+    ("greedy (no chain)", { (base_config ()) with Session.use_chain = false });
+    ("fixed cutoff", { (base_config ()) with Session.grow_cutoff = false });
+    ("no operator race", { (base_config ()) with Session.race_operators = false });
   ]
 
-let measure compiled options =
-  let result = Optimizer.run ~options compiled in
+let measure compiled config =
+  let result = Optimizer.run (Session.create ~config ()) compiled in
   let c = result.Optimizer.counter in
   ( Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling,
     Rox_algebra.Cost.read c Rox_algebra.Cost.Execution )
@@ -40,8 +42,8 @@ let run () =
     List.concat_map
       (fun (qname, compiled) ->
         List.map
-          (fun (vname, options) ->
-            let sampling, execution = measure compiled options in
+          (fun (vname, config) ->
+            let sampling, execution = measure compiled config in
             [
               qname;
               vname;
@@ -49,7 +51,7 @@ let run () =
               string_of_int execution;
               string_of_int (sampling + execution);
             ])
-          variants)
+          (variants ()))
       queries
   in
   Rox_util.Table_fmt.print
@@ -68,13 +70,19 @@ let run () =
         let graph = compiled.Compile.graph in
         let static_work =
           let order = Rox_classical.Midquery.synopsis_order compiled.Compile.engine graph in
-          match Rox_classical.Executor.execute ~max_rows:3_000_000 compiled.Compile.engine graph order with
+          match
+            Rox_classical.Executor.execute
+              (plan_session ~max_rows:3_000_000 ())
+              compiled.Compile.engine graph order
+          with
           | run -> string_of_int (Rox_algebra.Cost.total run.Rox_classical.Executor.counter)
           | exception Rox_joingraph.Runtime.Blowup _ -> "blowup"
         in
-        let mq = Rox_classical.Midquery.execute compiled.Compile.engine graph in
+        let mq =
+          Rox_classical.Midquery.execute (Session.create ()) compiled.Compile.engine graph
+        in
         let mq_work = Rox_algebra.Cost.total mq.Rox_classical.Midquery.counter in
-        let rox = Optimizer.run compiled in
+        let rox = Optimizer.run_default compiled in
         let rox_work = Rox_algebra.Cost.total rox.Optimizer.counter in
         [
           qname;
@@ -91,15 +99,17 @@ let run () =
   (* Approximate mode: fraction of tables vs answer recall and work. *)
   subheader "approximate (sample-driven) execution";
   let compiled = List.assoc "XMark Qm1 (>145)" queries in
-  let exact, _ = Optimizer.answer compiled in
+  let exact, _ = Optimizer.answer_default compiled in
   let exact_n = max 1 (Array.length exact) in
   let rows =
     List.map
       (fun fraction ->
-        let options =
-          { Optimizer.default_options with table_fraction = Some fraction }
+        let config =
+          { (base_config ()) with Session.table_fraction = Some fraction }
         in
-        let approx, result = Optimizer.answer ~options compiled in
+        let approx, result =
+          Optimizer.answer (Session.create ~config ()) compiled
+        in
         [
           Printf.sprintf "%.2f" fraction;
           string_of_int (Array.length approx);

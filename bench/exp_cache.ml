@@ -29,11 +29,16 @@ type qrun = {
   est_hits : int;
 }
 
-let run_query ?cache engine source =
+let run_query ?sanitize ?cache engine source =
   let compiled = Compile.compile_string engine source in
-  let options = { Optimizer.default_options with cache } in
+  let config =
+    match sanitize with
+    | None -> Session.default_config ()
+    | Some s -> { (Session.default_config ()) with Session.sanitize = s }
+  in
   let trace = Trace.create () in
-  let answer, result = Optimizer.answer ~options ~trace compiled in
+  let session = Session.create ~config ~trace ?cache () in
+  let answer, result = Optimizer.answer session compiled in
   let rel_hits = Trace.cache_hits ~store:`Relation trace in
   let executed = List.length (Trace.execution_order trace) in
   {
@@ -74,12 +79,9 @@ let run ~full () =
   (* Cached passes run with the sanitizer armed: every cache hit is
      re-executed fresh and compared bit-for-bit (Cache_consistent / RX304),
      exactly what ROX_SANITIZE=1 arms from the environment. *)
-  let prev = !Rox_algebra.Sanitize.enabled in
-  Rox_algebra.Sanitize.enabled := true;
   let store = Store.of_megabytes engine 32 in
-  let pass1 = List.map (fun q -> run_query ~cache:store engine q) qs in
-  let pass2 = List.map (fun q -> run_query ~cache:store engine q) qs in
-  Rox_algebra.Sanitize.enabled := prev;
+  let pass1 = List.map (fun q -> run_query ~sanitize:true ~cache:store engine q) qs in
+  let pass2 = List.map (fun q -> run_query ~sanitize:true ~cache:store engine q) qs in
   let identical =
     List.for_all2 (fun a b -> a.answer = b.answer) base pass1
     && List.for_all2 (fun a b -> a.answer = b.answer) base pass2

@@ -25,7 +25,9 @@ let run () =
              (fun v ->
                Rox_joingraph.Vertex.label (Rox_joingraph.Graph.vertex compiled.Compile.graph v))
              tail.Tail.key_vertices)));
-  let (answer, result), dt = time_it (fun () -> Rox_core.Optimizer.answer compiled) in
+  let (answer, result), dt =
+    time_it (fun () -> Rox_core.Optimizer.answer_default compiled)
+  in
   let c = result.Rox_core.Optimizer.counter in
   Printf.printf
     "\nROX evaluation: %d result nodes; work units: sampling=%d execution=%d (%.3fs)\n"

@@ -39,7 +39,7 @@ let run () =
   let compiled = Compile.compile_string engine query in
   print_string (Rox_joingraph.Pretty.to_string compiled.Compile.graph);
   let trace = Trace.create () in
-  let answer, _result = Optimizer.answer ~trace compiled in
+  let answer, _result = Optimizer.answer (Session.create ~trace ()) compiled in
   subheader "chain sampling rounds (cost, sf) per path segment";
   List.iter
     (fun (round, cutoff, paths) ->

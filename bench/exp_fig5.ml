@@ -20,7 +20,7 @@ let run ~full () =
   let template = Option.get (Enumerate.analyze graph) in
   let classical_order = Classical_opt.join_order ctx.engine graph template in
   (* ROX's join order class. *)
-  let rox = Rox_core.Optimizer.run compiled in
+  let rox = Rox_core.Optimizer.run_default compiled in
   let rox_order = rox_join_order graph template rox.Rox_core.Optimizer.edge_order in
   let rows =
     List.map

@@ -25,7 +25,7 @@ let measure_combo ctx vs =
   match Enumerate.analyze graph with
   | None -> None
   | Some template ->
-    let rox = Rox_core.Optimizer.run compiled in
+    let rox = Rox_core.Optimizer.run_default compiled in
     let c = rox.Rox_core.Optimizer.counter in
     let classical_order = Classical_opt.join_order ctx.engine graph template in
     let classical =
@@ -35,7 +35,7 @@ let measure_combo ctx vs =
           min acc (eval_plan ctx graph edges).p_work)
         max_int Enumerate.placements
     in
-    let mq = Midquery.execute ~max_rows:plan_max_rows ctx.engine graph in
+    let mq = Midquery.execute (plan_session ()) ctx.engine graph in
     Some
       {
         rox_pure = Rox_algebra.Cost.read c Rox_algebra.Cost.Execution;

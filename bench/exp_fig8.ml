@@ -24,8 +24,10 @@ let run ~full () =
       List.map
         (fun (_, vs) ->
           let compiled = compile_combo ctx vs in
-          let options = { Rox_core.Optimizer.default_options with tau } in
-          let result = Rox_core.Optimizer.run ~options compiled in
+          let config = { (Rox_core.Session.default_config ()) with Rox_core.Session.tau } in
+          let result =
+            Rox_core.Optimizer.run (Rox_core.Session.create ~config ()) compiled
+          in
           let c = result.Rox_core.Optimizer.counter in
           let sampling = Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling in
           let execution = Rox_algebra.Cost.read c Rox_algebra.Cost.Execution in

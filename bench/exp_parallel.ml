@@ -1,0 +1,130 @@
+(* Concurrent query serving on OCaml 5 domains — the payoff of the
+   session refactor.
+
+   One shared read-only Engine (and, in the cache check, one shared
+   mutex-guarded Rox_cache.Store) serves N domains; each domain runs its
+   own stream of queries, one fresh Session per query run. Because every
+   piece of run-time mutable state — RNG, counters, trace, deadline —
+   lives in the session, equal seeds must give bit-identical answers on
+   every domain, and throughput should scale with physical cores.
+
+   Writes BENCH_parallel.json next to the working directory: queries/sec
+   at 1, 2 and 4 domains, the machine's core count, and whether all
+   domains produced bit-identical answers. *)
+
+open Rox_xquery
+open Bench_common
+
+let queries = [ q1_query "<" 145; q1_query ">" 145; q1_query "<" 60 ]
+
+let run_one ?cache compiled =
+  let session = Rox_core.Session.create ?cache () in
+  fst (Rox_core.Optimizer.answer session compiled)
+
+(* Each domain executes [iters] passes over the whole query list and
+   returns the answers of its last pass (for the bit-identity check). *)
+let domain_work ?cache compiled_list iters () =
+  let answers = ref [] in
+  for _ = 1 to iters do
+    answers := List.map (fun c -> run_one ?cache c) compiled_list
+  done;
+  !answers
+
+let measure ~domains ~iters ?cache compiled_list =
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    List.init (domains - 1) (fun _ ->
+        Domain.spawn (domain_work ?cache compiled_list iters))
+  in
+  let mine = domain_work ?cache compiled_list iters () in
+  let others = List.map Domain.join spawned in
+  let dt = Unix.gettimeofday () -. t0 in
+  let total_runs = domains * iters * List.length compiled_list in
+  let qps = float_of_int total_runs /. dt in
+  (qps, dt, mine :: others)
+
+let answers_equal lists =
+  match lists with
+  | [] -> true
+  | first :: rest -> List.for_all (fun l -> l = first) rest
+
+let cores () =
+  Domain.recommended_domain_count ()
+
+let json_escape_float f = Printf.sprintf "%.2f" f
+
+let run ?(factor = 0.25) ?(iters = 3) () =
+  header "Parallel sessions: N domains, one shared engine";
+  let engine = xmark_engine ~factor () in
+  let compiled_list = List.map (Compile.compile_string engine) queries in
+  (* Sequential reference answers: the ground truth every domain must
+     reproduce bit-for-bit. *)
+  let reference = List.map (fun c -> run_one c) compiled_list in
+  let n_cores = cores () in
+  Printf.printf "machine: %d recommended domain(s)\n%!" n_cores;
+  let runs =
+    List.map
+      (fun domains ->
+        let qps, dt, per_domain = measure ~domains ~iters compiled_list in
+        let identical =
+          answers_equal per_domain
+          && List.for_all (fun l -> l = reference) per_domain
+        in
+        Printf.printf "%d domain(s): %6.2f q/s (%.2fs)%s\n%!" domains qps dt
+          (if identical then "" else "  ANSWERS DIVERGED");
+        (domains, qps, identical))
+      [ 1; 2; 4 ]
+  in
+  (* Shared-cache sanity: two domains hammer one mutex-guarded store;
+     answers must still match the cache-off reference. *)
+  let store = Rox_cache.Store.of_megabytes engine 32 in
+  let _, _, cached = measure ~domains:2 ~iters ~cache:store compiled_list in
+  let cache_ok =
+    answers_equal cached && List.for_all (fun l -> l = reference) cached
+  in
+  Printf.printf "shared cache, 2 domains: answers %s\n%!"
+    (if cache_ok then "identical" else "DIVERGED");
+  let qps_of d = List.find_opt (fun (d', _, _) -> d' = d) runs in
+  let speedup =
+    match (qps_of 1, qps_of 4) with
+    | Some (_, q1, _), Some (_, q4, _) when q1 > 0.0 -> q4 /. q1
+    | _ -> 0.0
+  in
+  Printf.printf "4-domain speedup over 1: %.2fx\n" speedup;
+  if speedup < 2.5 then
+    Printf.printf
+      "note: below the 2.5x target%s\n"
+      (if n_cores < 4 then
+         Printf.sprintf " — only %d core(s) available; scaling needs >= 4"
+           n_cores
+       else " on a >= 4-core machine: investigate");
+  let all_identical =
+    cache_ok && List.for_all (fun (_, _, ok) -> ok) runs
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" n_cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"iters_per_domain\": %d,\n" (iters * List.length queries));
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (domains, qps, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"domains\": %d, \"qps\": %s, \"identical\": %b}%s\n"
+           domains (json_escape_float qps) identical
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_4_over_1\": %s,\n" (json_escape_float speedup));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"shared_cache_identical\": %b,\n" cache_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_identical\": %b\n" all_identical);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if not all_identical then failwith "parallel sessions produced divergent answers"

@@ -130,12 +130,14 @@ let run ~full () =
   header "Relation kernels: columnar core vs row-major reference";
   let sizes = if full then [ 10_000; 100_000; 1_000_000 ] else [ 10_000; 100_000 ] in
   (* Time the kernels themselves, not the RX306 cross-check. *)
-  let prev = !Rox_algebra.Sanitize.enabled in
-  Rox_algebra.Sanitize.enabled := false;
+  let prev = Rox_algebra.Sanitize.default_mode () in
+  Rox_algebra.Sanitize.set_default_mode false;
   let cases =
-    List.concat_map (fun n -> [ case_extend n; case_fuse n; case_distinct n ]) sizes
+    Fun.protect
+      ~finally:(fun () -> Rox_algebra.Sanitize.set_default_mode prev)
+      (fun () ->
+        List.concat_map (fun n -> [ case_extend n; case_fuse n; case_distinct n ]) sizes)
   in
-  Rox_algebra.Sanitize.enabled := prev;
   subheader "best-of-3 wall clock per kernel call";
   Rox_util.Table_fmt.print
     ~header:[ "kernel"; "rows"; "out rows"; "row-major"; "columnar"; "speedup" ]

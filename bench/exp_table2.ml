@@ -22,7 +22,9 @@ let show_query label op =
   let compiled = Compile.compile_string engine (q1_query op 145) in
   let graph = compiled.Compile.graph in
   let trace = Trace.create () in
-  let (answer, result), dt = time_it (fun () -> Optimizer.answer ~trace compiled) in
+  let (answer, result), dt =
+    time_it (fun () -> Optimizer.answer (Session.create ~trace ()) compiled)
+  in
   (* Initial weights: the first Edge_weighted event per edge. *)
   let initial = Hashtbl.create 32 in
   List.iter

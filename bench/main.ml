@@ -22,6 +22,7 @@ let experiments ~full =
     ("ablate", "Ablations of ROX design choices", fun () -> Exp_ablation.run ());
     ("cache", "Cross-query cache: repeated workload reuse", fun () -> Exp_cache.run ~full ());
     ("relation", "Columnar relation kernels vs row-major reference", fun () -> Exp_relation.run ~full ());
+    ("parallel", "Concurrent sessions on OCaml 5 domains, shared engine", fun () -> Exp_parallel.run ());
     ("bechamel", "Operator kernel micro-benchmarks", fun () -> Exp_bechamel.run ());
   ]
 

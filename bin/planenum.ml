@@ -47,13 +47,21 @@ let run venue_names scale reduction seed sort_by_work =
       exit 1
   in
   let classical_order = Classical_opt.join_order engine graph template in
-  let rox = Rox_core.Optimizer.run compiled in
+  let rox = Rox_core.Optimizer.run_default compiled in
   let rox_counter = rox.Rox_core.Optimizer.counter in
   let rows = ref [] in
   List.iter
     (fun (order, placement, edges) ->
       let entry =
-        match Executor.execute ~max_rows:5_000_000 engine graph edges with
+        let session =
+          Rox_core.Session.create
+            ~config:
+              { (Rox_core.Session.default_config ()) with
+                Rox_core.Session.budgets =
+                  { Rox_core.Session.default_budgets with max_rows = 5_000_000 } }
+            ()
+        in
+        match Executor.execute session engine graph edges with
         | run ->
           ( Rox_algebra.Cost.total run.Executor.counter,
             string_of_int run.Executor.join_rows )

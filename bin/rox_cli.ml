@@ -78,8 +78,8 @@ let serialize_node engine (doc_id, pre) =
     Printf.sprintf "<?%s %s?>" (Rox_shred.Doc.name doc pre) (Rox_shred.Doc.value doc pre)
   | Rox_shred.Nodekind.Doc -> "<!-- document root -->"
 
-let run docs query_file show_graph show_trace optimizer tau seed count_only limit
-    cache_mb cache_stats =
+let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
+    max_sampled_rows count_only limit cache_mb cache_stats =
   let engine = Rox_storage.Engine.create () in
   List.iter
     (fun path ->
@@ -115,35 +115,56 @@ let run docs query_file show_graph show_trace optimizer tau seed count_only limi
   then
     Printf.eprintf
       "note: --cache-mb/--cache-stats only apply to the rox and greedy optimizers\n";
+  (* Everything a run may touch is owned by one explicit session built
+     from the command-line flags. *)
+  let budgets =
+    { Rox_core.Session.default_budgets with
+      deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
+      max_sampled_rows =
+        (if max_sampled_rows > 0 then Some max_sampled_rows else None) }
+  in
+  let session_config use_chain =
+    { (Rox_core.Session.default_config ()) with
+      Rox_core.Session.tau; seed; use_chain; budgets }
+  in
   let t0 = Unix.gettimeofday () in
   let answer, counter =
-    match optimizer with
-    | Opt_rox | Opt_greedy ->
-      let options =
-        { Rox_core.Optimizer.default_options with
-          tau; seed; use_chain = (optimizer = Opt_rox); cache }
-      in
-      let trace = Rox_joingraph.Trace.create ~enabled:show_trace () in
-      let answer, result = Rox_core.Optimizer.answer ~options ~trace compiled in
-      if show_trace then begin
-        List.iter
-          (fun id ->
-            let e = Rox_joingraph.Graph.edge compiled.Rox_xquery.Compile.graph id in
-            Printf.eprintf "executed edge %d: %s\n" id
-              (Rox_joingraph.Pretty.edge_line compiled.Rox_xquery.Compile.graph e))
-          (Rox_joingraph.Trace.execution_order trace)
-      end;
-      (answer, result.Rox_core.Optimizer.counter)
-    | Opt_static ->
-      let order =
-        Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
-      in
-      let answer, run = Rox_classical.Executor.answer compiled order in
-      (answer, run.Rox_classical.Executor.counter)
-    | Opt_midquery ->
-      let answer, run = Rox_classical.Midquery.answer compiled in
-      Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
-      (answer, run.Rox_classical.Midquery.counter)
+    try
+      match optimizer with
+      | Opt_rox | Opt_greedy ->
+        let trace = Rox_joingraph.Trace.create ~enabled:show_trace () in
+        let session =
+          Rox_core.Session.create
+            ~config:(session_config (optimizer = Opt_rox))
+            ~trace ?cache ()
+        in
+        let answer, result = Rox_core.Optimizer.answer session compiled in
+        if show_trace then begin
+          List.iter
+            (fun id ->
+              let e = Rox_joingraph.Graph.edge compiled.Rox_xquery.Compile.graph id in
+              Printf.eprintf "executed edge %d: %s\n" id
+                (Rox_joingraph.Pretty.edge_line compiled.Rox_xquery.Compile.graph e))
+            (Rox_joingraph.Trace.execution_order trace)
+        end;
+        (answer, result.Rox_core.Optimizer.counter)
+      | Opt_static ->
+        let order =
+          Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
+        in
+        let session = Rox_core.Session.create ~config:(session_config false) () in
+        let answer, run = Rox_classical.Executor.answer session compiled order in
+        (answer, run.Rox_classical.Executor.counter)
+      | Opt_midquery ->
+        let session = Rox_core.Session.create ~config:(session_config false) () in
+        let answer, run = Rox_classical.Midquery.answer session compiled in
+        Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
+        (answer, run.Rox_classical.Midquery.counter)
+    with Rox_algebra.Cost.Budget_exceeded _ as exn ->
+      (match Rox_algebra.Cost.budget_message exn with
+       | Some m -> Printf.eprintf "aborted: %s\n" m
+       | None -> ());
+      exit 2
   in
   let dt = Unix.gettimeofday () -. t0 in
   Printf.eprintf "answer: %d nodes; work: sampling=%d execution=%d; %.3fs\n"
@@ -192,9 +213,16 @@ let analyze_case ~subject engine query =
     let graph = compiled.Rox_xquery.Compile.graph in
     let diags = ref (A.Graph_check.check graph) in
     let trace = Rox_joingraph.Trace.create () in
+    (* The sanitizer is a per-session capability: build an explicit
+       sanitize-on session instead of flipping any global flag. *)
+    let config =
+      { (Rox_core.Session.default_config ()) with Rox_core.Session.sanitize = true }
+    in
+    let session = Rox_core.Session.create ~config ~trace () in
+    Printf.printf "%s: %s\n" subject (Rox_core.Session.describe session);
     (match
        A.Contract.wrap ~label:subject (fun () ->
-           Rox_core.Optimizer.run ~trace compiled)
+           Rox_core.Optimizer.run session compiled)
      with
      | Error d -> diags := !diags @ [ d ]
      | Ok result ->
@@ -344,7 +372,17 @@ let cmd =
            ~doc:"Evaluation strategy: $(b,rox) (run-time optimization with chain sampling), $(b,greedy) (run-time, smallest-weight edge), $(b,static) (compile-time synopsis plan), or $(b,midquery) (static plan with validity-range re-optimization).")
   in
   let tau = Arg.(value & opt int 100 & info [ "tau" ] ~docv:"N" ~doc:"Sample size (default 100).") in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Session RNG seed: equal seeds give bit-identical runs.") in
+  let deadline_ms =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget per query run in milliseconds (0 = none). \
+                 Exceeding it aborts the run with a budget error.")
+  in
+  let max_sampled_rows =
+    Arg.(value & opt int 0 & info [ "max-sampled-rows" ] ~docv:"N"
+           ~doc:"Budget on total sampled tuples per run (0 = unlimited). \
+                 Exceeding it aborts the run with a budget error.")
+  in
   let count_only = Arg.(value & flag & info [ "count" ] ~doc:"Print only the answer cardinality.") in
   let limit =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K"
@@ -364,11 +402,11 @@ let cmd =
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed c l cmb cst ->
-          run docs qf g t o tau seed c l cmb cst;
+      const (fun docs qf g t o tau seed dl msr c l cmb cst ->
+          run docs qf g t o tau seed dl msr c l cmb cst;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-      $ count_only $ limit $ cache_mb $ cache_stats)
+      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb $ cache_stats)
   in
   let group = Cmd.group ~default:run_term (Cmd.info "rox" ~doc) [ analyze_cmd ] in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in

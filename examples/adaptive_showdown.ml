@@ -29,11 +29,12 @@ let () =
         Rox_classical.Classical_opt.static_order engine compiled.Compile.graph
       in
       let static_run =
-        Rox_classical.Executor.execute engine compiled.Compile.graph order
+        Rox_classical.Executor.execute (Rox_core.Session.create ()) engine
+          compiled.Compile.graph order
       in
       let static_work = Rox_algebra.Cost.total static_run.Rox_classical.Executor.counter in
       (* ROX. *)
-      let result = Rox_core.Optimizer.run compiled in
+      let result = Rox_core.Optimizer.run_default compiled in
       let c = result.Rox_core.Optimizer.counter in
       let rox_total = Rox_algebra.Cost.total c in
       let rox_exec = Rox_algebra.Cost.read c Rox_algebra.Cost.Execution in

@@ -36,7 +36,7 @@ let () =
     List.map
       (fun placement ->
         let edges = Enumerate.plan_edges graph template ~order:classical_order ~placement in
-        let run = Executor.execute engine graph edges in
+        let run = Executor.execute (Rox_core.Session.create ()) engine graph edges in
         Rox_algebra.Cost.total run.Executor.counter)
       Enumerate.placements
     |> List.fold_left min max_int
@@ -44,7 +44,7 @@ let () =
   Printf.printf "classical cost (best canonical placement): %d work units\n" best_classical;
 
   (* ROX. *)
-  let result = Rox_core.Optimizer.run compiled in
+  let result = Rox_core.Optimizer.run_default compiled in
   let c = result.Rox_core.Optimizer.counter in
   let rox_total = Rox_algebra.Cost.total c in
   Printf.printf "\nROX cost: %d work units (%d sampling + %d execution)\n" rox_total

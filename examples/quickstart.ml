@@ -36,7 +36,9 @@ let () =
 
   (* 3. Run ROX: optimization happens during execution, driven by sampling. *)
   let trace = Rox_joingraph.Trace.create () in
-  let answer, result = Rox_core.Optimizer.answer ~trace compiled in
+  (* One explicit session owns the run: seed, trace, counter, budgets. *)
+  let session = Rox_core.Session.create ~trace () in
+  let answer, result = Rox_core.Optimizer.answer session compiled in
 
   (* 4. The answer is a sequence of nodes of the queried document. *)
   let doc = docref.Rox_storage.Engine.doc in

@@ -23,7 +23,7 @@ return $o|}
 
 let describe_run engine name src =
   let compiled = Compile.compile_string engine src in
-  let answer, result = Rox_core.Optimizer.answer compiled in
+  let answer, result = Rox_core.Optimizer.answer_default compiled in
   let graph = compiled.Compile.graph in
   let c = result.Rox_core.Optimizer.counter in
   Printf.printf "%s: %d auctions, sampling=%d execution=%d work units\n" name

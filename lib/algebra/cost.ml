@@ -1,8 +1,31 @@
-type counter = { mutable sampling : int; mutable execution : int }
+type budget_reason = Deadline | Sampled_rows
+
+exception Budget_exceeded of { reason : budget_reason; spent : int; budget : int }
+
+let budget_reason_label = function
+  | Deadline -> "wall-clock deadline"
+  | Sampled_rows -> "sampled-rows budget"
+
+let budget_message = function
+  | Budget_exceeded { reason; spent; budget } ->
+    Some
+      (Printf.sprintf "%s exceeded: spent %d, budget %d"
+         (budget_reason_label reason) spent budget)
+  | _ -> None
+
+type counter = {
+  mutable sampling : int;
+  mutable execution : int;
+  sampling_budget : int;  (* [max_int] = unlimited *)
+}
+
 type bucket = Sampling | Execution
 type meter = { counter : counter; bucket : bucket }
 
-let new_counter () = { sampling = 0; execution = 0 }
+let new_counter ?(sampling_budget = max_int) () =
+  if sampling_budget < 0 then
+    invalid_arg (Printf.sprintf "Cost.new_counter: negative budget %d" sampling_budget);
+  { sampling = 0; execution = 0; sampling_budget }
 
 let reset c =
   c.sampling <- 0;
@@ -18,7 +41,14 @@ let charge m units =
   | None -> ()
   | Some { counter; bucket } ->
     (match bucket with
-     | Sampling -> counter.sampling <- counter.sampling + units
+     | Sampling ->
+       counter.sampling <- counter.sampling + units;
+       if counter.sampling > counter.sampling_budget then
+         raise
+           (Budget_exceeded
+              { reason = Sampled_rows;
+                spent = counter.sampling;
+                budget = counter.sampling_budget })
      | Execution -> counter.execution <- counter.execution + units)
 
 let read c = function

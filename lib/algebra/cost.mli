@@ -10,9 +10,30 @@
     A {!counter} keeps two buckets: work done while *sampling* (weight
     estimation + chain sampling) and work done *executing* edges for real.
     The ROX "full run" of the figures is [sampling + execution]; the "pure
-    plan" is [execution] alone. *)
+    plan" is [execution] alone.
 
-type counter = { mutable sampling : int; mutable execution : int }
+    A counter can also carry a *sampled-rows budget*: once the sampling
+    bucket exceeds it, {!charge} aborts the run with the typed
+    {!Budget_exceeded} instead of letting estimation work run away. The
+    wall-clock deadline of a session raises the same exception (reason
+    [Deadline]) so callers handle both budget classes uniformly. *)
+
+type budget_reason = Deadline | Sampled_rows
+
+exception Budget_exceeded of { reason : budget_reason; spent : int; budget : int }
+(** For [Deadline], [spent]/[budget] are milliseconds; for [Sampled_rows],
+    work units in the sampling bucket. *)
+
+val budget_reason_label : budget_reason -> string
+
+val budget_message : exn -> string option
+(** Human-readable rendering of a {!Budget_exceeded}; [None] otherwise. *)
+
+type counter = private {
+  mutable sampling : int;
+  mutable execution : int;
+  sampling_budget : int;  (** [max_int] = unlimited *)
+}
 
 type bucket = Sampling | Execution
 
@@ -20,7 +41,11 @@ type meter
 (** A counter plus the bucket to charge; operators take a meter so they
     stay agnostic of what phase they run in. *)
 
-val new_counter : unit -> counter
+val new_counter : ?sampling_budget:int -> unit -> counter
+(** [sampling_budget] caps the sampling bucket (default unlimited); the
+    first {!charge} pushing past it raises {!Budget_exceeded} with reason
+    [Sampled_rows]. *)
+
 val reset : counter -> unit
 val total : counter -> int
 val meter : counter -> bucket -> meter
@@ -29,6 +54,7 @@ val execution_meter : counter -> meter
 
 val charge : meter option -> int -> unit
 (** [charge m units] adds work; [None] meters are free (tests that don't
-    care about accounting). *)
+    care about accounting). Raises {!Budget_exceeded} when the sampling
+    bucket exceeds its budget. *)
 
 val read : counter -> bucket -> int

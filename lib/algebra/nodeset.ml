@@ -1,14 +1,20 @@
 open Rox_util
 
-let checked ~op a b out =
-  if !Sanitize.enabled then begin
+(* Direct callers (tests, ad-hoc tools) may omit [sanitize] and inherit the
+   process default; session execution paths always thread the session's
+   mode — the RX307 confinement trap in [Sanitize.default_mode] catches any
+   path that forgets. *)
+let resolve = function Some s -> s | None -> Sanitize.default_mode ()
+
+let checked ?sanitize ~op a b out =
+  if resolve sanitize then begin
     Sanitize.check_sorted_dedup ~op ~what:"left input" a;
     Sanitize.check_sorted_dedup ~op ~what:"right input" b;
     Sanitize.check_sorted_dedup ~op ~what:"output" out
   end;
   out
 
-let intersect a b =
+let intersect ?sanitize a b =
   let out = Int_vec.create ~capacity:(min (Array.length a) (Array.length b) + 1) () in
   let i = ref 0 and j = ref 0 in
   while !i < Array.length a && !j < Array.length b do
@@ -21,9 +27,9 @@ let intersect a b =
     else if x < y then incr i
     else incr j
   done;
-  checked ~op:"Nodeset.intersect" a b (Int_vec.to_array out)
+  checked ?sanitize ~op:"Nodeset.intersect" a b (Int_vec.to_array out)
 
-let union a b =
+let union ?sanitize a b =
   let out = Int_vec.create ~capacity:(Array.length a + Array.length b) () in
   let i = ref 0 and j = ref 0 in
   while !i < Array.length a && !j < Array.length b do
@@ -50,9 +56,9 @@ let union a b =
     Int_vec.push out b.(!j);
     incr j
   done;
-  checked ~op:"Nodeset.union" a b (Int_vec.to_array out)
+  checked ?sanitize ~op:"Nodeset.union" a b (Int_vec.to_array out)
 
-let difference a b =
+let difference ?sanitize a b =
   let out = Int_vec.create () in
   let i = ref 0 and j = ref 0 in
   while !i < Array.length a do
@@ -73,7 +79,7 @@ let difference a b =
       else incr j
     end
   done;
-  checked ~op:"Nodeset.difference" a b (Int_vec.to_array out)
+  checked ?sanitize ~op:"Nodeset.difference" a b (Int_vec.to_array out)
 
 let mem = Bin_search.mem
 
@@ -85,7 +91,7 @@ let is_sorted a =
   let rec check i = i >= Array.length a || (a.(i - 1) <= a.(i) && check (i + 1)) in
   Array.length a = 0 || check 1
 
-let of_unsorted a =
+let of_unsorted ?sanitize a =
   let out =
     if is_sorted a then begin
       (* Already in document order (duplicates allowed): dedup linearly
@@ -103,7 +109,7 @@ let of_unsorted a =
     end
     else Int_vec.sorted_dedup (Int_vec.of_array a)
   in
-  if !Sanitize.enabled then
+  if resolve sanitize then
     Sanitize.check_sorted_dedup ~op:"Nodeset.of_unsorted" ~what:"output" out;
   out
 

@@ -4,13 +4,25 @@
     only in comments: node sequences are sorted and duplicate-free in
     document order (the Table 1 contract), operator outputs stay inside
     their input domains, and observed work stays within the Table 1 cost
-    formulas. When {!enabled} is set — via the [ROX_SANITIZE] environment
-    variable or programmatically (see [Rox_analysis.Contract]) — the
-    operators re-check those postconditions on every call and raise
-    {!Violation} on the first breach.
+    formulas. When sanitizing is on the operators re-check those
+    postconditions on every call and raise {!Violation} on the first
+    breach.
 
-    Disabled (the default), the only cost is a single [if !enabled] flag
-    check per instrumented call. *)
+    The sanitize mode is *per-session* state: every instrumented operator
+    receives it as an explicit parameter (threaded from the
+    [Rox_core.Session] that owns the query, or carried by the structure —
+    runtime, state — the session configured). The process-wide
+    {!default_mode}, initialized once from the [ROX_SANITIZE] environment
+    variable, is only the default a session snapshots at construction
+    time.
+
+    Confinement (RX307): while a session run is in flight —
+    {!confine} marks the current domain — reading process-global mutable
+    configuration through {!default_mode} / {!set_default_mode} is itself
+    a {!Session_confined} violation when the region is armed. This
+    dynamically enforces that no operator on a session's execution path
+    falls back to process globals, which is what makes concurrent sessions
+    on separate OCaml domains sound. *)
 
 type contract =
   | Sorted_dedup   (** Table 1's zero-investment node-sequence contract *)
@@ -25,6 +37,10 @@ type contract =
   | Kernel_equiv
       (** a columnar relation kernel produced a result bit-identical to
           the retained naive row-major reference implementation *)
+  | Session_confined
+      (** no operator inside a session run reads process-global mutable
+          state (cost counters, RNG, sanitize mode) other than through its
+          session (RX307) *)
 
 type violation = {
   op : string;          (** operator, e.g. ["Staircase.join(descendant)"] *)
@@ -36,9 +52,31 @@ exception Violation of violation
 
 val contract_label : contract -> string
 
-val enabled : bool ref
-(** Initialized from [ROX_SANITIZE] ([unset], [""] and ["0"] mean off). Hot
-    paths guard every check with a single [!enabled] dereference. *)
+val default_mode : unit -> bool
+(** The process-default sanitize mode, initialized from [ROX_SANITIZE]
+    ([unset], [""] and ["0"] mean off). Sessions snapshot it at
+    construction; operators called outside any session default to it.
+    Raises {!Violation} ({!Session_confined}) when called inside an armed
+    confined region — an operator on a session path must use the mode its
+    session handed it. *)
+
+val set_default_mode : bool -> unit
+(** Change the process default (tests, analysis drivers). Same confinement
+    rule as {!default_mode}. *)
+
+val confine : sanitize:bool -> (unit -> 'a) -> 'a
+(** [confine ~sanitize f] runs [f] with the current domain marked as
+    inside a session run; [sanitize] arms the {!Session_confined} trap.
+    Regions nest; the marker is domain-local, so sessions on other domains
+    are unaffected. *)
+
+val confined : unit -> bool
+(** Whether the current domain is inside a {!confine} region. *)
+
+val global_read : string -> unit
+(** [global_read what] is the RX307 tripwire: call it from any accessor of
+    process-global mutable state. Inside an armed confined region it fails
+    the {!Session_confined} contract; otherwise it is a no-op. *)
 
 val message : violation -> string
 

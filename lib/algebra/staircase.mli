@@ -37,6 +37,7 @@ val iter_pairs :
     charged to the meter. *)
 
 val join :
+  ?sanitize:bool ->
   ?meter:Cost.meter ->
   doc:Doc.t ->
   axis:Axis.t ->
@@ -45,7 +46,10 @@ val join :
   Rox_util.Column.t
 (** [join ~doc ~axis ~context candidates]: duplicate-free document-ordered
     result nodes ([sorted] flag set; the Following axis returns a
-    zero-copy slice of the candidates). *)
+    zero-copy slice of the candidates). [?sanitize] selects the
+    contract-checking mode (default: {!Sanitize.default_mode}, which is an
+    RX307 violation inside an armed session region — session paths thread
+    their own mode). *)
 
 val count :
   ?meter:Cost.meter ->

@@ -1,8 +1,8 @@
 module Sanitize = Rox_algebra.Sanitize
 module D = Diagnostic
 
-let enabled () = !Sanitize.enabled
-let set_enabled b = Sanitize.enabled := b
+let enabled () = Sanitize.default_mode ()
+let set_enabled b = Sanitize.set_default_mode b
 
 let code_of_contract = function
   | Sanitize.Sorted_dedup -> "RX301"
@@ -11,6 +11,7 @@ let code_of_contract = function
   | Sanitize.Cache_consistent -> "RX304"
   | Sanitize.Sorted_flag -> "RX305"
   | Sanitize.Kernel_equiv -> "RX306"
+  | Sanitize.Session_confined -> "RX307"
 
 let diagnostic_of_violation ?label (v : Sanitize.violation) =
   let message =
@@ -23,15 +24,9 @@ let diagnostic_of_violation ?label (v : Sanitize.violation) =
     message
 
 let wrap ?label f =
-  let prev = !Sanitize.enabled in
-  Sanitize.enabled := true;
+  (* Sanitizing runs build their own sanitize-on sessions; wrap only
+     converts the first violation into a diagnostic — it no longer flips
+     any process-global flag (RX307 would flag exactly that). *)
   match f () with
-  | result ->
-    Sanitize.enabled := prev;
-    Ok result
-  | exception Sanitize.Violation v ->
-    Sanitize.enabled := prev;
-    Error (diagnostic_of_violation ?label v)
-  | exception exn ->
-    Sanitize.enabled := prev;
-    raise exn
+  | result -> Ok result
+  | exception Sanitize.Violation v -> Error (diagnostic_of_violation ?label v)

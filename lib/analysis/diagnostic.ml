@@ -86,4 +86,7 @@ let code_docs =
     ("RX302", "operator output escaped its input domain");
     ("RX303", "operator exceeded its Table 1 cost bound");
     ("RX304", "cache hit differed from a fresh execution of the same operation");
+    ("RX305", "a column's sorted flag contradicts its data");
+    ("RX306", "columnar kernel diverged from the naive reference");
+    ("RX307", "process-global mutable state read inside a session-confined run");
   ]

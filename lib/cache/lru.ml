@@ -47,6 +47,10 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
   }
 
   type 'v t = {
+    (* Coarse per-cache lock: a [Store.t] is shared read-side between
+       concurrent sessions (possibly on different domains), and every
+       public operation mutates recency links and stats counters. *)
+    lock : Mutex.t;
     table : 'v node H.t;
     budget : int;
     mutable first : 'v node option;
@@ -61,6 +65,7 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
 
   let create ~budget =
     {
+      lock = Mutex.create ();
       table = H.create 64;
       budget;
       first = None;
@@ -93,7 +98,10 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
       push_hottest t n
     end
 
+  let locked t f = Mutex.protect t.lock f
+
   let find t k =
+    locked t @@ fun () ->
     match H.find_opt t.table k with
     | Some n ->
       t.hits <- t.hits + 1;
@@ -103,7 +111,7 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
       t.misses <- t.misses + 1;
       None
 
-  let mem t k = H.mem t.table k
+  let mem t k = locked t (fun () -> H.mem t.table k)
 
   let drop t n =
     unlink t n;
@@ -122,6 +130,7 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
   let add t k ~weight v =
     if weight < 0 then
       invalid_arg (Printf.sprintf "Lru.add: negative weight %d" weight);
+    locked t @@ fun () ->
     if t.budget <= 0 || weight > t.budget then begin
       (* Too large to ever fit: admitting it would just flush the cache. *)
       (match H.find_opt t.table k with Some n -> drop t n | None -> ());
@@ -144,17 +153,20 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
     end
 
   let remove t k =
+    locked t @@ fun () ->
     match H.find_opt t.table k with
     | Some n -> drop t n
     | None -> ()
 
   let clear t =
+    locked t @@ fun () ->
     H.reset t.table;
     t.first <- None;
     t.last <- None;
     t.bytes <- 0
 
   let stats t =
+    locked t @@ fun () ->
     {
       hits = t.hits;
       misses = t.misses;
@@ -167,6 +179,7 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
     }
 
   let iter_coldest_first t f =
+    locked t @@ fun () ->
     let rec go = function
       | None -> ()
       | Some n ->

@@ -6,7 +6,11 @@
     most the byte budget, evicting from the cold end. Every lookup and
     insertion updates the hit/miss/eviction/byte counters exposed as a
     {!stats} snapshot, so benchmarks and the CLI can report reuse without
-    instrumenting call sites. *)
+    instrumenting call sites.
+
+    Every operation takes a per-cache mutex, so one cache (and hence one
+    [Rox_cache.Store.t]) may be shared by concurrent sessions running on
+    separate OCaml domains. The lock is uncontended in single-domain use. *)
 
 type stats = {
   hits : int;        (** lookups answered from the cache *)

@@ -1,5 +1,6 @@
 open Rox_algebra
 open Rox_joingraph
+open Rox_core
 
 type run = {
   relation : Relation.t;
@@ -11,42 +12,54 @@ type run = {
 
 exception Plan_error of string
 
-let execute ?max_rows engine graph order =
-  let runtime = Runtime.create ?max_rows engine graph in
-  let counter = Cost.new_counter () in
-  let meter = Cost.execution_meter counter in
-  let rows = ref [] in
-  List.iter
-    (fun (e : Edge.t) ->
-      if not (Runtime.executed runtime e) then begin
-        let info = Runtime.execute_edge ~meter runtime e in
-        rows := (e.Edge.id, info.Runtime.rel_rows) :: !rows
-      end
-      else if not (Runtime.is_trivial_edge graph e || Runtime.implied runtime e) then
-        raise (Plan_error (Printf.sprintf "edge %d appears twice in the plan" e.Edge.id)))
-    order;
-  if not (Runtime.all_executed runtime) then
-    raise (Plan_error "plan does not cover all edges");
-  let relation = Runtime.final_relation ~meter runtime in
-  let edge_rows = List.rev !rows in
-  let is_join id = match (Graph.edge graph id).Edge.op with Edge.Equijoin -> true | Edge.Step _ -> false in
-  {
-    relation;
-    edge_rows;
-    counter;
-    cumulative_rows = List.fold_left (fun acc (_, r) -> acc + r) 0 edge_rows;
-    join_rows =
-      List.fold_left (fun acc (id, r) -> if is_join id then acc + r else acc) 0 edge_rows;
-  }
+let execute session engine graph order =
+  Session.confine session (fun () ->
+      let runtime =
+        Runtime.create ~config:(Session.runtime_config session) engine graph
+      in
+      let counter = Session.counter session in
+      let meter = Cost.execution_meter counter in
+      let rows = ref [] in
+      List.iter
+        (fun (e : Edge.t) ->
+          if not (Runtime.executed runtime e) then begin
+            Session.check_deadline session;
+            let info = Runtime.execute_edge ~meter runtime e in
+            rows := (e.Edge.id, info.Runtime.rel_rows) :: !rows
+          end
+          else if not (Runtime.is_trivial_edge graph e || Runtime.implied runtime e) then
+            raise (Plan_error (Printf.sprintf "edge %d appears twice in the plan" e.Edge.id)))
+        order;
+      if not (Runtime.all_executed runtime) then
+        raise (Plan_error "plan does not cover all edges");
+      let relation = Runtime.final_relation ~meter runtime in
+      let edge_rows = List.rev !rows in
+      let is_join id = match (Graph.edge graph id).Edge.op with Edge.Equijoin -> true | Edge.Step _ -> false in
+      {
+        relation;
+        edge_rows;
+        counter;
+        cumulative_rows = List.fold_left (fun acc (_, r) -> acc + r) 0 edge_rows;
+        join_rows =
+          List.fold_left
+            (fun acc (id, r) -> if is_join id then acc + r else acc)
+            0 edge_rows;
+      })
 
-let answer ?max_rows (compiled : Rox_xquery.Compile.compiled) order =
+let answer session (compiled : Rox_xquery.Compile.compiled) order =
   let run =
-    execute ?max_rows compiled.Rox_xquery.Compile.engine compiled.Rox_xquery.Compile.graph
-      order
+    execute session compiled.Rox_xquery.Compile.engine
+      compiled.Rox_xquery.Compile.graph order
   in
   let nodes =
-    Rox_xquery.Tail.apply
-      ~meter:(Cost.execution_meter run.counter)
-      compiled.Rox_xquery.Compile.tail run.relation
+    Session.confine session (fun () ->
+        Rox_xquery.Tail.apply ~sanitize:(Session.sanitize session)
+          ~meter:(Cost.execution_meter run.counter)
+          compiled.Rox_xquery.Compile.tail run.relation)
   in
   (nodes, run)
+
+let execute_default engine graph order =
+  execute (Session.create ()) engine graph order
+
+let answer_default compiled order = answer (Session.create ()) compiled order

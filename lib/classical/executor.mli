@@ -5,13 +5,20 @@
     accounting — but with no sampling and no adaptation. This is the
     workhorse behind every non-ROX plan class of Figures 5–7 (smallest,
     largest, classical, and the canonical step placements of the ROX join
-    order). *)
+    order).
+
+    Runs under the same {!Rox_core.Session} type as the optimizer: the
+    session supplies the counter, the max-rows guard, the sanitize mode
+    and the cache handle, and the whole run is session-confined with the
+    deadline checked per edge. *)
 
 type run = {
   relation : Rox_joingraph.Relation.t;
   edge_rows : (int * int) list;
       (** (edge id, component rows after execution), in execution order. *)
   counter : Rox_algebra.Cost.counter;
+      (** the session's counter — every operator charged to its execution
+          bucket. *)
   cumulative_rows : int;  (** Σ component rows over all executed edges. *)
   join_rows : int;
       (** Σ component rows over equi-join edges only — the "cumulative
@@ -22,7 +29,7 @@ exception Plan_error of string
 (** The order misses an edge or repeats one. *)
 
 val execute :
-  ?max_rows:int ->
+  Rox_core.Session.t ->
   Rox_storage.Engine.t ->
   Rox_joingraph.Graph.t ->
   Rox_joingraph.Edge.t list ->
@@ -30,11 +37,22 @@ val execute :
 (** The order must cover every non-trivial edge exactly once (trivial
     root-descendant edges may be included; they are skipped).
     @raise Plan_error on malformed orders.
-    @raise Rox_joingraph.Runtime.Blowup when materialization explodes. *)
+    @raise Rox_joingraph.Runtime.Blowup when materialization explodes.
+    @raise Rox_algebra.Cost.Budget_exceeded past the session deadline. *)
 
 val answer :
-  ?max_rows:int ->
+  Rox_core.Session.t ->
   Rox_xquery.Compile.compiled ->
   Rox_joingraph.Edge.t list ->
   int array * run
 (** Execute and apply the query tail. *)
+
+val execute_default :
+  Rox_storage.Engine.t ->
+  Rox_joingraph.Graph.t ->
+  Rox_joingraph.Edge.t list ->
+  run
+(** Thin wrapper: a fresh default session per call. *)
+
+val answer_default :
+  Rox_xquery.Compile.compiled -> Rox_joingraph.Edge.t list -> int array * run

@@ -1,6 +1,7 @@
 open Rox_storage
 open Rox_algebra
 open Rox_joingraph
+open Rox_core
 
 (* Per-document synopses, built once per engine. *)
 let synopses engine =
@@ -89,10 +90,13 @@ type run = {
   counter : Cost.counter;
 }
 
-let execute ?max_rows ?(validity_factor = 5.0) engine graph =
+let execute ?(validity_factor = 5.0) session engine graph =
+  Session.confine session (fun () ->
   let syn = synopses engine in
-  let runtime = Runtime.create ?max_rows engine graph in
-  let counter = Cost.new_counter () in
+  let runtime =
+    Runtime.create ~config:(Session.runtime_config session) engine graph
+  in
+  let counter = Session.counter session in
   let meter = Cost.execution_meter counter in
   let replans = ref 0 in
   let executed_order = ref [] in
@@ -115,6 +119,7 @@ let execute ?max_rows ?(validity_factor = 5.0) engine graph =
     | (e, predicted) :: rest ->
       if Runtime.executed runtime e then drive rest
       else begin
+        Session.check_deadline session;
         let info = Runtime.execute_edge ~meter runtime e in
         executed_order := e.Edge.id :: !executed_order;
         let observed = float_of_int info.Runtime.rel_rows in
@@ -134,16 +139,19 @@ let execute ?max_rows ?(validity_factor = 5.0) engine graph =
   in
   drive (greedy_plan syn engine graph (base_estimates engine graph) (plannable_edges runtime));
   let relation = Runtime.final_relation ~meter runtime in
-  { relation; edge_order = List.rev !executed_order; replans = !replans; counter }
+  { relation; edge_order = List.rev !executed_order; replans = !replans; counter })
 
-let answer ?max_rows ?validity_factor (compiled : Rox_xquery.Compile.compiled) =
+let answer ?validity_factor session (compiled : Rox_xquery.Compile.compiled) =
   let run =
-    execute ?max_rows ?validity_factor compiled.Rox_xquery.Compile.engine
+    execute ?validity_factor session compiled.Rox_xquery.Compile.engine
       compiled.Rox_xquery.Compile.graph
   in
   let nodes =
-    Rox_xquery.Tail.apply
-      ~meter:(Cost.execution_meter run.counter)
-      compiled.Rox_xquery.Compile.tail run.relation
+    Session.confine session (fun () ->
+        Rox_xquery.Tail.apply ~sanitize:(Session.sanitize session)
+          ~meter:(Cost.execution_meter run.counter)
+          compiled.Rox_xquery.Compile.tail run.relation)
   in
   (nodes, run)
+
+let answer_default compiled = answer (Session.create ()) compiled

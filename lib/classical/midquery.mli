@@ -27,18 +27,23 @@ type run = {
 }
 
 val execute :
-  ?max_rows:int ->
   ?validity_factor:float ->
+  Rox_core.Session.t ->
   Rox_storage.Engine.t ->
   Graph.t ->
   run
 (** Execute with re-optimization; [validity_factor] defaults to 5.0.
     Planning and re-planning are uncharged (the paper's convention:
     optimizer time is not operator work); every executed operator is
-    charged to the execution bucket. *)
+    charged to the session counter's execution bucket. The run is
+    session-confined — max_rows, sanitize mode, cache and deadline all
+    come from the session. *)
 
 val answer :
-  ?max_rows:int ->
   ?validity_factor:float ->
+  Rox_core.Session.t ->
   Rox_xquery.Compile.compiled ->
   int array * run
+
+val answer_default : Rox_xquery.Compile.compiled -> int array * run
+(** Thin wrapper: a fresh default session per call. *)

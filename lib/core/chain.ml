@@ -49,7 +49,13 @@ let best_symmetric paths =
      | first :: rest ->
        Some (List.fold_left (fun acc p -> if p.s_cost < acc.s_cost then p else acc) first rest))
 
-let run ?(grow_cutoff = true) ?(max_rounds = 12) state =
+let run ?grow_cutoff ?(max_rounds = 12) state =
+  let session = State.session state in
+  let grow_cutoff =
+    match grow_cutoff with
+    | Some g -> g
+    | None -> (Session.config session).Session.grow_cutoff
+  in
   let graph = State.graph state in
   let runtime = State.runtime state in
   match State.min_weight_edge state with
@@ -100,6 +106,7 @@ let run ?(grow_cutoff = true) ?(max_rounds = 12) state =
         let finished = ref None in
         let round = ref 0 in
         while !finished = None && !round < max_rounds do
+          Session.check_deadline session;
           incr round;
           if grow_cutoff && !round > 1 then cutoff := !cutoff + tau;
           let extended = ref false in

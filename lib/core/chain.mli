@@ -21,6 +21,8 @@ type result = {
 }
 
 val run : ?grow_cutoff:bool -> ?max_rounds:int -> State.t -> result option
-(** [None] when no un-executed edges remain. [grow_cutoff:false] freezes
-    the cut-off at τ (the ablation of the front-bias mitigation);
-    [max_rounds] bounds exploration (default 12). *)
+(** [None] when no un-executed edges remain. [grow_cutoff] defaults to the
+    owning session's config; [false] freezes the cut-off at τ (the
+    ablation of the front-bias mitigation); [max_rounds] bounds
+    exploration (default 12). Checks the session deadline once per round
+    ({!Session.check_deadline}). *)

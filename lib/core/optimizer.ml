@@ -1,21 +1,5 @@
 open Rox_joingraph
 
-type options = {
-  seed : int;
-  tau : int;
-  max_rows : int;
-  use_chain : bool;
-  resample : bool;
-  grow_cutoff : bool;
-  race_operators : bool;
-  table_fraction : float option;
-  cache : Rox_cache.Store.t option;
-}
-
-let default_options =
-  { seed = 42; tau = 100; max_rows = 50_000_000; use_chain = true; resample = true;
-    grow_cutoff = true; race_operators = true; table_fraction = None; cache = None }
-
 type result = {
   state : State.t;
   relation : Relation.t;
@@ -36,11 +20,14 @@ let phase1 state =
       | None -> ())
     (Runtime.unexecuted_edges (State.runtime state))
 
-let execute_one state ~options ~order ~rows e =
+let execute_one state ~order ~rows e =
+  let session = State.session state in
+  Session.check_deadline session;
+  let cfg = Session.config session in
   (* Operator racing (Section 6): sample the applicable zero-investment
      variants and execute with the cheapest. *)
   let step_direction, equi_algo =
-    if options.race_operators then
+    if cfg.Session.race_operators then
       match Race.choose state e with
       | Race.Step_dir d -> (Some d, None)
       | Race.Equi_dir d -> (None, Some (Exec.Algo_index_nl d))
@@ -53,7 +40,7 @@ let execute_one state ~options ~order ~rows e =
   in
   incr order;
   rows := (e.Edge.id, info.Runtime.rel_rows) :: !rows;
-  if options.cache <> None then
+  if Session.cache session <> None then
     Trace.emit (State.trace state)
       (Trace.Cache_lookup
          { edge = e.Edge.id; store = `Relation; hit = info.Runtime.cache_hit });
@@ -66,12 +53,12 @@ let execute_one state ~options ~order ~rows e =
      edge's endpoints (lines 14-19; Fig 3.2: "the weights of other edges are
      unchanged" — they are re-sampled when their own vertices execute). *)
   List.iter (State.refresh_vertex state) info.Runtime.changed;
-  if options.resample then Estimate.reweigh_incident state [ e.Edge.v1; e.Edge.v2 ]
+  if cfg.Session.resample then Estimate.reweigh_incident state [ e.Edge.v1; e.Edge.v2 ]
 
 (* The chosen path segment "is treated as a separate Join Graph, optimized,
    and executed in the most optimal order found" (Section 3.2): execute its
    edges greedily by current weight, which refreshes after each step. *)
-let execute_segment state ~options ~order ~rows edges =
+let execute_segment state ~order ~rows edges =
   let remaining = ref edges in
   while !remaining <> [] do
     let weight_of e =
@@ -90,49 +77,57 @@ let execute_segment state ~options ~order ~rows edges =
     | Some e ->
       remaining := List.filter (fun e' -> e'.Edge.id <> e.Edge.id) !remaining;
       if not (Runtime.executed (State.runtime state) e) then
-        execute_one state ~options ~order ~rows e
+        execute_one state ~order ~rows e
   done
 
-let run_graph ?(options = default_options) ?trace engine graph =
-  let state =
-    State.create ~seed:options.seed ~tau:options.tau ~max_rows:options.max_rows
-      ?table_fraction:options.table_fraction ?cache:options.cache ?trace engine graph
-  in
-  phase1 state;
-  let order = ref 0 in
-  let rows = ref [] in
-  let continue = ref true in
-  while !continue do
-    if Runtime.all_executed (State.runtime state) then continue := false
-    else if options.use_chain then begin
-      match Chain.run ~grow_cutoff:options.grow_cutoff state with
-      | None -> continue := false
-      | Some { Chain.edges; _ } -> execute_segment state ~options ~order ~rows edges
-    end
-    else begin
-      match State.min_weight_edge state with
-      | None -> continue := false
-      | Some e -> execute_one state ~options ~order ~rows e
-    end
-  done;
-  let relation = Runtime.final_relation ~meter:(State.execution_meter state) (State.runtime state) in
-  {
-    state;
-    relation;
-    edge_order = List.rev_map fst !rows;
-    edge_rows = List.rev !rows;
-    counter = State.counter state;
-  }
+let run_graph session engine graph =
+  Session.confine session (fun () ->
+      let state = State.create session engine graph in
+      let cfg = Session.config session in
+      phase1 state;
+      let order = ref 0 in
+      let rows = ref [] in
+      let continue = ref true in
+      while !continue do
+        Session.check_deadline session;
+        if Runtime.all_executed (State.runtime state) then continue := false
+        else if cfg.Session.use_chain then begin
+          match Chain.run state with
+          | None -> continue := false
+          | Some { Chain.edges; _ } -> execute_segment state ~order ~rows edges
+        end
+        else begin
+          match State.min_weight_edge state with
+          | None -> continue := false
+          | Some e -> execute_one state ~order ~rows e
+        end
+      done;
+      let relation =
+        Runtime.final_relation ~meter:(State.execution_meter state)
+          (State.runtime state)
+      in
+      {
+        state;
+        relation;
+        edge_order = List.rev_map fst !rows;
+        edge_rows = List.rev !rows;
+        counter = State.counter state;
+      })
 
-let run ?options ?trace (compiled : Rox_xquery.Compile.compiled) =
-  run_graph ?options ?trace compiled.Rox_xquery.Compile.engine
+let run session (compiled : Rox_xquery.Compile.compiled) =
+  run_graph session compiled.Rox_xquery.Compile.engine
     compiled.Rox_xquery.Compile.graph
 
-let answer ?options ?trace (compiled : Rox_xquery.Compile.compiled) =
-  let result = run ?options ?trace compiled in
+let answer session (compiled : Rox_xquery.Compile.compiled) =
+  let result = run session compiled in
   let nodes =
-    Rox_xquery.Tail.apply
-      ~meter:(Rox_algebra.Cost.execution_meter result.counter)
-      compiled.Rox_xquery.Compile.tail result.relation
+    Session.confine session (fun () ->
+        Rox_xquery.Tail.apply ~sanitize:(Session.sanitize session)
+          ~meter:(Rox_algebra.Cost.execution_meter result.counter)
+          compiled.Rox_xquery.Compile.tail result.relation)
   in
   (nodes, result)
+
+let run_default ?trace compiled = run (Session.create ?trace ()) compiled
+
+let answer_default ?trace compiled = answer (Session.create ?trace ()) compiled

@@ -8,38 +8,18 @@
     every vertex whose table shrank — the re-sampling (rather than
     independence-scaling) that makes ROX robust to correlations.
 
-    Ablation switches (the design choices benchmarked in
-    [bench/main.ml]):
-    - [use_chain:false] — greedy smallest-weight-edge execution, no
+    Every entry point takes the owning {!Session} explicitly: options,
+    RNG, trace, counter, cache and budgets all come from it, and the whole
+    run executes inside {!Session.confine} — armed deadline, RX307
+    confinement. Ablation switches (the design choices benchmarked in
+    [bench/main.ml]) live in {!Session.config}:
+    - [use_chain = false] — greedy smallest-weight-edge execution, no
       look-ahead;
-    - [resample:false] — weights are never refreshed after Phase 1 (the
+    - [resample = false] — weights are never refreshed after Phase 1 (the
       independence assumption a classical optimizer is stuck with);
-    - [grow_cutoff:false] — chain sampling keeps a fixed cut-off τ;
-    - [race_operators:false] — skip the per-edge physical-operator race. *)
-
-type options = {
-  seed : int;
-  tau : int;            (** sample size τ (default 100) *)
-  max_rows : int;       (** materialization guard *)
-  use_chain : bool;
-  resample : bool;
-  grow_cutoff : bool;
-  race_operators : bool;
-      (** sample the applicable physical variants of each edge before
-          executing it and pick the cheapest (Section 6) *)
-  table_fraction : float option;
-      (** approximate mode (Section 6): materialize vertex tables as
-          uniform samples of this fraction; the answer becomes a sound
-          subset computed over proportionally small intermediates *)
-  cache : Rox_cache.Store.t option;
-      (** cross-query cache of materialized edge executions and cut-off
-          sample estimates; create one {!Rox_cache.Store} next to the
-          engine and pass it to every run to reuse work across queries
-          (default [None] — no caching, bit-for-bit the historical
-          behavior) *)
-}
-
-val default_options : options
+    - [grow_cutoff = false] — chain sampling keeps a fixed cut-off τ;
+    - [race_operators = false] — skip the per-edge physical-operator
+      race. *)
 
 type result = {
   state : State.t;
@@ -48,19 +28,23 @@ type result = {
   edge_rows : (int * int) list;
       (** (edge id, component rows after executing it) in execution order —
           the per-edge intermediate result sizes behind Figure 5. *)
-  counter : Rox_algebra.Cost.counter;
+  counter : Rox_algebra.Cost.counter;   (** the session's counter *)
 }
 
 val run_graph :
-  ?options:options ->
-  ?trace:Rox_joingraph.Trace.t ->
-  Rox_storage.Engine.t ->
-  Rox_joingraph.Graph.t ->
-  result
+  Session.t -> Rox_storage.Engine.t -> Rox_joingraph.Graph.t -> result
+(** One optimized run of [graph] under [session].
+    @raise Rox_algebra.Cost.Budget_exceeded when a session budget
+    (deadline or sampled rows) runs out mid-run. *)
 
-val run : ?options:options -> ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> result
+val run : Session.t -> Rox_xquery.Compile.compiled -> result
 
-val answer :
-  ?options:options -> ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> int array * result
+val answer : Session.t -> Rox_xquery.Compile.compiled -> int array * result
 (** Run and apply the π/δ/τ tail: the query answer as return-vertex nodes
     in XQuery order. *)
+
+val run_default : ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> result
+(** Thin wrapper: a fresh default session per call ([Session.create ()]). *)
+
+val answer_default :
+  ?trace:Rox_joingraph.Trace.t -> Rox_xquery.Compile.compiled -> int array * result

@@ -4,53 +4,35 @@ open Rox_algebra
 open Rox_joingraph
 
 type t = {
+  session : Session.t;
   runtime : Runtime.t;
-  tau : int;
-  rng : Xoshiro.t;
-  counter : Cost.counter;
-  trace : Trace.t;
-  cache : Rox_cache.Store.t option;
   samples : Column.t option array;
   cards : float option array;
   weights : float option array;
 }
 
-let create ?(seed = 42) ?(tau = 100) ?max_rows ?table_fraction ?trace ?cache engine
-    graph =
-  let trace = match trace with Some t -> t | None -> Trace.create ~enabled:false () in
-  let table_sampler =
-    match table_fraction with
-    | None -> None
-    | Some fraction ->
-      (* An isolated stream so approximate-mode draws do not perturb the
-         optimizer's sampling decisions. *)
-      let rng = Xoshiro.create (seed lxor 0x5eed) in
-      Some (fun _vertex table -> Sampling.sample_fraction rng table fraction)
-  in
+let create session engine graph =
   {
-    runtime = Runtime.create ?max_rows ?cache ?table_sampler engine graph;
-    tau;
-    rng = Xoshiro.create seed;
-    counter = Cost.new_counter ();
-    trace;
-    cache;
+    session;
+    runtime = Runtime.create ~config:(Session.runtime_config session) engine graph;
     samples = Array.make (Graph.vertex_count graph) None;
     cards = Array.make (Graph.vertex_count graph) None;
     weights = Array.make (Graph.edge_count graph) None;
   }
 
+let session t = t.session
 let runtime t = t.runtime
 let graph t = Runtime.graph t.runtime
 let engine t = Runtime.engine t.runtime
-let tau t = t.tau
-let rng t = t.rng
-let counter t = t.counter
-let trace t = t.trace
+let tau t = Session.tau t.session
+let rng t = Session.rng t.session
+let counter t = Session.counter t.session
+let trace t = Session.trace t.session
 let sample t v = t.samples.(v)
 let card t v = t.cards.(v)
-let cache t = t.cache
-let sampling_meter t = Cost.sampling_meter t.counter
-let execution_meter t = Cost.execution_meter t.counter
+let cache t = Session.cache t.session
+let sampling_meter t = Session.sampling_meter t.session
+let execution_meter t = Session.execution_meter t.session
 
 (* Cut-off sampled execution with the cross-query estimate cache in front.
    A sampled run is a pure function of (edge shape, direction, outer
@@ -63,7 +45,7 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
   let engine = Runtime.engine t.runtime in
   let graph = Runtime.graph t.runtime in
   let run meter = Exec.sampled ?meter engine graph e ~outer ~sample ~inner_table ~limit in
-  match t.cache with
+  match Session.cache t.session with
   | None -> run (Some (sampling_meter t))
   | Some store ->
     let vdesc v = Vertex.fingerprint_label (Graph.vertex graph v) in
@@ -86,9 +68,9 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
     let estimates = Rox_cache.Store.estimates store in
     (match Rox_cache.Estimate_cache.find estimates key with
      | Some cut ->
-       Trace.emit t.trace
+       Trace.emit (trace t)
          (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = true });
-       if !Sanitize.enabled then begin
+       if Session.sanitize t.session then begin
          let op = Printf.sprintf "State.sampled_cutoff(e%d)" e.Edge.id in
          let fresh = run None in
          Sanitize.check_identical ~op ~what:"sampled output"
@@ -108,14 +90,14 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
        end;
        cut
      | None ->
-       Trace.emit t.trace
+       Trace.emit (trace t)
          (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = false });
        let cut = run (Some (sampling_meter t)) in
        Rox_cache.Estimate_cache.add estimates key cut;
        cut)
 
 let set_sample_from t v table =
-  let s = Sampling.sample t.rng table t.tau in
+  let s = Sampling.sample (rng t) table (tau t) in
   (* Drawing the sample touches |s| tuples. *)
   Cost.charge (Some (sampling_meter t)) (Column.length s);
   t.samples.(v) <- Some s;
@@ -137,7 +119,7 @@ let init_vertex_from_index t v =
   if Exec.can_index_init vertex then begin
     let domain = Exec.vertex_domain (engine t) vertex in
     set_sample_from t v domain;
-    Trace.emit t.trace (Trace.Vertex_initialized { vertex = v; card = Column.length domain });
+    Trace.emit (trace t) (Trace.Vertex_initialized { vertex = v; card = Column.length domain });
     true
   end
   else false
@@ -146,7 +128,7 @@ let weight t (e : Edge.t) = t.weights.(e.Edge.id)
 
 let set_weight t (e : Edge.t) w =
   t.weights.(e.Edge.id) <- Some w;
-  Trace.emit t.trace (Trace.Edge_weighted { edge = e.Edge.id; weight = w })
+  Trace.emit (trace t) (Trace.Edge_weighted { edge = e.Edge.id; weight = w })
 
 let min_weight_edge t =
   let best = ref None in

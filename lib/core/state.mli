@@ -1,35 +1,22 @@
 (** ROX optimizer state: the Join Graph knowledge base of Algorithm 1.
 
     Wraps the shared execution {!Rox_joingraph.Runtime} with the sampling
-    side of ROX: per-vertex random samples S(v) and cardinalities card(v),
-    per-edge weights w(e), the cost counter with its sampling / execution
-    buckets, and the event trace. *)
+    side of ROX: per-vertex random samples S(v) and cardinalities card(v)
+    and per-edge weights w(e). Everything mutable a run touches — RNG,
+    cost counter, trace, cache — belongs to the owning {!Session}; the
+    state only adds the per-graph arrays. *)
 
 open Rox_joingraph
 
 type t
 
-val create :
-  ?seed:int ->
-  ?tau:int ->
-  ?max_rows:int ->
-  ?table_fraction:float ->
-  ?trace:Trace.t ->
-  ?cache:Rox_cache.Store.t ->
-  Rox_storage.Engine.t ->
-  Graph.t ->
-  t
-(** [table_fraction] switches on approximate (sample-driven) execution:
-    tables materialize as uniform samples of that fraction of their index
-    domains, so every intermediate stays proportionally small and the
-    answer is a sound subset of the exact one (Section 6's "run ROX with
-    samples instead of the complete data").
+val create : Session.t -> Rox_storage.Engine.t -> Graph.t -> t
+(** One state per query run, owned by [session]: the runtime is built from
+    {!Session.runtime_config} (max_rows, sanitize mode, cache,
+    approximate-mode table sampler), and sampling draws from the session
+    RNG and charge the session counter. *)
 
-    [cache] wires in the cross-query {!Rox_cache.Store}: the runtime
-    consults its relation cache before every physical join, and
-    {!sampled_cutoff} consults its estimate cache before every cut-off
-    sampled execution. *)
-
+val session : t -> Session.t
 val runtime : t -> Runtime.t
 val graph : t -> Graph.t
 val engine : t -> Rox_storage.Engine.t
@@ -82,6 +69,6 @@ val sampled_cutoff :
     table and limit, on the same engine epoch) replay the cached
     {!Rox_algebra.Cutoff.t} — across chain rounds and across queries —
     and charge no sampling work. Emits a [Trace.Cache_lookup] event per
-    consultation; a hit is cross-checked bit-identical under the
-    sanitizer. Without a cache this is exactly [Exec.sampled] charged to
-    the sampling meter. *)
+    consultation; a hit is cross-checked bit-identical under the session's
+    sanitize mode. Without a cache this is exactly [Exec.sampled] charged
+    to the sampling meter. *)

@@ -153,8 +153,12 @@ let full_pairs_impl ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) 
               Int_vec.push rights o)));
     { left = freeze lefts; right = freeze rights }
 
-let full_pairs ?meter ?equi_algo ?step_direction engine graph (e : Edge.t) ~t1 ~t2 =
-  if not !Sanitize.enabled then
+let full_pairs ?sanitize ?meter ?equi_algo ?step_direction engine graph (e : Edge.t)
+    ~t1 ~t2 =
+  let sanitize =
+    match sanitize with Some s -> s | None -> Sanitize.default_mode ()
+  in
+  if not sanitize then
     full_pairs_impl ?meter ?equi_algo ?step_direction engine graph e ~t1 ~t2
   else begin
     let op =

@@ -36,6 +36,7 @@ val pair_count : pairs -> int
 type equi_algo = Algo_hash | Algo_merge | Algo_index_nl of direction
 
 val full_pairs :
+  ?sanitize:bool ->
   ?meter:Rox_algebra.Cost.meter ->
   ?equi_algo:equi_algo ->
   ?step_direction:direction ->

@@ -54,7 +54,12 @@ val equal : t -> t -> bool
 (** Same vertices, same rows in the same order; monomorphic element
     loops, no polymorphic compare. Used by the sanitizer cross-checks. *)
 
+(** The kernels below take the calling session's sanitize mode as
+    [?sanitize]; omitting it falls back to {!Rox_algebra.Sanitize.default_mode},
+    which is an RX307 violation inside an armed session region. *)
+
 val extend :
+  ?sanitize:bool ->
   ?meter:Rox_algebra.Cost.meter ->
   ?max_rows:int ->
   t -> on:int -> new_vertex:int -> Exec.pairs -> t
@@ -64,6 +69,7 @@ val extend :
     strictly increasing and the pairs arrive grouped by left key. *)
 
 val fuse :
+  ?sanitize:bool ->
   ?meter:Rox_algebra.Cost.meter ->
   ?max_rows:int ->
   t -> t -> on_left:int -> on_right:int -> Exec.pairs -> t
@@ -71,19 +77,20 @@ val fuse :
     pairs oriented (left-component node, right-component node). *)
 
 val filter_pairs :
+  ?sanitize:bool ->
   ?meter:Rox_algebra.Cost.meter -> t -> c1:int -> c2:int -> Exec.pairs -> t
 (** Keep rows whose (c1, c2) cell pair appears in the pair list — an edge
     both of whose endpoints are already in the component. *)
 
-val project : t -> int array -> t
+val project : ?sanitize:bool -> t -> int array -> t
 (** Restrict to the given vertex columns (in the given order) — pure
     column-pointer selection, no copying. *)
 
-val distinct : ?meter:Rox_algebra.Cost.meter -> t -> t
+val distinct : ?sanitize:bool -> ?meter:Rox_algebra.Cost.meter -> t -> t
 (** Duplicate row elimination (the δ of the plan tail), keeping the first
     occurrence of each row. Free when any column is strictly increasing. *)
 
-val sort_rows : t -> t
+val sort_rows : ?sanitize:bool -> t -> t
 (** Lexicographic row order over the columns — the τ numbering of the plan
     tail sorts by node identity column by column. Free when the first
     column is strictly increasing. *)
@@ -94,7 +101,8 @@ val iter_rows : t -> (int array -> unit) -> unit
 val row_array : t -> int -> int array
 (** Fresh copy of one row. *)
 
-val cross : ?meter:Rox_algebra.Cost.meter -> ?max_rows:int -> t -> t -> t
+val cross :
+  ?sanitize:bool -> ?meter:Rox_algebra.Cost.meter -> ?max_rows:int -> t -> t -> t
 (** Cartesian product (needed only when a plan joins two components on an
     edge spanning them — via [fuse] — never blindly; exposed for tests and
     the plan-space enumerator). *)

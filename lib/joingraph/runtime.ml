@@ -4,16 +4,36 @@ open Rox_algebra
 
 exception Blowup of { edge : int; rows : int; limit : int }
 
-type t = {
-  engine : Engine.t;
-  graph : Graph.t;
+(* Everything per-query the runtime needs, handed over in one piece by the
+   session (or defaulted for direct/test use) instead of the historical
+   ad-hoc [?max_rows ?cache ?table_sampler] optionals. *)
+type config = {
   max_rows : int;
+  (* Per-session sanitize mode: threaded into every operator this runtime
+     calls, so concurrent sessions can differ and no operator consults the
+     process-global default mid-run. *)
+  sanitize : bool;
   (* Cross-query relation cache: consulted before running the physical
      staircase / value join of an edge, keyed by operation shape and input
      table contents (epoch-scoped). *)
   cache : Rox_cache.Store.t option;
   (* Applied when a vertex table is first materialized from its index
      domain — the hook behind approximate (sample-driven) execution. *)
+  table_sampler : (int -> Column.t -> Column.t) option;
+}
+
+let default_config () =
+  { max_rows = 50_000_000;
+    sanitize = Sanitize.default_mode ();
+    cache = None;
+    table_sampler = None }
+
+type t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  max_rows : int;
+  sanitize : bool;
+  cache : Rox_cache.Store.t option;
   table_sampler : (int -> Column.t -> Column.t) option;
   tables : Column.t option array;
   executed_edges : bool array;
@@ -38,14 +58,16 @@ let is_trivial_edge graph (e : Edge.t) =
     Vertex.is_root (Graph.vertex graph e.Edge.v1)
   | Edge.Step _ | Edge.Equijoin -> false
 
-let create ?(max_rows = 50_000_000) ?cache ?table_sampler engine graph =
+let create ?config engine graph =
+  let config = match config with Some c -> c | None -> default_config () in
   let t =
     {
       engine;
       graph;
-      max_rows;
-      cache;
-      table_sampler;
+      max_rows = config.max_rows;
+      sanitize = config.sanitize;
+      cache = config.cache;
+      table_sampler = config.table_sampler;
       tables = Array.make (Graph.vertex_count graph) None;
       executed_edges = Array.make (Graph.edge_count graph) false;
       implied_edges = Array.make (Graph.edge_count graph) false;
@@ -216,7 +238,7 @@ let cached_pairs ?meter t (e : Edge.t) plan =
          { Exec.left = v.Rox_cache.Relation_cache.left;
            right = v.Rox_cache.Relation_cache.right }
        in
-       if !Sanitize.enabled then begin
+       if t.sanitize then begin
          let op = Printf.sprintf "Runtime.cached_pairs(e%d %s)" e.Edge.id plan.variant in
          let fresh = plan.run None in
          Sanitize.check_identical ~op ~what:"left column"
@@ -262,7 +284,10 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
             (match dir with Exec.From_v1 -> "1" | Exec.From_v2 -> "2");
         in1 = t1;
         in2 = t2;
-        run = (fun m -> Exec.full_pairs ?meter:m ~step_direction:dir t.engine t.graph e ~t1 ~t2);
+        run =
+          (fun m ->
+            Exec.full_pairs ~sanitize:t.sanitize ?meter:m ~step_direction:dir
+              t.engine t.graph e ~t1 ~t2);
       }
     | Edge.Equijoin ->
       (* Index nested-loop from the smaller side when the inner endpoint
@@ -293,7 +318,10 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
            | Exec.Algo_index_nl Exec.From_v2 -> "eq:nl2");
         in1 = t1;
         in2 = t2;
-        run = (fun m -> Exec.full_pairs ?meter:m ~equi_algo:algo t.engine t.graph e ~t1 ~t2);
+        run =
+          (fun m ->
+            Exec.full_pairs ~sanitize:t.sanitize ?meter:m ~equi_algo:algo
+              t.engine t.graph e ~t1 ~t2);
       }
   in
   let pairs, cache_hit = cached_pairs ?meter t e plan in
@@ -303,14 +331,17 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
     match
       if c1 < 0 && c2 < 0 then Relation.of_pairs ~v1 ~v2 pairs
       else if c1 >= 0 && c2 < 0 then
-        Relation.extend ?meter ~max_rows:t.max_rows (get c1) ~on:v1 ~new_vertex:v2 pairs
+        Relation.extend ~sanitize:t.sanitize ?meter ~max_rows:t.max_rows (get c1)
+          ~on:v1 ~new_vertex:v2 pairs
       else if c1 < 0 && c2 >= 0 then
-        Relation.extend ?meter ~max_rows:t.max_rows (get c2) ~on:v2 ~new_vertex:v1
+        Relation.extend ~sanitize:t.sanitize ?meter ~max_rows:t.max_rows (get c2)
+          ~on:v2 ~new_vertex:v1
           { Exec.left = pairs.Exec.right; right = pairs.Exec.left }
-      else if c1 = c2 then Relation.filter_pairs ?meter (get c1) ~c1:v1 ~c2:v2 pairs
+      else if c1 = c2 then
+        Relation.filter_pairs ~sanitize:t.sanitize ?meter (get c1) ~c1:v1 ~c2:v2 pairs
       else
-        Relation.fuse ?meter ~max_rows:t.max_rows (get c1) (get c2) ~on_left:v1
-          ~on_right:v2 pairs
+        Relation.fuse ~sanitize:t.sanitize ?meter ~max_rows:t.max_rows (get c1)
+          (get c2) ~on_left:v1 ~on_right:v2 pairs
     with
     | rel -> rel
     | exception Relation.Too_large rows ->
@@ -328,7 +359,7 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
   set_component t cid rel;
   mark_executed t e;
   let changed = refresh_tables t rel in
-  if !Sanitize.enabled then begin
+  if t.sanitize then begin
     let op = Printf.sprintf "Runtime.execute_edge(e%d)" e.Edge.id in
     Array.iter
       (fun v ->
@@ -364,4 +395,7 @@ let final_relation ?meter t =
     (Graph.vertices t.graph);
   match !live with
   | [] -> invalid_arg "Runtime.final_relation: empty graph"
-  | first :: rest -> List.fold_left (fun acc r -> Relation.cross ?meter acc r) first rest
+  | first :: rest ->
+    List.fold_left
+      (fun acc r -> Relation.cross ~sanitize:t.sanitize ?meter acc r)
+      first rest

@@ -21,24 +21,35 @@ exception Blowup of { edge : int; rows : int; limit : int }
 (** Raised when an edge execution would materialize more than [max_rows]
     tuples — the runaway-plan guard for the enumeration experiments. *)
 
-val create :
-  ?max_rows:int ->
-  ?cache:Rox_cache.Store.t ->
-  ?table_sampler:(int -> Rox_util.Column.t -> Rox_util.Column.t) ->
-  Engine.t ->
-  Graph.t ->
-  t
-(** [table_sampler vertex domain] may thin a table when it is first
-    materialized from its index — the hook behind the approximate
-    (sample-driven) execution mode of Section 6. Tables refreshed from
-    executed relations are never re-sampled.
+type config = {
+  max_rows : int;
+      (** materialization guard: {!execute_edge} raises {!Blowup} past it *)
+  sanitize : bool;
+      (** the session's contract-checking mode, threaded into every
+          operator this runtime calls *)
+  cache : Rox_cache.Store.t option;
+      (** cross-query relation cache: {!execute_edge} consults it (keyed
+          by physical variant, endpoint identities and input table
+          contents, scoped by the engine epoch) before running the
+          staircase / value join, and stores fresh results. Component
+          maintenance and semijoin reduction always run — only the
+          physical join itself is elided on a hit. *)
+  table_sampler : (int -> Rox_util.Column.t -> Rox_util.Column.t) option;
+      (** [table_sampler vertex domain] may thin a table when it is first
+          materialized from its index — the hook behind the approximate
+          (sample-driven) execution mode of Section 6. Tables refreshed
+          from executed relations are never re-sampled. *)
+}
 
-    [cache] wires in the cross-query relation cache: {!execute_edge}
-    consults it (keyed by physical variant, endpoint identities and input
-    table contents, scoped by the engine epoch) before running the
-    staircase / value join, and stores fresh results. Component
-    maintenance and semijoin reduction always run — only the physical
-    join itself is elided on a hit. *)
+val default_config : unit -> config
+(** 50M-row guard, no cache, no sampler, sanitize =
+    {!Rox_algebra.Sanitize.default_mode} (hence an RX307 violation inside
+    an armed session region — sessions always build their config
+    explicitly). *)
+
+val create : ?config:config -> Engine.t -> Graph.t -> t
+(** One runtime per query run. Sessions pass the per-query [config]
+    explicitly; omitting it takes {!default_config} (direct/test use). *)
 
 val engine : t -> Engine.t
 val graph : t -> Graph.t

@@ -39,8 +39,8 @@ let all_combinations ?(k = 4) venues =
          | Some g -> Some (g, combo)
          | None -> None)
 
-let sample_per_group ?(seed = 13) ~per_group combos =
-  let rng = Xoshiro.create seed in
+let sample_per_group ?(seed = 13) ?rng ~per_group combos =
+  let rng = match rng with Some r -> r | None -> Xoshiro.create seed in
   List.concat_map
     (fun g ->
       let of_group = List.filter (fun (g', _) -> g' = g) combos in

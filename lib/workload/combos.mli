@@ -15,7 +15,8 @@ val all_combinations : ?k:int -> Dblp.venue array -> (group * Dblp.venue list) l
 (** Every k-subset (default 4) that falls into one of the three groups. *)
 
 val sample_per_group :
-  ?seed:int -> per_group:int -> (group * Dblp.venue list) list ->
+  ?seed:int -> ?rng:Rox_util.Xoshiro.t -> per_group:int ->
+  (group * Dblp.venue list) list ->
   (group * Dblp.venue list) list
 (** Deterministic subsample capped at [per_group] combinations per group
     (the full sweep is the paper's 831; benches default smaller). *)

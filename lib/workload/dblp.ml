@@ -139,8 +139,10 @@ let venue_seed master name =
   let h = Hashtbl.hash (master, name) in
   (h * 2654435761) land max_int
 
-let emit_venue ~params (v : venue) (sink : Sink.t) =
-  let rng = Xoshiro.create (venue_seed params.seed v.name) in
+let venue_rng params (v : venue) = Xoshiro.create (venue_seed params.seed v.name)
+
+let emit_venue ~params ?rng (v : venue) (sink : Sink.t) =
+  let rng = match rng with Some r -> r | None -> venue_rng params v in
   let primary_community = Xoshiro.int rng n_communities in
   let base_tags = max 4 (v.author_tags / params.reduction) in
   let members = members_for ~core_prob:0.7 base_tags in

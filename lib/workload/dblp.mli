@@ -65,6 +65,16 @@ val load_all : ?params:gen_params -> Rox_storage.Engine.t -> loaded list
 
 val uri_of : venue -> string
 
+val venue_rng : gen_params -> venue -> Rox_util.Xoshiro.t
+(** The stable per-venue xoshiro stream: a pure function of the master
+    seed and the venue name, so content never depends on which other
+    venues load. All venue randomness threads through this explicit
+    state. *)
+
+val emit_venue : params:gen_params -> ?rng:Rox_util.Xoshiro.t -> venue -> Sink.t -> int
+(** Emit one venue document into a sink, returning its author-tag count.
+    [rng] defaults to {!venue_rng}. *)
+
 val query_for : string list -> string
 (** The paper's 4-document XQuery template over the given uris (works for
     any k >= 2). *)

@@ -41,8 +41,10 @@ let scaled f =
 let provinces = [| "Drenthe"; "Utrecht"; "Gelderland"; "Friesland"; "Zeeland"; "Limburg" |]
 let degrees = [| "Bachelor"; "Master"; "PhD"; "Graduate" |]
 
-let emit ?(seed = 7) ?(params = default_params) (sink : Sink.t) =
-  let rng = Xoshiro.create seed in
+let emit ?(seed = 7) ?rng ?(params = default_params) (sink : Sink.t) =
+  (* Explicit RNG state threads through every draw; the seed only matters
+     when the caller does not hand one in. *)
+  let rng = match rng with Some r -> r | None -> Xoshiro.create seed in
   let leaf tag content =
     sink.open_el tag;
     sink.text content;
@@ -114,17 +116,17 @@ let emit ?(seed = 7) ?(params = default_params) (sink : Sink.t) =
   sink.close_el ();
   sink.close_el () (* site *)
 
-let generate ?seed ?params engine ~uri =
+let generate ?seed ?rng ?params engine ~uri =
   let b =
     Doc.Builder.create ~uri
       ~qnames:(Rox_storage.Engine.qnames engine)
       ~values:(Rox_storage.Engine.values engine)
       ()
   in
-  emit ?seed ?params (Sink.doc_builder b);
+  emit ?seed ?rng ?params (Sink.doc_builder b);
   Rox_storage.Engine.add_doc engine (Doc.Builder.finish b)
 
-let generate_tree ?seed ?params () =
+let generate_tree ?seed ?rng ?params () =
   let sink, finish = Sink.tree_builder () in
-  emit ?seed ?params sink;
+  emit ?seed ?rng ?params sink;
   finish ()

@@ -34,10 +34,16 @@ val scaled : float -> params
     {!default_params} by [f]. *)
 
 val generate :
-  ?seed:int -> ?params:params -> Rox_storage.Engine.t -> uri:string ->
+  ?seed:int -> ?rng:Rox_util.Xoshiro.t -> ?params:params ->
+  Rox_storage.Engine.t -> uri:string ->
   Rox_storage.Engine.docref
-(** Generate, shred against the engine's pools, index and register. *)
+(** Generate, shred against the engine's pools, index and register. All
+    randomness flows through one explicit xoshiro state: [rng] when
+    given, otherwise a fresh stream from [seed] (default 7) — never a
+    shared process-global generator. *)
 
-val generate_tree : ?seed:int -> ?params:params -> unit -> Rox_xmldom.Tree.t
+val generate_tree :
+  ?seed:int -> ?rng:Rox_util.Xoshiro.t -> ?params:params -> unit ->
+  Rox_xmldom.Tree.t
 (** The same document as a tree (serialization, round-trip tests). Equal
     seeds and params produce the identical document in both forms. *)

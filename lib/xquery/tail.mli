@@ -13,6 +13,7 @@ type spec = {
 }
 
 val apply :
+  ?sanitize:bool ->
   ?meter:Rox_algebra.Cost.meter ->
   spec ->
   Rox_joingraph.Relation.t ->
@@ -21,4 +22,9 @@ val apply :
     in XQuery order; duplicates across distinct key combinations are
     preserved, as the semantics demand. *)
 
-val count : ?meter:Rox_algebra.Cost.meter -> spec -> Rox_joingraph.Relation.t -> int
+val count :
+  ?sanitize:bool ->
+  ?meter:Rox_algebra.Cost.meter ->
+  spec ->
+  Rox_joingraph.Relation.t ->
+  int

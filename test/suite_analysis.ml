@@ -195,7 +195,7 @@ return $n|}
   in
   let graph = compiled.Rox_xquery.Compile.graph in
   let trace = Rox_joingraph.Trace.create () in
-  let result = Rox_core.Optimizer.run ~trace compiled in
+  let result = Rox_core.Optimizer.run (Rox_core.Session.create ~trace ()) compiled in
   check_int "clean graph" 0 (List.length (errors (Graph_check.check graph)));
   check_int "clean trace" 0 (List.length (errors (Trace_check.check graph trace)));
   check_int "clean plan" 0
@@ -212,7 +212,8 @@ let test_sanitizer_unsorted_nodeset () =
   (* An unsorted context violates the Table 1 node-sequence contract. *)
   match
     Contract.wrap (fun () ->
-        Staircase.join ~doc ~axis:Axis.Descendant ~context:(col [| 5; 3 |]) candidates)
+        Staircase.join ~sanitize:true ~doc ~axis:Axis.Descendant
+          ~context:(col [| 5; 3 |]) candidates)
   with
   | Ok _ -> Alcotest.fail "sanitizer accepted an unsorted context"
   | Error d ->

@@ -132,9 +132,9 @@ return $p|};
 
 let run_with ?cache engine source =
   let compiled = Rox_xquery.Compile.compile_string engine source in
-  let options = { Rox_core.Optimizer.default_options with cache } in
   let trace = Trace.create () in
-  let answer, _ = Rox_core.Optimizer.answer ~options ~trace compiled in
+  let session = Rox_core.Session.create ?cache ~trace () in
+  let answer, _ = Rox_core.Optimizer.answer session compiled in
   (answer, trace)
 
 let non_cache_events trace =
@@ -143,9 +143,11 @@ let non_cache_events trace =
     (Trace.events trace)
 
 let with_sanitizer f =
-  let prev = !Rox_algebra.Sanitize.enabled in
-  Rox_algebra.Sanitize.enabled := true;
-  Fun.protect ~finally:(fun () -> Rox_algebra.Sanitize.enabled := prev) f
+  let prev = Rox_algebra.Sanitize.default_mode () in
+  Rox_algebra.Sanitize.set_default_mode true;
+  Fun.protect
+    ~finally:(fun () -> Rox_algebra.Sanitize.set_default_mode prev)
+    f
 
 let test_epoch_invalidation () =
   let engine, _ = engine_of_xml site_xml in

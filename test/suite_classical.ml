@@ -59,7 +59,7 @@ let test_plans_cover_all_edges () =
   List.iter
     (fun (_, _, edges) ->
       (* Executing the plan terminates with every edge executed. *)
-      let run = Executor.execute engine compiled.Compile.graph edges in
+      let run = Executor.execute_default engine compiled.Compile.graph edges in
       check_bool "relation materialized" true (Relation.rows run.Executor.relation >= 0))
     plans
 
@@ -73,7 +73,7 @@ let test_all_plans_same_answer () =
   in
   List.iter
     (fun (order, placement, edges) ->
-      let nodes, _ = Executor.answer compiled edges in
+      let nodes, _ = Executor.answer_default compiled edges in
       check_bool
         (Printf.sprintf "plan %s/%s = naive" (Enumerate.order_name order)
            (Enumerate.placement_name placement))
@@ -83,7 +83,7 @@ let test_all_plans_same_answer () =
 
 let test_plan_error_on_incomplete () =
   let engine, compiled = dblp_setup [ "VLDB"; "ICDE" ] in
-  match Executor.execute engine compiled.Compile.graph [] with
+  match Executor.execute_default engine compiled.Compile.graph [] with
   | exception Executor.Plan_error _ -> ()
   | _ -> Alcotest.fail "empty plan must fail"
 
@@ -94,7 +94,7 @@ let test_plan_error_on_duplicate () =
     Enumerate.plan_edges compiled.Compile.graph template
       ~order:(Enumerate.Linear [ 0; 1 ]) ~placement:Enumerate.SJ
   in
-  match Executor.execute engine compiled.Compile.graph (edges @ edges) with
+  match Executor.execute_default engine compiled.Compile.graph (edges @ edges) with
   | exception Executor.Plan_error _ -> ()
   | _ -> Alcotest.fail "duplicated plan must fail"
 
@@ -136,7 +136,7 @@ return $o|}
   in
   let compiled = Compile.compile_string engine src in
   let order = Classical_opt.static_order engine compiled.Compile.graph in
-  let nodes, _ = Executor.answer compiled order in
+  let nodes, _ = Executor.answer_default compiled order in
   let naive = Naive.eval_query engine compiled.Compile.query |> List.map snd in
   check_bool "static order correct" true (Array.to_list nodes = naive)
 
@@ -150,7 +150,7 @@ let test_join_rows_accounting () =
     Enumerate.plan_edges compiled.Compile.graph template
       ~order:(Enumerate.Linear [ 0; 1; 2; 3 ]) ~placement:Enumerate.SJ
   in
-  let run = Executor.execute engine compiled.Compile.graph edges in
+  let run = Executor.execute_default engine compiled.Compile.graph edges in
   let manual_join =
     List.fold_left
       (fun acc (id, rows) ->

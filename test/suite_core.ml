@@ -40,25 +40,25 @@ let answers_match engine compiled answer =
 let test_rox_q1_correct () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let answer, _ = Optimizer.answer compiled in
+  let answer, _ = Optimizer.answer_default compiled in
   check_bool "ROX = naive on Q1" true (answers_match engine compiled answer)
 
 let test_rox_qm1_correct () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 ">") in
-  let answer, _ = Optimizer.answer compiled in
+  let answer, _ = Optimizer.answer_default compiled in
   check_bool "ROX = naive on Qm1" true (answers_match engine compiled answer)
 
 let test_rox_fig1_correct () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine fig1_query in
-  let answer, _ = Optimizer.answer compiled in
+  let answer, _ = Optimizer.answer_default compiled in
   check_bool "ROX = naive on Fig 1 query" true (answers_match engine compiled answer)
 
 let test_rox_nonempty () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let answer, _ = Optimizer.answer compiled in
+  let answer, _ = Optimizer.answer_default compiled in
   check_bool "answer nonempty at this scale" true (Array.length answer > 0)
 
 let test_rox_dblp_correct () =
@@ -69,7 +69,7 @@ let test_rox_dblp_correct () =
        (List.map Rox_workload.Dblp.find_venue [ "VLDB"; "ICDE"; "SIGMOD"; "EDBT" ]));
   let q = Rox_workload.Dblp.query_for [ "VLDB.xml"; "ICDE.xml"; "SIGMOD.xml"; "EDBT.xml" ] in
   let compiled = Compile.compile_string engine q in
-  let answer, _ = Optimizer.answer compiled in
+  let answer, _ = Optimizer.answer_default compiled in
   let naive = Naive.eval_query engine compiled.Compile.query in
   (* Doc ids vary here: compare (doc, pre) sequences. The return vertex is
      in doc 0 (VLDB). *)
@@ -79,8 +79,8 @@ let test_rox_dblp_correct () =
 let test_rox_deterministic () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let r1 = Optimizer.run compiled in
-  let r2 = Optimizer.run compiled in
+  let r1 = Optimizer.run_default compiled in
+  let r2 = Optimizer.run_default compiled in
   check_bool "same edge order" true (r1.Optimizer.edge_order = r2.Optimizer.edge_order);
   check_int "same work" (Rox_algebra.Cost.total r1.Optimizer.counter)
     (Rox_algebra.Cost.total r2.Optimizer.counter)
@@ -88,36 +88,36 @@ let test_rox_deterministic () =
 let test_rox_seed_sensitivity () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let o1 = { Optimizer.default_options with seed = 1 } in
-  let a1, _ = Optimizer.answer ~options:o1 compiled in
-  let o2 = { Optimizer.default_options with seed = 99 } in
-  let a2, _ = Optimizer.answer ~options:o2 compiled in
+  let s1 = Session.create ~config:{ (Session.default_config ()) with Session.seed = 1 } () in
+  let a1, _ = Optimizer.answer s1 compiled in
+  let s2 = Session.create ~config:{ (Session.default_config ()) with Session.seed = 99 } () in
+  let a2, _ = Optimizer.answer s2 compiled in
   check_bool "answers agree across seeds" true (a1 = a2)
 
 (* ---------- Ablations stay correct ---------- *)
 
-let ablation_correct options () =
+let ablation_correct config () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let answer, _ = Optimizer.answer ~options compiled in
+  let answer, _ = Optimizer.answer (Session.create ~config ()) compiled in
   check_bool "ablated optimizer still correct" true (answers_match engine compiled answer)
 
-let test_ablation_greedy =
-  ablation_correct { Optimizer.default_options with use_chain = false }
+let test_ablation_greedy () =
+  ablation_correct { (Session.default_config ()) with Session.use_chain = false } ()
 
-let test_ablation_noresample =
-  ablation_correct { Optimizer.default_options with resample = false }
+let test_ablation_noresample () =
+  ablation_correct { (Session.default_config ()) with Session.resample = false } ()
 
-let test_ablation_fixed_cutoff =
-  ablation_correct { Optimizer.default_options with grow_cutoff = false }
+let test_ablation_fixed_cutoff () =
+  ablation_correct { (Session.default_config ()) with Session.grow_cutoff = false } ()
 
 let test_tau_variants () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
   List.iter
     (fun tau ->
-      let options = { Optimizer.default_options with tau } in
-      let answer, _ = Optimizer.answer ~options compiled in
+      let config = { (Session.default_config ()) with Session.tau } in
+      let answer, _ = Optimizer.answer (Session.create ~config ()) compiled in
       check_bool (Printf.sprintf "correct at tau=%d" tau) true
         (answers_match engine compiled answer))
     [ 25; 100; 400 ]
@@ -126,7 +126,7 @@ let test_tau_variants () =
 
 let bidder_edge_position engine src =
   let compiled = Compile.compile_string engine src in
-  let result = Optimizer.run compiled in
+  let result = Optimizer.run_default compiled in
   let graph = compiled.Compile.graph in
   let label e =
     let e = Graph.edge graph e in
@@ -149,8 +149,8 @@ let test_correlation_defers_bidders () =
   let engine = xmark_engine ~factor:0.05 () in
   let c1 = Compile.compile_string engine (q1 145 "<") in
   let cm1 = Compile.compile_string engine (q1 145 ">") in
-  let r1 = Optimizer.run c1 in
-  let rm1 = Optimizer.run cm1 in
+  let r1 = Optimizer.run_default c1 in
+  let rm1 = Optimizer.run_default cm1 in
   let w1 = Rox_algebra.Cost.total r1.Optimizer.counter in
   let wm1 = Rox_algebra.Cost.total rm1.Optimizer.counter in
   check_bool "both complete" true (w1 > 0 && wm1 > 0);
@@ -187,7 +187,7 @@ return $a|}
   in
   let compiled = Compile.compile_string engine q in
   let trace = Trace.create () in
-  let answer, _ = Optimizer.answer ~trace compiled in
+  let answer, _ = Optimizer.answer (Session.create ~trace ()) compiled in
   check_int "three selective results" 3 (Array.length answer);
   (* Chain sampling ran and chose some segment. *)
   let chose =
@@ -200,7 +200,7 @@ return $a|}
 let test_state_init_and_weights () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let state = State.create engine compiled.Compile.graph in
+  let state = State.create (Session.create ()) engine compiled.Compile.graph in
   let graph = compiled.Compile.graph in
   (* Element vertex init works, bare-range text vertex does not. *)
   Array.iter
@@ -236,7 +236,11 @@ let test_estimate_accuracy_uniform () =
   let a = Graph.add_vertex g ~doc_id:0 (Vertex.Element "a") in
   let b = Graph.add_vertex g ~doc_id:0 (Vertex.Element "b") in
   let e = Graph.add_edge g ~v1:a.Vertex.id ~v2:b.Vertex.id (Edge.Step Rox_algebra.Axis.Child) in
-  let state = State.create ~tau:50 engine g in
+  let state =
+    State.create
+      (Session.create ~config:{ (Session.default_config ()) with Session.tau = 50 } ())
+      engine g
+  in
   ignore (State.init_vertex_from_index state a.Vertex.id : bool);
   ignore (State.init_vertex_from_index state b.Vertex.id : bool);
   match Estimate.edge_weight state e with
@@ -247,7 +251,7 @@ let test_trace_records () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
   let trace = Trace.create () in
-  let result = Optimizer.run ~trace compiled in
+  let result = Optimizer.run (Session.create ~trace ()) compiled in
   let events = Trace.events trace in
   check_bool "vertex inits" true
     (List.exists (function Trace.Vertex_initialized _ -> true | _ -> false) events);
@@ -261,7 +265,7 @@ let test_trace_records () =
 let test_work_buckets_populated () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine (q1 145 "<") in
-  let result = Optimizer.run compiled in
+  let result = Optimizer.run_default compiled in
   let c = result.Optimizer.counter in
   check_bool "sampling work" true (Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling > 0);
   check_bool "execution work" true (Rox_algebra.Cost.read c Rox_algebra.Cost.Execution > 0)

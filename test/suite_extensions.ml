@@ -8,6 +8,8 @@ open Rox_core
 open Rox_classical
 open Helpers
 
+let session_with adjust = Session.create ~config:(adjust (Session.default_config ())) ()
+
 let xmark_engine () =
   let engine = Engine.create () in
   ignore
@@ -29,10 +31,10 @@ let test_race_correct () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine q1 in
   let on, _ =
-    Optimizer.answer ~options:{ Optimizer.default_options with race_operators = true } compiled
+    Optimizer.answer (session_with (fun c -> { c with Session.race_operators = true })) compiled
   in
   let off, _ =
-    Optimizer.answer ~options:{ Optimizer.default_options with race_operators = false } compiled
+    Optimizer.answer (session_with (fun c -> { c with Session.race_operators = false })) compiled
   in
   check_bool "same answers with and without racing" true (on = off);
   let naive = Naive.eval_query engine compiled.Compile.query |> List.map snd in
@@ -50,7 +52,7 @@ let test_race_prefers_empty_side () =
       ~v2:z.Rox_joingraph.Vertex.id
       (Rox_joingraph.Edge.Step Rox_algebra.Axis.Child)
   in
-  let state = State.create engine graph in
+  let state = State.create (Session.create ()) engine graph in
   ignore (State.init_vertex_from_index state a.Rox_joingraph.Vertex.id : bool);
   ignore (State.init_vertex_from_index state z.Rox_joingraph.Vertex.id : bool);
   (match Race.choose state e with
@@ -63,10 +65,10 @@ let test_race_prefers_empty_side () =
 let test_approximate_subset () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine q1 in
-  let exact, _ = Optimizer.answer compiled in
+  let exact, _ = Optimizer.answer_default compiled in
   let approx, _ =
     Optimizer.answer
-      ~options:{ Optimizer.default_options with table_fraction = Some 0.5 }
+      (session_with (fun c -> { c with Session.table_fraction = Some 0.5 }))
       compiled
   in
   let exact_set = List.sort_uniq compare (Array.to_list exact) in
@@ -78,10 +80,10 @@ let test_approximate_subset () =
 let test_approximate_full_fraction_exact () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine q1 in
-  let exact, _ = Optimizer.answer compiled in
+  let exact, _ = Optimizer.answer_default compiled in
   let approx, _ =
     Optimizer.answer
-      ~options:{ Optimizer.default_options with table_fraction = Some 1.0 }
+      (session_with (fun c -> { c with Session.table_fraction = Some 1.0 }))
       compiled
   in
   check_bool "fraction 1.0 = exact" true (exact = approx)
@@ -158,7 +160,7 @@ let dblp_compiled () =
 
 let test_midquery_correct_dblp () =
   let compiled = dblp_compiled () in
-  let nodes, run = Midquery.answer compiled in
+  let nodes, run = Midquery.answer_default compiled in
   let naive =
     Naive.eval_query compiled.Compile.engine compiled.Compile.query |> List.map snd
   in
@@ -168,14 +170,14 @@ let test_midquery_correct_dblp () =
 let test_midquery_correct_xmark () =
   let engine = xmark_engine () in
   let compiled = Compile.compile_string engine q1 in
-  let nodes, _ = Midquery.answer compiled in
+  let nodes, _ = Midquery.answer_default compiled in
   let naive = Naive.eval_query engine compiled.Compile.query |> List.map snd in
   check_bool "midquery = naive on XMark" true (Array.to_list nodes = naive)
 
 let test_synopsis_order_covers () =
   let compiled = dblp_compiled () in
   let order = Midquery.synopsis_order compiled.Compile.engine compiled.Compile.graph in
-  let nodes, _ = Executor.answer compiled order in
+  let nodes, _ = Executor.answer_default compiled order in
   let naive =
     Naive.eval_query compiled.Compile.engine compiled.Compile.query |> List.map snd
   in
@@ -195,7 +197,7 @@ let test_midquery_replans_on_surprise () =
   let compiled =
     Compile.compile_string engine {|for $a in doc("doc0.xml")//a[./c][./b] return $a|}
   in
-  let nodes, _run = Midquery.answer compiled in
+  let nodes, _run = Midquery.answer_default compiled in
   check_int "10 selective results" 10 (Array.length nodes)
 
 let suite =

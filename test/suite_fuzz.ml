@@ -93,12 +93,15 @@ let run_instance seed =
     in
     let tag nodes = List.map (fun p -> (return_doc, p)) (Array.to_list nodes) in
     (* Route 1: ROX with a per-instance seed, trace enabled. *)
-    let options = { Rox_core.Optimizer.default_options with seed = seed + 1 } in
+    let config =
+      { (Rox_core.Session.default_config ()) with Rox_core.Session.seed = seed + 1 }
+    in
     let trace = Rox_joingraph.Trace.create () in
-    let rox, rox_result = Rox_core.Optimizer.answer ~options ~trace compiled in
+    let session = Rox_core.Session.create ~config ~trace () in
+    let rox, rox_result = Rox_core.Optimizer.answer session compiled in
     (* Route 2: a random-permutation plan through the classical executor. *)
     let plan = shuffled_plan rng compiled.Compile.graph in
-    let planned, _ = Rox_classical.Executor.answer compiled plan in
+    let planned, _ = Rox_classical.Executor.answer_default compiled plan in
     (* Every legitimate instance must come through the static analysis
        passes without error diagnostics: the graph itself, the replayed
        ROX trace, its executed plan, and the shuffled baseline plan. *)

@@ -311,7 +311,11 @@ let test_runtime_double_execute () =
 let test_runtime_blowup () =
   let engine = two_doc_engine () in
   let g, edges, _ = small_join_graph engine in
-  let rt = Runtime.create ~max_rows:1 engine g in
+  let rt =
+    Runtime.create
+      ~config:{ (Runtime.default_config ()) with Runtime.max_rows = 1 }
+      engine g
+  in
   match List.iter (fun e -> ignore (Runtime.execute_edge rt e : Runtime.exec_info)) edges with
   | exception Runtime.Blowup _ -> ()
   | _ -> Alcotest.fail "expected blowup with max_rows=1"

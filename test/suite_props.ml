@@ -132,7 +132,7 @@ let prop_tables_match_relation =
       match Rox_xquery.Compile.compile_string engine src with
       | exception Rox_xquery.Compile.Unsupported _ -> true
       | compiled ->
-        let result = Rox_core.Optimizer.run compiled in
+        let result = Rox_core.Optimizer.run_default compiled in
         let rel = result.Rox_core.Optimizer.relation in
         let runtime = Rox_core.State.runtime result.Rox_core.Optimizer.state in
         Array.for_all

@@ -10,6 +10,7 @@ let () =
       ("cache", Suite_cache.suite);
       ("xquery", Suite_xquery.suite);
       ("core", Suite_core.suite);
+      ("session", Suite_session.suite);
       ("classical", Suite_classical.suite);
       ("workload", Suite_workload.suite);
       ("extensions", Suite_extensions.suite);
