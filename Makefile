@@ -1,4 +1,4 @@
-.PHONY: all build test analyze sanitize bench-smoke check clean
+.PHONY: all build test analyze sanitize bench-smoke profile-smoke check clean
 
 all: build
 
@@ -23,13 +23,23 @@ sanitize:
 
 # Quick benchmarks: the cache experiment (BENCH_cache.json), the
 # columnar relation kernels vs the row-major reference
-# (BENCH_relation.json, warns under 2x at 10^5 rows), and concurrent
+# (BENCH_relation.json, warns under 2x at 10^5 rows), concurrent
 # sessions on OCaml 5 domains (BENCH_parallel.json, bit-identity
-# enforced; speedup tracks physical cores).
+# enforced; speedup tracks physical cores), and telemetry overhead on
+# the Figure 5 workload (BENCH_telemetry.json, <3% target).
 bench-smoke:
-	dune exec bench/main.exe -- cache relation parallel
+	dune exec bench/main.exe -- cache relation parallel telemetry
 
-check: build test analyze sanitize
+# An instrumented run of the built-in XMark workload: --profile summary
+# on stderr, Chrome trace-event JSON + Prometheus metrics on disk, then
+# the emitted trace parsed back and schema-checked (well-nested spans,
+# non-negative durations). The trace loads in Perfetto / chrome://tracing.
+profile-smoke:
+	dune exec bin/rox_cli.exe -- profile --repeat 2 \
+	  --trace-out rox_trace.json --metrics-out rox_metrics.prom
+	dune exec bin/rox_cli.exe -- trace-validate rox_trace.json
+
+check: build test analyze sanitize profile-smoke
 	-$(MAKE) bench-smoke
 
 clean:

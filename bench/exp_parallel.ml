@@ -17,26 +17,39 @@ open Bench_common
 
 let queries = [ q1_query "<" 145; q1_query ">" 145; q1_query "<" 60 ]
 
-let run_one ?cache compiled =
-  let session = Rox_core.Session.create ?cache () in
-  fst (Rox_core.Optimizer.answer session compiled)
+(* With [?aggregate], each query runs under a fresh per-session telemetry
+   sink that is absorbed into the shared mutex-guarded process registry
+   after the run — the multi-domain serving pattern the telemetry layer is
+   built for. Sinks are session-local; only the aggregate crosses domains. *)
+let run_one ?cache ?aggregate compiled =
+  let telemetry =
+    match aggregate with
+    | None -> Rox_telemetry.Sink.null ()
+    | Some _ -> Rox_telemetry.Sink.create ~enabled:true ()
+  in
+  let session = Rox_core.Session.create ?cache ~telemetry () in
+  let answer = fst (Rox_core.Optimizer.answer session compiled) in
+  (match aggregate with
+   | Some agg -> Rox_telemetry.Aggregate.absorb agg (Rox_telemetry.Sink.metrics telemetry)
+   | None -> ());
+  answer
 
 (* Each domain executes [iters] passes over the whole query list and
    returns the answers of its last pass (for the bit-identity check). *)
-let domain_work ?cache compiled_list iters () =
+let domain_work ?cache ?aggregate compiled_list iters () =
   let answers = ref [] in
   for _ = 1 to iters do
-    answers := List.map (fun c -> run_one ?cache c) compiled_list
+    answers := List.map (fun c -> run_one ?cache ?aggregate c) compiled_list
   done;
   !answers
 
-let measure ~domains ~iters ?cache compiled_list =
+let measure ~domains ~iters ?cache ?aggregate compiled_list =
   let t0 = Unix.gettimeofday () in
   let spawned =
     List.init (domains - 1) (fun _ ->
-        Domain.spawn (domain_work ?cache compiled_list iters))
+        Domain.spawn (domain_work ?cache ?aggregate compiled_list iters))
   in
-  let mine = domain_work ?cache compiled_list iters () in
+  let mine = domain_work ?cache ?aggregate compiled_list iters () in
   let others = List.map Domain.join spawned in
   let dt = Unix.gettimeofday () -. t0 in
   let total_runs = domains * iters * List.length compiled_list in
@@ -84,6 +97,26 @@ let run ?(factor = 0.25) ?(iters = 3) () =
   in
   Printf.printf "shared cache, 2 domains: answers %s\n%!"
     (if cache_ok then "identical" else "DIVERGED");
+  (* Telemetry aggregate sanity: per-session sinks absorbed across domains
+     must account for exactly one queries_served per run. *)
+  let aggregate = Rox_telemetry.Aggregate.create () in
+  let telemetry_domains = 2 in
+  let _, _, with_telemetry =
+    measure ~domains:telemetry_domains ~iters ~aggregate compiled_list
+  in
+  let telemetry_answers_ok =
+    answers_equal with_telemetry
+    && List.for_all (fun l -> l = reference) with_telemetry
+  in
+  let served =
+    Rox_telemetry.Aggregate.with_metrics aggregate (fun m ->
+        m.Rox_telemetry.Metrics.queries_served.Rox_telemetry.Metrics.c_value)
+  in
+  let expected_served = telemetry_domains * iters * List.length queries in
+  let telemetry_ok = served = expected_served && telemetry_answers_ok in
+  Printf.printf "telemetry aggregate, %d domains: %d/%d queries served%s\n%!"
+    telemetry_domains served expected_served
+    (if telemetry_ok then "" else "  INCONSISTENT");
   let qps_of d = List.find_opt (fun (d', _, _) -> d' = d) runs in
   let speedup =
     match (qps_of 1, qps_of 4) with
@@ -99,7 +132,7 @@ let run ?(factor = 0.25) ?(iters = 3) () =
            n_cores
        else " on a >= 4-core machine: investigate");
   let all_identical =
-    cache_ok && List.for_all (fun (_, _, ok) -> ok) runs
+    cache_ok && telemetry_ok && List.for_all (fun (_, _, ok) -> ok) runs
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
@@ -119,6 +152,10 @@ let run ?(factor = 0.25) ?(iters = 3) () =
     (Printf.sprintf "  \"speedup_4_over_1\": %s,\n" (json_escape_float speedup));
   Buffer.add_string buf
     (Printf.sprintf "  \"shared_cache_identical\": %b,\n" cache_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"telemetry_queries_served\": %d,\n" served);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"telemetry_consistent\": %b,\n" telemetry_ok);
   Buffer.add_string buf
     (Printf.sprintf "  \"all_identical\": %b\n" all_identical);
   Buffer.add_string buf "}\n";

@@ -23,6 +23,7 @@ let experiments ~full =
     ("cache", "Cross-query cache: repeated workload reuse", fun () -> Exp_cache.run ~full ());
     ("relation", "Columnar relation kernels vs row-major reference", fun () -> Exp_relation.run ~full ());
     ("parallel", "Concurrent sessions on OCaml 5 domains, shared engine", fun () -> Exp_parallel.run ());
+    ("telemetry", "Telemetry span/metric overhead on the fig5 workload", fun () -> Exp_telemetry.run ~full ());
     ("bechamel", "Operator kernel micro-benchmarks", fun () -> Exp_bechamel.run ());
   ]
 

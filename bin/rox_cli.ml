@@ -78,8 +78,16 @@ let serialize_node engine (doc_id, pre) =
     Printf.sprintf "<?%s %s?>" (Rox_shred.Doc.name doc pre) (Rox_shred.Doc.value doc pre)
   | Rox_shred.Nodekind.Doc -> "<!-- document root -->"
 
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
 let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
-    max_sampled_rows count_only limit cache_mb cache_stats =
+    max_sampled_rows count_only limit cache_mb cache_stats profile trace_out
+    metrics_out =
+  let telemetry_on = profile || trace_out <> None || metrics_out <> None in
+  let sink = Rox_telemetry.Sink.create ~enabled:telemetry_on () in
   let engine = Rox_storage.Engine.create () in
   List.iter
     (fun path ->
@@ -98,7 +106,7 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
     docs;
   let source = read_query query_file in
   let compiled =
-    try Rox_xquery.Compile.compile_string engine source with
+    try Rox_xquery.Compile.compile_string ~telemetry:sink engine source with
     | Rox_xquery.Parser.Parse_error m ->
       Printf.eprintf "query parse error: %s\n" m;
       exit 1
@@ -127,6 +135,26 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
     { (Rox_core.Session.default_config ()) with
       Rox_core.Session.tau; seed; use_chain; budgets }
   in
+  (* Telemetry outputs are written on success AND on a budget abort — an
+     aborted run's partial profile is exactly what one wants to inspect. *)
+  let emit_telemetry ?work_units () =
+    if telemetry_on then begin
+      let m = Rox_telemetry.Sink.metrics sink in
+      (match cache with Some store -> Rox_cache.Store.observe_into store m | None -> ());
+      (match trace_out with
+       | Some path ->
+         write_file path (Rox_telemetry.Export.chrome_trace [ (0, sink) ]);
+         Printf.eprintf "wrote Chrome trace (%d span(s)) to %s\n"
+           (Rox_telemetry.Sink.span_count sink) path
+       | None -> ());
+      (match metrics_out with
+       | Some path ->
+         write_file path (Rox_telemetry.Export.prometheus m);
+         Printf.eprintf "wrote metrics to %s\n" path
+       | None -> ());
+      if profile then prerr_string (Rox_telemetry.Export.profile ?work_units m)
+    end
+  in
   let t0 = Unix.gettimeofday () in
   let answer, counter =
     try
@@ -136,7 +164,7 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
         let session =
           Rox_core.Session.create
             ~config:(session_config (optimizer = Opt_rox))
-            ~trace ?cache ()
+            ~trace ?cache ~telemetry:sink ()
         in
         let answer, result = Rox_core.Optimizer.answer session compiled in
         if show_trace then begin
@@ -152,11 +180,15 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
         let order =
           Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
         in
-        let session = Rox_core.Session.create ~config:(session_config false) () in
+        let session =
+          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink ()
+        in
         let answer, run = Rox_classical.Executor.answer session compiled order in
         (answer, run.Rox_classical.Executor.counter)
       | Opt_midquery ->
-        let session = Rox_core.Session.create ~config:(session_config false) () in
+        let session =
+          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink ()
+        in
         let answer, run = Rox_classical.Midquery.answer session compiled in
         Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
         (answer, run.Rox_classical.Midquery.counter)
@@ -164,6 +196,7 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
       (match Rox_algebra.Cost.budget_message exn with
        | Some m -> Printf.eprintf "aborted: %s\n" m
        | None -> ());
+      emit_telemetry ();
       exit 2
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -172,6 +205,11 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
     (Rox_algebra.Cost.read counter Rox_algebra.Cost.Sampling)
     (Rox_algebra.Cost.read counter Rox_algebra.Cost.Execution)
     dt;
+  emit_telemetry
+    ~work_units:
+      ( Rox_algebra.Cost.read counter Rox_algebra.Cost.Sampling,
+        Rox_algebra.Cost.read counter Rox_algebra.Cost.Execution )
+    ();
   (match cache with
    | Some store when cache_stats ->
      prerr_string (Rox_cache.Store.stats_to_string (Rox_cache.Store.stats store))
@@ -213,12 +251,15 @@ let analyze_case ~subject engine query =
     let graph = compiled.Rox_xquery.Compile.graph in
     let diags = ref (A.Graph_check.check graph) in
     let trace = Rox_joingraph.Trace.create () in
+    (* Telemetry rides along so the RX4xx span checks run against the same
+       trace: every Edge_executed event must have its execute_edge span. *)
+    let sink = Rox_telemetry.Sink.create ~enabled:true () in
     (* The sanitizer is a per-session capability: build an explicit
        sanitize-on session instead of flipping any global flag. *)
     let config =
       { (Rox_core.Session.default_config ()) with Rox_core.Session.sanitize = true }
     in
-    let session = Rox_core.Session.create ~config ~trace () in
+    let session = Rox_core.Session.create ~config ~trace ~telemetry:sink () in
     Printf.printf "%s: %s\n" subject (Rox_core.Session.describe session);
     (match
        A.Contract.wrap ~label:subject (fun () ->
@@ -229,7 +270,8 @@ let analyze_case ~subject engine query =
        diags :=
          !diags
          @ A.Trace_check.check graph trace
-         @ A.Plan_check.check graph result.Rox_core.Optimizer.edge_order);
+         @ A.Plan_check.check graph result.Rox_core.Optimizer.edge_order
+         @ A.Telemetry_check.check ~trace sink);
     A.Report.make ~subject !diags
 
 let quickstart_document =
@@ -339,9 +381,107 @@ let analyze docs query_file list_codes =
     A.Report.exit_code reports
   end
 
+(* ---------------------------------------------------------------------- *)
+(* profile: the built-in XMark workload under full telemetry — the self-  *)
+(* contained run behind `make profile-smoke` (no external files needed).  *)
+
+let profile_builtin trace_out metrics_out repeat scale =
+  let engine = Rox_storage.Engine.create () in
+  let params = Rox_workload.Xmark.scaled scale in
+  ignore
+    (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
+      : Rox_storage.Engine.docref);
+  let sink = Rox_telemetry.Sink.create ~enabled:true () in
+  let cache = Rox_cache.Store.of_megabytes engine 8 in
+  let sampling = ref 0 and execution = ref 0 in
+  let queries = [ xmark_query "<"; xmark_query ">"; showdown_query ] in
+  for _ = 1 to max 1 repeat do
+    List.iter
+      (fun q ->
+        let compiled = Rox_xquery.Compile.compile_string ~telemetry:sink engine q in
+        let session = Rox_core.Session.create ~cache ~telemetry:sink () in
+        let answer, result = Rox_core.Optimizer.answer session compiled in
+        ignore (answer : _ array);
+        let c = result.Rox_core.Optimizer.counter in
+        sampling := !sampling + Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling;
+        execution := !execution + Rox_algebra.Cost.read c Rox_algebra.Cost.Execution)
+      queries
+  done;
+  let m = Rox_telemetry.Sink.metrics sink in
+  Rox_cache.Store.observe_into cache m;
+  (match trace_out with
+   | Some path ->
+     write_file path (Rox_telemetry.Export.chrome_trace [ (0, sink) ]);
+     Printf.eprintf "wrote Chrome trace (%d span(s)) to %s\n"
+       (Rox_telemetry.Sink.span_count sink) path
+   | None -> ());
+  (match metrics_out with
+   | Some path ->
+     write_file path (Rox_telemetry.Export.prometheus m);
+     Printf.eprintf "wrote metrics to %s\n" path
+   | None -> ());
+  print_string (Rox_telemetry.Export.profile ~work_units:(!sampling, !execution) m);
+  0
+
+let trace_validate file =
+  let content = read_query file in
+  match Rox_util.Minijson.parse content with
+  | Error e ->
+    Printf.eprintf "%s: JSON parse error: %s\n" file e;
+    1
+  | Ok json ->
+    (match Rox_telemetry.Export.validate_chrome json with
+     | Error e ->
+       Printf.eprintf "%s: invalid Chrome trace: %s\n" file e;
+       1
+     | Ok n ->
+       Printf.printf "%s: valid Chrome trace (%d complete event(s))\n" file n;
+       0)
+
 let docs_arg =
   Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"FILE"
          ~doc:"XML document to load (repeatable); referenced in the query as doc(\"basename\").")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the telemetry spans as Chrome trace-event JSON to $(docv) \
+               (load it in Perfetto or chrome://tracing).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry in Prometheus text exposition format \
+               to $(docv).")
+
+let profile_cmd =
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Run the workload N times (cache effects show from the second \
+                 pass on).")
+  in
+  let scale =
+    Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"F"
+           ~doc:"XMark scale factor for the generated document (default 0.05).")
+  in
+  let doc =
+    "Run the built-in XMark workload with telemetry enabled and print the \
+     profile summary (sampling vs execution wall-clock next to the work-unit \
+     split). With $(b,--trace-out) / $(b,--metrics-out) also export the spans \
+     and metrics — the self-contained run behind $(b,make profile-smoke)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile_builtin $ trace_out_arg $ metrics_out_arg $ repeat $ scale)
+
+let trace_validate_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Chrome trace-event JSON file (or - for stdin).")
+  in
+  let doc =
+    "Validate a Chrome trace-event JSON file produced by $(b,--trace-out): \
+     parse it, check the trace-event schema, and verify span well-nesting \
+     per thread lane. Exits 1 on any violation."
+  in
+  Cmd.v (Cmd.info "trace-validate" ~doc) Term.(const trace_validate $ file)
 
 let analyze_cmd =
   let query_file =
@@ -399,16 +539,26 @@ let cmd =
            ~doc:"Print cache hit/miss/eviction counters to stderr after the run \
                  (requires --cache-mb).")
   in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print the telemetry profile summary (sampling vs execution \
+                 wall-clock next to the work-unit split, per-stage latency \
+                 quantiles, cache hit ratios) to stderr after the run.")
+  in
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed dl msr c l cmb cst ->
-          run docs qf g t o tau seed dl msr c l cmb cst;
+      const (fun docs qf g t o tau seed dl msr c l cmb cst p tro mo ->
+          run docs qf g t o tau seed dl msr c l cmb cst p tro mo;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb $ cache_stats)
+      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb $ cache_stats
+      $ profile $ trace_out_arg $ metrics_out_arg)
   in
-  let group = Cmd.group ~default:run_term (Cmd.info "rox" ~doc) [ analyze_cmd ] in
+  let group =
+    Cmd.group ~default:run_term (Cmd.info "rox" ~doc)
+      [ analyze_cmd; profile_cmd; trace_validate_cmd ]
+  in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in
   (group, legacy)
 
@@ -422,5 +572,7 @@ let () =
     && String.length Sys.argv.(1) > 0
     && Sys.argv.(1).[0] <> '-'
     && Sys.argv.(1) <> "analyze"
+    && Sys.argv.(1) <> "profile"
+    && Sys.argv.(1) <> "trace-validate"
   in
   exit (Cmd.eval' (if bare_positional then legacy else group))

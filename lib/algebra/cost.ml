@@ -6,11 +6,16 @@ let budget_reason_label = function
   | Deadline -> "wall-clock deadline"
   | Sampled_rows -> "sampled-rows budget"
 
+let budget_unit = function
+  | Deadline -> "ms"
+  | Sampled_rows -> "work units"
+
 let budget_message = function
   | Budget_exceeded { reason; spent; budget } ->
+    let unit = budget_unit reason in
     Some
-      (Printf.sprintf "%s exceeded: spent %d, budget %d"
-         (budget_reason_label reason) spent budget)
+      (Printf.sprintf "%s exceeded: spent %d %s, budget %d %s"
+         (budget_reason_label reason) spent unit budget unit)
   | _ -> None
 
 type counter = {

@@ -26,8 +26,16 @@ exception Budget_exceeded of { reason : budget_reason; spent : int; budget : int
 
 val budget_reason_label : budget_reason -> string
 
+val budget_unit : budget_reason -> string
+(** The unit of [spent]/[budget] for the reason: ["ms"] for [Deadline],
+    ["work units"] for [Sampled_rows] — both reasons share the record
+    fields, so every rendering must say which unit it is showing. *)
+
 val budget_message : exn -> string option
-(** Human-readable rendering of a {!Budget_exceeded}; [None] otherwise. *)
+(** Human-readable rendering of a {!Budget_exceeded}, unit included
+    (e.g. ["wall-clock deadline exceeded: spent 1503 ms, budget 1500 ms"]);
+    [None] otherwise. [rox_cli] prints this and exits with code 2 on any
+    budget abort (see README). *)
 
 type counter = private {
   mutable sampling : int;

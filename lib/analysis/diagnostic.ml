@@ -6,6 +6,7 @@ type location =
   | Edge of int
   | Event of int
   | Plan_pos of int
+  | Span of int
 
 type t = {
   severity : severity;
@@ -38,6 +39,7 @@ let location_string = function
   | Edge e -> Printf.sprintf "edge e%d" e
   | Event i -> Printf.sprintf "trace event #%d" i
   | Plan_pos i -> Printf.sprintf "plan position %d" i
+  | Span i -> Printf.sprintf "telemetry span #%d" i
 
 let to_string d =
   let base =
@@ -77,6 +79,7 @@ let code_docs =
     ("RX112", "malformed edge-weighted event");
     ("RX113", "malformed chain-round statistics");
     ("RX114", "cache lookup references an unknown edge id");
+    ("RX115", "trace truncated at its event cap (later events dropped)");
     ("RX201", "plan references an unknown edge id");
     ("RX202", "plan lists an edge twice");
     ("RX203", "plan misses a non-trivial edge");
@@ -89,4 +92,8 @@ let code_docs =
     ("RX305", "a column's sorted flag contradicts its data");
     ("RX306", "columnar kernel diverged from the naive reference");
     ("RX307", "process-global mutable state read inside a session-confined run");
+    ("RX401", "telemetry spans are not well-nested (overlap without containment)");
+    ("RX402", "telemetry span has a negative duration");
+    ("RX403", "executed edge has no matching telemetry span");
+    ("RX404", "telemetry span buffer truncated (spans dropped past the cap)");
   ]

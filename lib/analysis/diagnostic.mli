@@ -13,6 +13,7 @@ type location =
   | Edge of int        (** an edge id *)
   | Event of int       (** index into the trace event list *)
   | Plan_pos of int    (** index into an execution plan *)
+  | Span of int        (** index into the chronological telemetry span list *)
 
 type t = {
   severity : severity;

@@ -285,7 +285,17 @@ let check (g : Graph.t) (trace : Trace.t) =
           add
             (D.error "RX114" loc
                (Printf.sprintf "cache lookup on unknown edge e%d (graph has %d)" edge
-                  ne)))
+                  ne))
+      | Trace.Truncated { dropped } ->
+        (* A partial trace legitimately trips RX109 (and possibly RX103 if
+           later chunks of the execution order were dropped); surface the
+           truncation itself so those follow-on findings can be read in
+           context. *)
+        add
+          (D.warning "RX115" loc
+             ~hint:"raise the cap via Trace.create ?cap to capture the full run"
+             (Printf.sprintf "trace truncated: %d event(s) dropped past the cap"
+                dropped)))
     (Trace.events trace);
   (* RX109: completeness. Every non-trivial edge must have been executed or
      be transitively implied by executed equi-joins (Runtime.sweep_implied

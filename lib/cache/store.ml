@@ -32,6 +32,11 @@ let stats (t : t) : stats =
   { relations = Relation_cache.stats t.relations;
     estimates = Estimate_cache.stats t.estimates }
 
+let observe_into t m =
+  let s = stats t in
+  Rox_telemetry.Metrics.set m.Rox_telemetry.Metrics.cache_resident_bytes
+    (float_of_int (s.relations.Lru.bytes + s.estimates.Lru.bytes))
+
 let stats_to_string s =
   Printf.sprintf "relations: %s\nestimates: %s\n"
     (Lru.stats_to_string s.relations)

@@ -38,4 +38,10 @@ type stats = {
 
 val stats : t -> stats
 val stats_to_string : stats -> string
+
+val observe_into : t -> Rox_telemetry.Metrics.t -> unit
+(** Record the store's current residency (relation + estimate bytes) into
+    the registry's [cache_resident_bytes] gauge. Call at export time — the
+    gauge is a point-in-time observation, not a counter. *)
+
 val clear : t -> unit

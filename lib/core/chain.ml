@@ -1,4 +1,6 @@
 open Rox_joingraph
+module Sink = Rox_telemetry.Sink
+module Tm = Rox_telemetry.Metrics
 
 type trigger = [ `Stopping_condition | `Exhausted | `Single_edge ]
 
@@ -105,7 +107,14 @@ let run ?grow_cutoff ?(max_rounds = 12) state =
         let paths = ref [ initial ] in
         let finished = ref None in
         let round = ref 0 in
+        let tel = Session.telemetry session in
         while !finished = None && !round < max_rounds do
+          Sink.with_span tel "chain_round"
+            ~attrs:(fun () -> [ ("round", string_of_int !round) ])
+            ~record:(fun m dur ->
+              Tm.observe m.Tm.chain_round_ns dur;
+              Tm.incr m.Tm.chain_rounds)
+            (fun () ->
           Session.check_deadline session;
           incr round;
           if grow_cutoff && !round > 1 then cutoff := !cutoff + tau;
@@ -169,7 +178,7 @@ let run ?grow_cutoff ?(max_rounds = 12) state =
            | None -> if not !extended then
                match best_symmetric live with
                | Some winner -> finished := Some (winner, `Exhausted)
-               | None -> finished := None)
+               | None -> finished := None))
         done;
         let winner, trigger =
           match !finished with

@@ -1,4 +1,6 @@
 open Rox_joingraph
+module Sink = Rox_telemetry.Sink
+module Tm = Rox_telemetry.Metrics
 
 type result = {
   state : State.t;
@@ -81,6 +83,12 @@ let execute_segment state ~order ~rows edges =
   done
 
 let run_graph session engine graph =
+  let tel = Session.telemetry session in
+  Sink.with_span tel "query"
+    ~record:(fun m dur -> Tm.observe m.Tm.query_ns dur)
+    (fun () ->
+  try
+    let r =
   Session.confine session (fun () ->
       let state = State.create session engine graph in
       let cfg = Session.config session in
@@ -113,6 +121,12 @@ let run_graph session engine graph =
         edge_rows = List.rev !rows;
         counter = State.counter state;
       })
+    in
+    if Sink.enabled tel then Tm.incr (Sink.metrics tel).Tm.queries_served;
+    r
+  with Rox_algebra.Cost.Budget_exceeded _ as exn ->
+    if Sink.enabled tel then Tm.incr (Sink.metrics tel).Tm.budget_aborts;
+    raise exn)
 
 let run session (compiled : Rox_xquery.Compile.compiled) =
   run_graph session compiled.Rox_xquery.Compile.engine

@@ -16,12 +16,19 @@ let variant_cost state e ~outer =
   | Some sample, Some card when Rox_util.Column.length sample > 0 ->
     let scratch = Cost.new_counter () in
     let inner_table = Runtime.table (State.runtime state) (Edge.other_end e v) in
-    ignore
-      (Exec.sampled
-         ~meter:(Cost.sampling_meter scratch)
-         (State.engine state) (State.graph state) e ~outer ~sample ~inner_table
-         ~limit:(State.tau state)
-        : Cutoff.t);
+    let tel = Session.telemetry (State.session state) in
+    Rox_telemetry.Sink.with_span tel "race_probe"
+      ~attrs:(fun () -> [ ("edge", string_of_int e.Edge.id) ])
+      ~record:(fun m dur ->
+        Rox_telemetry.Metrics.observe m.Rox_telemetry.Metrics.sampled_run_ns dur;
+        Rox_telemetry.Metrics.incr ~by:dur m.Rox_telemetry.Metrics.sampling_time_ns)
+      (fun () ->
+        ignore
+          (Exec.sampled
+             ~meter:(Cost.sampling_meter scratch)
+             (State.engine state) (State.graph state) e ~outer ~sample ~inner_table
+             ~limit:(State.tau state)
+            : Cutoff.t));
     let spent = Cost.total scratch in
     (* The probing itself is real sampling work. *)
     Cost.charge (Some (State.sampling_meter state)) spent;

@@ -48,15 +48,19 @@ type t = {
   trace : Trace.t;
   counter : Cost.counter;
   cache : Rox_cache.Store.t option;
+  telemetry : Rox_telemetry.Sink.t;
   mutable deadline_at : float option;
       (* Absolute wall-clock instant (Unix time) past which the session
          aborts; set when a run is armed, cleared when it unwinds. *)
 }
 
-let create ?config ?trace ?cache () =
+let create ?config ?trace ?cache ?telemetry () =
   let config = match config with Some c -> c | None -> default_config () in
   let trace =
     match trace with Some t -> t | None -> Trace.create ~enabled:false ()
+  in
+  let telemetry =
+    match telemetry with Some s -> s | None -> Rox_telemetry.Sink.null ()
   in
   let sampling_budget =
     match config.budgets.max_sampled_rows with Some b -> b | None -> max_int
@@ -67,6 +71,7 @@ let create ?config ?trace ?cache () =
     trace;
     counter = Cost.new_counter ~sampling_budget ();
     cache;
+    telemetry;
     deadline_at = None;
   }
 
@@ -79,6 +84,8 @@ let rng t = t.rng
 let trace t = t.trace
 let counter t = t.counter
 let cache t = t.cache
+let telemetry t = t.telemetry
+let metrics t = Rox_telemetry.Sink.metrics t.telemetry
 let sampling_meter t = Cost.sampling_meter t.counter
 let execution_meter t = Cost.execution_meter t.counter
 
@@ -124,6 +131,7 @@ let runtime_config t =
     sanitize = t.config.sanitize;
     cache = t.cache;
     table_sampler = table_sampler t;
+    telemetry = t.telemetry;
   }
 
 let describe t =
@@ -131,7 +139,7 @@ let describe t =
   Printf.sprintf
     "session seed=%d tau=%d chain=%b resample=%b grow_cutoff=%b race=%b \
      table_fraction=%s sanitize=%b max_rows=%d deadline_ms=%s \
-     max_sampled_rows=%s cache=%b trace=%b"
+     max_sampled_rows=%s cache=%b trace=%b telemetry=%b"
     t.config.seed t.config.tau t.config.use_chain t.config.resample
     t.config.grow_cutoff t.config.race_operators
     (match t.config.table_fraction with
@@ -141,3 +149,4 @@ let describe t =
     (match b.deadline_ms with None -> "-" | Some ms -> string_of_int ms)
     (match b.max_sampled_rows with None -> "-" | Some r -> string_of_int r)
     (t.cache <> None) (Trace.enabled t.trace)
+    (Rox_telemetry.Sink.enabled t.telemetry)

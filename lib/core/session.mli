@@ -53,11 +53,13 @@ type t
 
 val create :
   ?config:config -> ?trace:Rox_joingraph.Trace.t -> ?cache:Rox_cache.Store.t ->
+  ?telemetry:Rox_telemetry.Sink.t ->
   unit -> t
 (** A fresh session: new RNG seeded from [config.seed], new cost counter
-    (with the sampled-rows budget installed), disabled trace unless one is
-    passed. Sessions are single-domain values — share the engine and the
-    cache across domains, never a session. *)
+    (with the sampled-rows budget installed), disabled trace and null
+    telemetry sink unless one is passed. Sessions are single-domain values
+    — share the engine, the cache and the telemetry {!Rox_telemetry.Aggregate}
+    across domains, never a session or its sink. *)
 
 val config : t -> config
 val seed : t -> int
@@ -68,6 +70,14 @@ val rng : t -> Rox_util.Xoshiro.t
 val trace : t -> Rox_joingraph.Trace.t
 val counter : t -> Rox_algebra.Cost.counter
 val cache : t -> Rox_cache.Store.t option
+
+val telemetry : t -> Rox_telemetry.Sink.t
+(** The session's telemetry sink (null unless one was passed to
+    {!create}); spans and metrics land here across the whole run. *)
+
+val metrics : t -> Rox_telemetry.Metrics.t
+(** [Rox_telemetry.Sink.metrics (telemetry t)]. *)
+
 val sampling_meter : t -> Rox_algebra.Cost.meter
 val execution_meter : t -> Rox_algebra.Cost.meter
 

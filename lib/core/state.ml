@@ -2,6 +2,8 @@ open Rox_util
 open Rox_storage
 open Rox_algebra
 open Rox_joingraph
+module Sink = Rox_telemetry.Sink
+module Tm = Rox_telemetry.Metrics
 
 type t = {
   session : Session.t;
@@ -44,9 +46,26 @@ let execution_meter t = Session.execution_meter t.session
 let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
   let engine = Runtime.engine t.runtime in
   let graph = Runtime.graph t.runtime in
+  let tel = Session.telemetry t.session in
   let run meter = Exec.sampled ?meter engine graph e ~outer ~sample ~inner_table ~limit in
+  (* Charged (non-sanitize-replay) sampled runs are spanned and feed the
+     sampling wall-clock bucket — the numerator of the Figure 8 overhead. *)
+  let run_charged () =
+    Sink.with_span tel "exec_sampled"
+      ~attrs:(fun () -> [ ("edge", string_of_int e.Edge.id) ])
+      ~record:(fun m dur ->
+        Tm.observe m.Tm.sampled_run_ns dur;
+        Tm.incr ~by:dur m.Tm.sampling_time_ns)
+      (fun () -> run (Some (sampling_meter t)))
+  in
+  let note_lookup hit =
+    if Sink.enabled tel then begin
+      let m = Sink.metrics tel in
+      Tm.incr (if hit then m.Tm.estimate_cache_hits else m.Tm.estimate_cache_misses)
+    end
+  in
   match Session.cache t.session with
-  | None -> run (Some (sampling_meter t))
+  | None -> run_charged ()
   | Some store ->
     let vdesc v = Vertex.fingerprint_label (Graph.vertex graph v) in
     let key =
@@ -68,6 +87,7 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
     let estimates = Rox_cache.Store.estimates store in
     (match Rox_cache.Estimate_cache.find estimates key with
      | Some cut ->
+       note_lookup true;
        Trace.emit (trace t)
          (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = true });
        if Session.sanitize t.session then begin
@@ -90,9 +110,10 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
        end;
        cut
      | None ->
+       note_lookup false;
        Trace.emit (trace t)
          (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = false });
-       let cut = run (Some (sampling_meter t)) in
+       let cut = run_charged () in
        Rox_cache.Estimate_cache.add estimates key cut;
        cut)
 

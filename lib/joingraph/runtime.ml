@@ -1,6 +1,8 @@
 open Rox_util
 open Rox_storage
 open Rox_algebra
+module Sink = Rox_telemetry.Sink
+module Tm = Rox_telemetry.Metrics
 
 exception Blowup of { edge : int; rows : int; limit : int }
 
@@ -20,13 +22,17 @@ type config = {
   (* Applied when a vertex table is first materialized from its index
      domain — the hook behind approximate (sample-driven) execution. *)
   table_sampler : (int -> Column.t -> Column.t) option;
+  (* Per-session telemetry sink: spans around edge executions, cache
+     hit/miss counters. A disabled (null) sink costs one boolean test. *)
+  telemetry : Sink.t;
 }
 
 let default_config () =
   { max_rows = 50_000_000;
     sanitize = Sanitize.default_mode ();
     cache = None;
-    table_sampler = None }
+    table_sampler = None;
+    telemetry = Sink.null () }
 
 type t = {
   engine : Engine.t;
@@ -35,6 +41,7 @@ type t = {
   sanitize : bool;
   cache : Rox_cache.Store.t option;
   table_sampler : (int -> Column.t -> Column.t) option;
+  telemetry : Sink.t;
   tables : Column.t option array;
   executed_edges : bool array;
   implied_edges : bool array;
@@ -68,6 +75,7 @@ let create ?config engine graph =
       sanitize = config.sanitize;
       cache = config.cache;
       table_sampler = config.table_sampler;
+      telemetry = config.telemetry;
       tables = Array.make (Graph.vertex_count graph) None;
       executed_edges = Array.make (Graph.edge_count graph) false;
       implied_edges = Array.make (Graph.edge_count graph) false;
@@ -227,6 +235,12 @@ let edge_fingerprint t (e : Edge.t) store plan =
    bit-identical against a fresh (uncharged) execution of the same
    physical variant. *)
 let cached_pairs ?meter t (e : Edge.t) plan =
+  let note_lookup hit =
+    if Sink.enabled t.telemetry then begin
+      let m = Sink.metrics t.telemetry in
+      Tm.incr (if hit then m.Tm.relation_cache_hits else m.Tm.relation_cache_misses)
+    end
+  in
   match t.cache with
   | None -> (plan.run meter, false)
   | Some store ->
@@ -234,6 +248,7 @@ let cached_pairs ?meter t (e : Edge.t) plan =
     let relations = Rox_cache.Store.relations store in
     (match Rox_cache.Relation_cache.find relations key with
      | Some v ->
+       note_lookup true;
        let pairs =
          { Exec.left = v.Rox_cache.Relation_cache.left;
            right = v.Rox_cache.Relation_cache.right }
@@ -248,13 +263,13 @@ let cached_pairs ?meter t (e : Edge.t) plan =
        end;
        (pairs, true)
      | None ->
+       note_lookup false;
        let pairs = plan.run meter in
        Rox_cache.Relation_cache.add relations key
          { Rox_cache.Relation_cache.left = pairs.Exec.left; right = pairs.Exec.right };
        (pairs, false))
 
-let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
-  if executed t e then invalid_arg "Runtime.execute_edge: edge already executed";
+let execute_edge_body ?meter ?equi_algo ?step_direction t (e : Edge.t) =
   let v1 = e.Edge.v1 and v2 = e.Edge.v2 in
   (match e.Edge.op with
    | Edge.Equijoin ->
@@ -375,6 +390,23 @@ let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
       (Relation.vertices rel)
   end;
   { pair_count = Exec.pair_count pairs; rel_rows = Relation.rows rel; changed; cache_hit }
+
+let execute_edge ?meter ?equi_algo ?step_direction t (e : Edge.t) =
+  if executed t e then invalid_arg "Runtime.execute_edge: edge already executed";
+  Sink.with_span t.telemetry "execute_edge"
+    ~attrs:(fun () -> [ ("edge", string_of_int e.Edge.id) ])
+    ~record:(fun m dur ->
+      Tm.observe m.Tm.edge_execution_ns dur;
+      Tm.incr ~by:dur m.Tm.execution_time_ns)
+    (fun () ->
+      let info = execute_edge_body ?meter ?equi_algo ?step_direction t e in
+      if Sink.enabled t.telemetry then begin
+        let m = Sink.metrics t.telemetry in
+        Tm.incr m.Tm.edges_executed;
+        Tm.incr ~by:info.pair_count m.Tm.pairs_emitted;
+        Tm.incr ~by:info.rel_rows m.Tm.rows_materialized
+      end;
+      info)
 
 let final_relation ?meter t =
   if not (all_executed t) then

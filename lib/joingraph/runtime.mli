@@ -39,10 +39,15 @@ type config = {
           materialized from its index — the hook behind the approximate
           (sample-driven) execution mode of Section 6. Tables refreshed
           from executed relations are never re-sampled. *)
+  telemetry : Rox_telemetry.Sink.t;
+      (** the session's telemetry sink: {!execute_edge} runs under an
+          ["execute_edge"] span carrying an [("edge", id)] attribute and
+          feeds the edge-latency histogram and cache hit/miss counters.
+          The null sink (see {!default_config}) costs one boolean test. *)
 }
 
 val default_config : unit -> config
-(** 50M-row guard, no cache, no sampler, sanitize =
+(** 50M-row guard, no cache, no sampler, null telemetry, sanitize =
     {!Rox_algebra.Sanitize.default_mode} (hence an RX307 violation inside
     an armed session region — sessions always build their config
     explicitly). *)

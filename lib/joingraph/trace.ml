@@ -16,13 +16,51 @@ type event =
     }
   | Edge_executed of { edge : int; order : int; pairs : int; rel_rows : int }
   | Cache_lookup of { edge : int; store : [ `Relation | `Estimate ]; hit : bool }
+  | Truncated of { dropped : int }
 
-type t = { mutable events : event list; is_enabled : bool }
+let default_cap = 200_000
 
-let create ?(enabled = true) () = { events = []; is_enabled = enabled }
+type t = {
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+  cap : int;
+  is_enabled : bool;
+  (* Memoized forward event list: [events] is called per accessor
+     (execution_order, chain_rounds, ...) and used to re-reverse the whole
+     history per call; now the reversal happens once per emit burst. *)
+  mutable forward : event list option;
+}
+
+let create ?(cap = default_cap) ?(enabled = true) () =
+  if cap < 1 then invalid_arg (Printf.sprintf "Trace.create: cap %d < 1" cap);
+  { rev_events = []; count = 0; dropped = 0; cap; is_enabled = enabled;
+    forward = None }
+
 let enabled t = t.is_enabled
-let emit t ev = if t.is_enabled then t.events <- ev :: t.events
-let events t = List.rev t.events
+let cap t = t.cap
+let dropped t = t.dropped
+
+let emit t ev =
+  if t.is_enabled then begin
+    t.forward <- None;
+    if t.count >= t.cap then t.dropped <- t.dropped + 1
+    else begin
+      t.rev_events <- ev :: t.rev_events;
+      t.count <- t.count + 1
+    end
+  end
+
+let events t =
+  match t.forward with
+  | Some l -> l
+  | None ->
+    let base = List.rev t.rev_events in
+    let l =
+      if t.dropped > 0 then base @ [ Truncated { dropped = t.dropped } ] else base
+    in
+    t.forward <- Some l;
+    l
 
 let execution_order t =
   events t

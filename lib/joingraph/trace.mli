@@ -28,14 +28,35 @@ type event =
           executions, [`Estimate] lookups guard cut-off sampled runs.
           Emitted only when a cache store is wired in, so cache-off traces
           are unchanged. *)
+  | Truncated of { dropped : int }
+      (** The trace hit its event cap and [dropped] later events were
+          discarded. Never passed to {!emit}: synthesized (at most once,
+          always last) by {!events} so every consumer sees an explicit
+          partial-trace marker instead of a silently shortened history. *)
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val default_cap : int
+(** 200k events — generous (the paper's workloads emit a few hundred)
+    while bounding a pathological session to a few MB. *)
+
+val create : ?cap:int -> ?enabled:bool -> unit -> t
+(** @raise Invalid_argument when [cap < 1]. *)
+
 val enabled : t -> bool
+val cap : t -> int
+
+val dropped : t -> int
+(** Events discarded past the cap so far. *)
+
 val emit : t -> event -> unit
+(** Disabled traces and events past the cap cost one test; nothing is
+    stored (the drop is counted). *)
+
 val events : t -> event list
-(** In emission order. *)
+(** In emission order, with a final {!Truncated} marker iff events were
+    dropped. Memoized: repeated calls (and the accessors below) reverse
+    the history once per emission burst instead of once per call. *)
 
 val execution_order : t -> int list
 (** Edge ids in the order they were executed. *)

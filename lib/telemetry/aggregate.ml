@@ -1,0 +1,12 @@
+type t = {
+  mutex : Mutex.t;
+  metrics : Metrics.t;
+}
+
+let create () = { mutex = Mutex.create (); metrics = Metrics.create () }
+
+let with_metrics t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> f t.metrics)
+
+let absorb t m = with_metrics t (fun into -> Metrics.add_into ~into m)

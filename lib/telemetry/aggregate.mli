@@ -1,0 +1,21 @@
+(** Process-level metrics aggregate for the multi-domain server.
+
+    Sessions (and their sinks) are single-domain values; the serving path
+    of [bench/exp_parallel] runs one session per query on N OCaml domains.
+    The aggregate is the one place their metrics meet: a mutex-guarded
+    {!Metrics.t} that each domain {!absorb}s its per-session registries
+    into. Per-domain metrics must sum exactly to the aggregate — the
+    2-domain test in [test/suite_telemetry.ml] pins that down. *)
+
+type t
+
+val create : unit -> t
+
+val absorb : t -> Metrics.t -> unit
+(** Add a session's registry into the aggregate (one mutex acquisition;
+    safe from any domain). The session registry is not modified and may
+    be absorbed only once unless double counting is intended. *)
+
+val with_metrics : t -> (Metrics.t -> 'a) -> 'a
+(** Run a reader under the aggregate's mutex (exporting a snapshot while
+    domains are still serving). *)

@@ -1,0 +1,4 @@
+let now_ns () = Monotonic_clock.now ()
+let elapsed_ns t0 = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0)
+let ms_of_ns ns = float_of_int ns /. 1_000_000.0
+let us_of_ns ns = Int64.to_float ns /. 1_000.0

@@ -1,0 +1,35 @@
+(** Exporters: Chrome trace-event JSON, Prometheus text exposition, and
+    the human profile summary.
+
+    The Chrome format is the [chrome://tracing] / Perfetto "JSON Array
+    with metadata" flavour: an object with a ["traceEvents"] array of
+    complete ([ph = "X"]) events, microsecond timestamps relative to the
+    earliest span, one [tid] lane per sink. {!validate_chrome} checks
+    exactly the schema subset {!chrome_trace} promises — the [make
+    profile-smoke] gate parses the emitted file back and runs it. *)
+
+val chrome_trace :
+  ?process_name:string -> (int * Sink.t) list -> string
+(** [(tid, sink)] pairs become one thread lane each. Includes process /
+    thread-name metadata events and, per sink with dropped spans, an
+    instant event marking the truncation. *)
+
+val prometheus : Metrics.t -> string
+(** Text exposition format: [# HELP] / [# TYPE] per instrument, counters
+    as [_total], histograms as cumulative [_bucket{le="..."}] ladders
+    (log₂ bounds, buckets past the last observation folded into [+Inf])
+    plus [_sum] and [_count]. *)
+
+val profile : ?work_units:int * int -> Metrics.t -> string
+(** The paper-relevant breakdown, for [--profile]: sampling vs execution
+    wall-clock side by side with the deterministic work-unit split of
+    Figure 8 ([work_units] = (sampling, execution) from the session's
+    [Cost.counter]), per-stage latency quantiles, cache hit ratios, and
+    span accounting. *)
+
+val validate_chrome : Rox_util.Minijson.t -> (int, string) result
+(** Schema check for a parsed Chrome trace: top-level ["traceEvents"]
+    array; every event an object with string [name]/[ph]/[cat], numeric
+    [ts]/[pid]/[tid]; every ["X"] event a non-negative [dur]; per
+    [(pid, tid)] lane the complete events must be well-nested. Returns
+    the number of complete events on success. *)

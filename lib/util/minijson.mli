@@ -1,0 +1,27 @@
+(** Minimal JSON reader.
+
+    Just enough JSON to validate the artifacts this repo itself emits
+    (Chrome trace-event files, benchmark JSON) without pulling in a
+    parsing dependency: objects, arrays, strings with the standard
+    escapes, numbers, booleans, null. Duplicate object keys are kept in
+    order; [\uXXXX] escapes are decoded to UTF-8. Not a streaming parser —
+    intended for test and CLI validation paths, not hot ones. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** The whole input must be one JSON value (surrounding whitespace ok);
+    [Error] carries a message with a character offset. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_num_opt : t -> float option
+val to_list_opt : t -> t list option

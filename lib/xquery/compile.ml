@@ -140,7 +140,7 @@ and last_test (p : Ast.path) =
   | [] -> None
   | last :: _ -> Some last.Ast.test
 
-let compile ?(equi_closure = true) engine (q : Ast.query) =
+let compile_untimed ~equi_closure engine (q : Ast.query) =
   let ctx =
     { engine; graph = Graph.create (); vars = []; doc_roots = []; memo = Hashtbl.create 64 }
   in
@@ -210,7 +210,17 @@ let compile ?(equi_closure = true) engine (q : Ast.query) =
     query = q;
   }
 
-let compile_string ?equi_closure engine src = compile ?equi_closure engine (Parser.parse src)
+let compile ?(equi_closure = true) ?telemetry engine (q : Ast.query) =
+  match telemetry with
+  | None -> compile_untimed ~equi_closure engine q
+  | Some tel ->
+    Rox_telemetry.Sink.with_span tel "compile"
+      ~record:(fun m dur ->
+        Rox_telemetry.Metrics.observe m.Rox_telemetry.Metrics.compile_ns dur)
+      (fun () -> compile_untimed ~equi_closure engine q)
+
+let compile_string ?equi_closure ?telemetry engine src =
+  compile ?equi_closure ?telemetry engine (Parser.parse src)
 
 let vertex_of_var c v =
   match List.assoc_opt v c.bindings with

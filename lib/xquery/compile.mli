@@ -27,9 +27,15 @@ type compiled = {
   query : Ast.query;
 }
 
-val compile : ?equi_closure:bool -> Rox_storage.Engine.t -> Ast.query -> compiled
+val compile :
+  ?equi_closure:bool -> ?telemetry:Rox_telemetry.Sink.t ->
+  Rox_storage.Engine.t -> Ast.query -> compiled
+(** With [~telemetry], compilation runs under a ["compile"] span feeding
+    the [compile_ns] histogram. *)
 
-val compile_string : ?equi_closure:bool -> Rox_storage.Engine.t -> string -> compiled
+val compile_string :
+  ?equi_closure:bool -> ?telemetry:Rox_telemetry.Sink.t ->
+  Rox_storage.Engine.t -> string -> compiled
 (** Parse + compile. *)
 
 val vertex_of_var : compiled -> string -> int

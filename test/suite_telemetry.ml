@@ -1,0 +1,409 @@
+(* The telemetry layer (lib/telemetry): log₂ histogram bucket boundaries,
+   span nesting and exception-safety of the sink, the zero-cost disabled
+   path, exporter round-trips through the Chrome-trace validator, and the
+   property the multi-domain server leans on — per-domain registries
+   summing exactly into the mutex-guarded process aggregate. *)
+
+open Helpers
+open Rox_telemetry
+module Trace = Rox_joingraph.Trace
+module A = Rox_analysis
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---------- Histogram bucket boundaries ---------- *)
+
+let test_bucket_boundaries () =
+  (* Bucket i covers [2^i, 2^(i+1)); bucket 0 also absorbs v <= 1. *)
+  List.iter
+    (fun (v, b) -> check_int (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9); (1024, 10) ];
+  for k = 1 to 61 do
+    check_int
+      (Printf.sprintf "bucket_of 2^%d" k)
+      k
+      (Metrics.bucket_of (1 lsl k));
+    check_int
+      (Printf.sprintf "bucket_of (2^%d - 1)" k)
+      (k - 1)
+      (Metrics.bucket_of ((1 lsl k) - 1))
+  done;
+  check_int "bucket_upper 0" 1 (Metrics.bucket_upper 0);
+  check_int "bucket_upper 3" 15 (Metrics.bucket_upper 3);
+  check_int "last bucket unbounded" max_int
+    (Metrics.bucket_upper (Metrics.n_buckets - 1));
+  check_int "max_int lands in last bucket" (Metrics.n_buckets - 1)
+    (Metrics.bucket_of max_int)
+
+let prop_bucket_contains =
+  qtest ~count:500 "bucket_of v is the unique bucket containing v"
+    QCheck.(int_range 1 max_int)
+    (fun v ->
+      let b = Metrics.bucket_of v in
+      v <= Metrics.bucket_upper b && (b = 0 || v > Metrics.bucket_upper (b - 1)))
+
+let test_observe_and_quantile () =
+  let m = Metrics.create () in
+  let h = m.Metrics.query_ns in
+  check_int "empty quantile" 0 (int_of_float (Metrics.quantile h 0.5));
+  for _ = 1 to 99 do
+    Metrics.observe h 1
+  done;
+  Metrics.observe h 1000;
+  check_int "count" 100 h.Metrics.h_count;
+  check_int "sum" (99 + 1000) h.Metrics.h_sum;
+  check_int "bucket 0 holds the 1s" 99 h.Metrics.h_buckets.(0);
+  check_int "bucket_of 1000" 9 (Metrics.bucket_of 1000);
+  check_int "bucket 9 holds the 1000" 1 h.Metrics.h_buckets.(9);
+  (* Quantiles resolve to the upper bound of the holding bucket. *)
+  check_int "p50" 1 (int_of_float (Metrics.quantile h 0.5));
+  check_int "p99" 1 (int_of_float (Metrics.quantile h 0.99));
+  check_int "p100" 1023 (int_of_float (Metrics.quantile h 1.0));
+  (* Negative / zero observations land in bucket 0, contribute 0 to sum. *)
+  Metrics.observe h (-5);
+  check_int "neg counted" 101 h.Metrics.h_count;
+  check_int "neg adds nothing" (99 + 1000) h.Metrics.h_sum
+
+(* ---------- Span recording ---------- *)
+
+let test_span_nesting () =
+  let sink = Sink.create ~enabled:true () in
+  let r =
+    Sink.with_span sink "a" (fun () ->
+        let x =
+          Sink.with_span sink "b" (fun () ->
+              Sink.with_span sink "c" (fun () -> 40))
+        in
+        x + Sink.with_span sink "d" (fun () -> 2))
+  in
+  check_int "result threads through" 42 r;
+  check_int "span count" 4 (Sink.span_count sink);
+  check_int "no live spans" 0 (Sink.depth sink);
+  let names = List.map (fun s -> s.Sink.name) (Sink.spans_chronological sink) in
+  Alcotest.(check (list string)) "chronological order" [ "a"; "b"; "c"; "d" ] names;
+  let depths = List.map (fun s -> s.Sink.depth) (Sink.spans_chronological sink) in
+  Alcotest.(check (list int)) "depths" [ 0; 1; 2; 1 ] depths;
+  (* Completion order: children close before parents. *)
+  let completed = List.map (fun s -> s.Sink.name) (Sink.spans sink) in
+  Alcotest.(check (list string)) "completion order" [ "c"; "b"; "d"; "a" ] completed;
+  List.iter
+    (fun s -> check_bool "non-negative dur" true (s.Sink.dur_ns >= 0L))
+    (Sink.spans sink);
+  check_int "RX4xx clean" 0 (List.length (A.Telemetry_check.check sink))
+
+let test_span_exception_safety () =
+  let sink = Sink.create ~enabled:true () in
+  let recorded = ref (-1) in
+  (try
+     Sink.with_span sink "outer" (fun () ->
+         Sink.with_span sink "boom"
+           ~record:(fun _ dur -> recorded := dur)
+           (fun () -> failwith "abort"))
+   with Failure _ -> ());
+  check_int "both spans closed" 2 (Sink.span_count sink);
+  check_int "depth restored" 0 (Sink.depth sink);
+  check_bool "record fired on unwind" true (!recorded >= 0);
+  check_int "still well-nested" 0 (List.length (A.Telemetry_check.check sink))
+
+let test_span_cap () =
+  let sink = Sink.create ~cap:3 ~enabled:true () in
+  for i = 1 to 5 do
+    Sink.with_span sink (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check_int "kept at cap" 3 (Sink.span_count sink);
+  check_int "dropped" 2 (Sink.dropped sink);
+  check_int "spans_dropped counter" 2
+    (Sink.metrics sink).Metrics.spans_dropped.Metrics.c_value;
+  let ds = A.Telemetry_check.check sink in
+  check_bool "RX404 warning raised" true
+    (List.exists (fun d -> d.A.Diagnostic.code = "RX404") ds);
+  check_bool "truncation is not an error" true
+    (not (List.exists A.Diagnostic.is_error ds));
+  Sink.reset sink;
+  check_int "reset clears spans" 0 (Sink.span_count sink);
+  check_int "reset clears dropped" 0 (Sink.dropped sink)
+
+let prop_random_nesting_well_formed =
+  qtest ~count:100 "random span trees pass the RX401/RX402 verifier"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rox_util.Xoshiro.create (seed + 7) in
+      let sink = Sink.create ~enabled:true () in
+      let rec go depth =
+        let n = Rox_util.Xoshiro.int rng 3 in
+        for i = 0 to n - 1 do
+          Sink.with_span sink
+            (Printf.sprintf "s%d_%d" depth i)
+            (fun () -> if depth < 4 then go (depth + 1))
+        done
+      in
+      go 0;
+      Sink.depth sink = 0 && A.Telemetry_check.check sink = [])
+
+(* ---------- The disabled path ---------- *)
+
+let test_disabled_sink () =
+  let sink = Sink.null () in
+  let attrs_hit = ref false and record_hit = ref false in
+  let r =
+    Sink.with_span sink "x"
+      ~attrs:(fun () ->
+        attrs_hit := true;
+        [])
+      ~record:(fun _ _ -> record_hit := true)
+      (fun () -> 7)
+  in
+  check_int "result passes through" 7 r;
+  check_bool "enabled" false (Sink.enabled sink);
+  check_int "nothing recorded" 0 (Sink.span_count sink);
+  check_bool "attrs thunk never evaluated" false !attrs_hit;
+  check_bool "record never called" false !record_hit;
+  check_int "vacuously clean" 0 (List.length (A.Telemetry_check.check sink))
+
+let test_disabled_sink_no_alloc () =
+  (* The overhead contract: a disabled sink is one boolean test — the
+     instrumented loop below must not allocate. Closures are hoisted so
+     the measurement sees only with_span's own cost. *)
+  let sink = Sink.null () in
+  let body () = 0 in
+  ignore (Sink.with_span sink "hot" body);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Sink.with_span sink "hot" body)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  check_bool
+    (Printf.sprintf "disabled with_span allocates nothing (%.0f words)" dw)
+    true (dw < 256.0)
+
+(* ---------- Exporters ---------- *)
+
+let busy_sink () =
+  let sink = Sink.create ~enabled:true () in
+  let m = Sink.metrics sink in
+  Sink.with_span sink "query" (fun () ->
+      Sink.with_span sink "execute_edge"
+        ~attrs:(fun () -> [ ("edge", "3") ])
+        ~record:(fun m d -> Metrics.observe m.Metrics.edge_execution_ns d)
+        (fun () -> ());
+      Sink.with_span sink "chain_round" (fun () -> ()));
+  Metrics.incr m.Metrics.queries_served;
+  Metrics.incr ~by:5 m.Metrics.relation_cache_hits;
+  Metrics.set m.Metrics.cache_resident_bytes 4096.0;
+  sink
+
+let test_chrome_trace_roundtrip () =
+  let sink = busy_sink () in
+  let json = Export.chrome_trace ~process_name:"rox-test" [ (1, sink) ] in
+  match Rox_util.Minijson.parse json with
+  | Error e -> Alcotest.failf "emitted trace does not parse: %s" e
+  | Ok j -> (
+    match Export.validate_chrome j with
+    | Error e -> Alcotest.failf "emitted trace fails validation: %s" e
+    | Ok n -> check_int "one X event per span" (Sink.span_count sink) n)
+
+let test_chrome_trace_truncation_marker () =
+  let sink = Sink.create ~cap:1 ~enabled:true () in
+  for _ = 1 to 3 do
+    Sink.with_span sink "s" (fun () -> ())
+  done;
+  let json = Export.chrome_trace [ (0, sink) ] in
+  check_bool "instant event marks the drop" true (contains json "\"ph\": \"i\"")
+
+let test_prometheus_exposition () =
+  let sink = busy_sink () in
+  let text = Export.prometheus (Sink.metrics sink) in
+  let has s = contains text s in
+  check_bool "counter line" true (has "rox_queries_served_total 1");
+  check_bool "hits line" true (has "rox_relation_cache_hits_total 5");
+  check_bool "gauge line" true (has "rox_cache_resident_bytes 4096");
+  check_bool "histogram count" true (has "rox_edge_execution_duration_ns_count 1");
+  check_bool "+Inf ladder top" true (has "le=\"+Inf\"");
+  check_bool "help text present" true (has "# HELP rox_queries_served_total");
+  check_bool "type lines present" true (has "# TYPE rox_cache_resident_bytes gauge")
+
+let test_profile_summary () =
+  let sink = busy_sink () in
+  let m = Sink.metrics sink in
+  Metrics.incr ~by:400 m.Metrics.sampling_time_ns;
+  Metrics.incr ~by:600 m.Metrics.execution_time_ns;
+  let text = Export.profile ~work_units:(40, 60) m in
+  let has s = contains text s in
+  check_bool "sampling row" true (has "sampling");
+  check_bool "execution row" true (has "execution");
+  check_bool "work units shown" true (has "work units")
+
+(* ---------- Budget message units (satellite: Cost.budget_message) ---------- *)
+
+let test_budget_message_units () =
+  let open Rox_algebra.Cost in
+  check_string "deadline unit" "ms" (budget_unit Deadline);
+  check_string "sampling unit" "work units" (budget_unit Sampled_rows);
+  (match budget_message (Budget_exceeded { reason = Deadline; spent = 1503; budget = 1500 }) with
+  | None -> Alcotest.fail "deadline message missing"
+  | Some msg ->
+    check_string "deadline message"
+      "wall-clock deadline exceeded: spent 1503 ms, budget 1500 ms" msg);
+  (match budget_message (Budget_exceeded { reason = Sampled_rows; spent = 120; budget = 100 }) with
+  | None -> Alcotest.fail "sampling message missing"
+  | Some msg ->
+    check_string "sampling message"
+      "sampled-rows budget exceeded: spent 120 work units, budget 100 work units" msg);
+  check_bool "other exceptions pass" true (budget_message Exit = None)
+
+(* ---------- Trace truncation marker (satellite: bounded Trace.t) ---------- *)
+
+let test_trace_truncation () =
+  let tr = Trace.create ~cap:3 () in
+  for i = 1 to 5 do
+    Trace.emit tr (Trace.Edge_weighted { edge = i; weight = 1.0 })
+  done;
+  check_int "dropped" 2 (Trace.dropped tr);
+  let evs = Trace.events tr in
+  check_int "kept + marker" 4 (List.length evs);
+  (match List.rev evs with
+  | Trace.Truncated { dropped } :: _ -> check_int "marker dropped count" 2 dropped
+  | _ -> Alcotest.fail "last event must be the Truncated marker");
+  (* The marker is synthesized, never stored: further emits past the cap
+     only bump the counter. *)
+  Trace.emit tr (Trace.Edge_weighted { edge = 9; weight = 1.0 });
+  check_int "dropped grows" 3 (Trace.dropped tr);
+  check_int "events stable" 4 (List.length (Trace.events tr))
+
+(* ---------- RX403: trace/span cross-check ---------- *)
+
+let test_edge_span_matching () =
+  let tr = Trace.create () in
+  Trace.emit tr (Trace.Edge_executed { edge = 7; order = 0; pairs = 1; rel_rows = 1 });
+  (* Uncovered edge: an enabled sink with no execute_edge span. *)
+  let bare = Sink.create ~enabled:true () in
+  Sink.with_span bare "query" (fun () -> ());
+  let ds = A.Telemetry_check.check ~trace:tr bare in
+  check_bool "RX403 fires for uncovered edge" true
+    (List.exists (fun d -> d.A.Diagnostic.code = "RX403") ds);
+  (* Covered edge: matching span with the ("edge", id) attribute. *)
+  let covered = Sink.create ~enabled:true () in
+  Sink.with_span covered "execute_edge"
+    ~attrs:(fun () -> [ ("edge", "7") ])
+    (fun () -> ());
+  check_int "covered edge is clean" 0
+    (List.length (A.Telemetry_check.check ~trace:tr covered));
+  (* Truncated trace: the cross-check is skipped, not misfired. *)
+  let small = Trace.create ~cap:1 () in
+  Trace.emit small (Trace.Chain_started { source = 0; min_edge = 1 });
+  Trace.emit small (Trace.Edge_executed { edge = 7; order = 0; pairs = 1; rel_rows = 1 });
+  check_bool "truncated trace skips RX403" true
+    (not
+       (List.exists
+          (fun d -> d.A.Diagnostic.code = "RX403")
+          (A.Telemetry_check.check ~trace:small bare)))
+
+(* ---------- add_into and the 2-domain aggregate ---------- *)
+
+let test_add_into () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~by:3 a.Metrics.queries_served;
+  Metrics.incr ~by:4 b.Metrics.queries_served;
+  Metrics.observe a.Metrics.query_ns 100;
+  Metrics.observe b.Metrics.query_ns 100_000;
+  Metrics.set a.Metrics.cache_resident_bytes 10.0;
+  Metrics.set b.Metrics.cache_resident_bytes 99.0;
+  Metrics.add_into ~into:a b;
+  check_int "counters add" 7 a.Metrics.queries_served.Metrics.c_value;
+  check_int "histogram counts add" 2 a.Metrics.query_ns.Metrics.h_count;
+  check_int "histogram sums add" 100_100 a.Metrics.query_ns.Metrics.h_sum;
+  check_int "gauges take max" 99 (int_of_float a.Metrics.cache_resident_bytes.Metrics.g_value);
+  check_int "source untouched" 4 b.Metrics.queries_served.Metrics.c_value
+
+let test_two_domain_aggregate () =
+  (* The serving pattern: each domain runs sessions with per-session
+     sinks, absorbing every registry into one process aggregate. The
+     per-domain totals must sum exactly to the aggregate. *)
+  let agg = Aggregate.create () in
+  let work seed () =
+    let served = ref 0 and observed = ref 0 and sum = ref 0 in
+    let rng = Rox_util.Xoshiro.create seed in
+    for _ = 1 to 50 do
+      let sink = Sink.create ~enabled:true () in
+      let m = Sink.metrics sink in
+      let n = 1 + Rox_util.Xoshiro.int rng 4 in
+      for _ = 1 to n do
+        Sink.with_span sink "query"
+          ~record:(fun m d -> Metrics.observe m.Metrics.query_ns d)
+          (fun () -> Metrics.incr m.Metrics.queries_served)
+      done;
+      served := !served + n;
+      observed := !observed + n;
+      sum := !sum + m.Metrics.query_ns.Metrics.h_sum;
+      Aggregate.absorb agg m
+    done;
+    (!served, !observed, !sum)
+  in
+  let other = Domain.spawn (work 1) in
+  let s0, o0, n0 = work 2 () in
+  let s1, o1, n1 = Domain.join other in
+  Aggregate.with_metrics agg (fun m ->
+      check_int "queries_served sums across domains" (s0 + s1)
+        m.Metrics.queries_served.Metrics.c_value;
+      check_int "histogram count sums across domains" (o0 + o1)
+        m.Metrics.query_ns.Metrics.h_count;
+      check_int "histogram sum sums across domains" (n0 + n1)
+        m.Metrics.query_ns.Metrics.h_sum)
+
+(* ---------- End-to-end: a real run under an enabled sink ---------- *)
+
+let test_session_run_records () =
+  let engine = Rox_storage.Engine.create () in
+  ignore
+    (Rox_workload.Xmark.generate
+       ~params:(Rox_workload.Xmark.scaled 0.02)
+       engine ~uri:"xmark.xml"
+      : Rox_storage.Engine.docref);
+  let compiled =
+    Rox_xquery.Compile.compile_string engine
+      {|let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() < 145],
+    $p in $d//person[.//province]
+where $o//bidder//personref/@person = $p/@id
+return $o|}
+  in
+  let sink = Sink.create ~enabled:true () in
+  let trace = Trace.create () in
+  let session = Rox_core.Session.create ~trace ~telemetry:sink () in
+  let off = Rox_core.Session.create () in
+  let a = fst (Rox_core.Optimizer.answer session compiled) in
+  let b = fst (Rox_core.Optimizer.answer off compiled) in
+  check_bool "telemetry does not change answers" true (a = b);
+  let m = Sink.metrics sink in
+  check_int "one query served" 1 m.Metrics.queries_served.Metrics.c_value;
+  check_bool "edges were executed" true (m.Metrics.edges_executed.Metrics.c_value > 0);
+  check_bool "edge spans recorded" true
+    (List.exists (fun s -> s.Sink.name = "execute_edge") (Sink.spans sink));
+  check_int "verifier clean on a real run" 0
+    (List.length (A.Telemetry_check.check ~trace sink))
+
+let suite =
+  [
+    ("bucket boundaries", `Quick, test_bucket_boundaries);
+    prop_bucket_contains;
+    ("observe and quantile", `Quick, test_observe_and_quantile);
+    ("span nesting", `Quick, test_span_nesting);
+    ("span exception safety", `Quick, test_span_exception_safety);
+    ("span buffer cap", `Quick, test_span_cap);
+    prop_random_nesting_well_formed;
+    ("disabled sink records nothing", `Quick, test_disabled_sink);
+    ("disabled sink allocates nothing", `Quick, test_disabled_sink_no_alloc);
+    ("chrome trace round-trip", `Quick, test_chrome_trace_roundtrip);
+    ("chrome trace truncation marker", `Quick, test_chrome_trace_truncation_marker);
+    ("prometheus exposition", `Quick, test_prometheus_exposition);
+    ("profile summary", `Quick, test_profile_summary);
+    ("budget message units", `Quick, test_budget_message_units);
+    ("trace truncation marker", `Quick, test_trace_truncation);
+    ("RX403 edge/span matching", `Quick, test_edge_span_matching);
+    ("add_into merge", `Quick, test_add_into);
+    ("2-domain aggregate sum", `Quick, test_two_domain_aggregate);
+    ("real run under enabled sink", `Quick, test_session_run_records);
+  ]
