@@ -1,4 +1,4 @@
-.PHONY: all build test analyze sanitize bench-smoke profile-smoke check clean
+.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke check clean
 
 all: build
 
@@ -12,6 +12,28 @@ test:
 # replay verification, and the operator-contract sanitizer.
 analyze:
 	dune exec bin/rox_cli.exe -- analyze
+
+# Static mutable-state lint (RX510/RX511): every top-level mutable
+# global and mutable record field under lib/ must carry a documented
+# guard in the capability allowlist. JSON diagnostics land next to the
+# other CI artifacts.
+lint:
+	dune exec bin/rox_cli.exe -- lint
+	dune exec bin/rox_cli.exe -- lint --json > rox_lint.json
+
+# Dynamic race detection (RX501-RX504): prove the detector's teeth on
+# the seeded fixtures (the planted unguarded counter must come back
+# RX501, its mutex-guarded twin clean), then replay the multi-domain
+# parallel-serving workload under the armed access log and require it
+# race-free. The explicit seeded-race invocation asserts the non-zero
+# exit path CI depends on.
+racecheck:
+	dune exec bin/rox_cli.exe -- racecheck
+	dune exec bin/rox_cli.exe -- racecheck --json > rox_racecheck.json
+	@if dune exec bin/rox_cli.exe -- racecheck --fixture seeded-race \
+	  > /dev/null 2>&1; then \
+	  echo "racecheck: seeded race was NOT flagged (expected exit 1)"; exit 1; \
+	else echo "racecheck: seeded race correctly rejected"; fi
 
 # Runtime contract checks (RX301-RX307): the analyze workloads plus the
 # fuzz suite with every operator call cross-checked — columnar kernels
@@ -39,7 +61,7 @@ profile-smoke:
 	  --trace-out rox_trace.json --metrics-out rox_metrics.prom
 	dune exec bin/rox_cli.exe -- trace-validate rox_trace.json
 
-check: build test analyze sanitize profile-smoke
+check: build test analyze lint racecheck sanitize profile-smoke
 	-$(MAKE) bench-smoke
 
 clean:

@@ -238,7 +238,7 @@ module A = Rox_analysis
 (* One analysis case: compile, check the graph, run ROX with the sanitizer
    armed and the trace enabled, then verify the trace and the executed
    plan. *)
-let analyze_case ~subject engine query =
+let analyze_case ?(quiet = false) ~subject engine query =
   match Rox_xquery.Compile.compile_string engine query with
   | exception Rox_xquery.Compile.Rejected d -> A.Report.make ~subject [ d ]
   | exception Rox_xquery.Parser.Parse_error m ->
@@ -260,7 +260,8 @@ let analyze_case ~subject engine query =
       { (Rox_core.Session.default_config ()) with Rox_core.Session.sanitize = true }
     in
     let session = Rox_core.Session.create ~config ~trace ~telemetry:sink () in
-    Printf.printf "%s: %s\n" subject (Rox_core.Session.describe session);
+    if not quiet then
+      Printf.printf "%s: %s\n" subject (Rox_core.Session.describe session);
     (match
        A.Contract.wrap ~label:subject (fun () ->
            Rox_core.Optimizer.run session compiled)
@@ -310,7 +311,8 @@ return $o|}
 
 (* The built-in suite: the quickstart query, the Section 3.2 XMark pair
    plus the showdown query, and the Table 3 DBLP author chain. *)
-let builtin_cases () =
+let builtin_cases ?(quiet = false) () =
+  let analyze_case = analyze_case ~quiet in
   let quickstart () =
     let engine = Rox_storage.Engine.create () in
     ignore
@@ -344,17 +346,33 @@ let builtin_cases () =
   in
   quickstart () @ xmark () @ dblp ()
 
-let analyze docs query_file list_codes =
+let analyze docs query_file list_codes codes_md explain json =
   if list_codes then begin
     List.iter
       (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
       A.Diagnostic.code_docs;
     0
   end
-  else begin
+  else if codes_md then begin
+    print_string (A.Diagnostic.registry_markdown ());
+    0
+  end
+  else
+    match explain with
+    | Some code ->
+      (match A.Diagnostic.explain code with
+       | Some text ->
+         print_string text;
+         0
+       | None ->
+         Printf.eprintf
+           "unknown diagnostic code %s (try `rox analyze --codes`)\n" code;
+         2)
+    | None ->
+  begin
     let reports =
       match query_file with
-      | None -> builtin_cases ()
+      | None -> builtin_cases ~quiet:json ()
       | Some qf ->
         let engine = Rox_storage.Engine.create () in
         List.iter
@@ -371,15 +389,146 @@ let analyze docs query_file list_codes =
             let uri = Filename.basename path in
             ignore (Rox_storage.Engine.add_tree engine ~uri tree : Rox_storage.Engine.docref))
           docs;
-        [ analyze_case ~subject:qf engine (read_query qf) ]
+        [ analyze_case ~quiet:json ~subject:qf engine (read_query qf) ]
     in
-    List.iter (fun r -> A.Report.print r; print_newline ()) reports;
-    let errors = List.fold_left (fun n r -> n + A.Report.errors r) 0 reports in
-    let warnings = List.fold_left (fun n r -> n + A.Report.warnings r) 0 reports in
-    Printf.printf "analyzed %d case(s): %d error(s), %d warning(s)\n"
-      (List.length reports) errors warnings;
+    if json then print_string (A.Report.json_string reports)
+    else begin
+      List.iter (fun r -> A.Report.print r; print_newline ()) reports;
+      let errors = List.fold_left (fun n r -> n + A.Report.errors r) 0 reports in
+      let warnings = List.fold_left (fun n r -> n + A.Report.warnings r) 0 reports in
+      Printf.printf "analyzed %d case(s): %d error(s), %d warning(s)\n"
+        (List.length reports) errors warnings
+    end;
     A.Report.exit_code reports
   end
+
+(* ---------------------------------------------------------------------- *)
+(* lint: the static mutable-global scan against the capability allowlist. *)
+
+let lint root json list_bindings =
+  if list_bindings then begin
+    List.iter
+      (fun b ->
+        Printf.printf "%s:%d: %s %s (%s)\n" b.A.Global_lint.gb_file
+          b.A.Global_lint.gb_line
+          (A.Capability.kind_string b.A.Global_lint.gb_kind)
+          b.A.Global_lint.gb_name b.A.Global_lint.gb_what)
+      (A.Global_lint.scan_root root);
+    0
+  end
+  else begin
+    let report = A.Global_lint.run ~root in
+    if json then print_string (A.Report.json_string [ report ])
+    else begin
+      A.Report.print report;
+      Printf.printf "lint %s: %d error(s), %d warning(s)\n" root
+        (A.Report.errors report)
+        (A.Report.warnings report)
+    end;
+    A.Report.exit_code [ report ]
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* racecheck: the RX5xx dynamic race detector. Default run = fixture      *)
+(* sweep (the detector must flag every seeded bug and stay silent on the  *)
+(* fixed twins — exit 3 if its teeth are gone) + a recorded replay of the *)
+(* multi-domain parallel-serving workload, which must come back clean.    *)
+
+let racecheck_workload ~domains ~iters ~scale () =
+  A.Race_fixtures.with_recording (fun () ->
+      (* Everything is created *inside* the armed region so every cache,
+         engine epoch, aggregate and session registers its site. *)
+      let engine = Rox_storage.Engine.create () in
+      let params = Rox_workload.Xmark.scaled scale in
+      ignore
+        (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
+          : Rox_storage.Engine.docref);
+      let compiled_list =
+        List.map
+          (Rox_xquery.Compile.compile_string engine)
+          [ xmark_query "<"; xmark_query ">"; showdown_query ]
+      in
+      let cache = Rox_cache.Store.of_megabytes engine 8 in
+      let aggregate = Rox_telemetry.Aggregate.create () in
+      A.Race_fixtures.fork_join domains (fun _ ->
+          for _ = 1 to iters do
+            List.iter
+              (fun compiled ->
+                let telemetry = Rox_telemetry.Sink.create ~enabled:true () in
+                let session = Rox_core.Session.create ~cache ~telemetry () in
+                let answer =
+                  Rox_core.Session.confine session (fun () ->
+                      fst (Rox_core.Optimizer.answer session compiled))
+                in
+                ignore (answer : _ array);
+                Rox_telemetry.Aggregate.absorb aggregate
+                  (Rox_telemetry.Sink.metrics telemetry))
+              compiled_list
+          done))
+
+let racecheck fixture json domains iters scale =
+  match fixture with
+  | Some name ->
+    (match A.Race_fixtures.find name with
+     | None ->
+       Printf.eprintf "unknown fixture %s; available: %s\n" name
+         (String.concat ", "
+            (List.map (fun (n, _, _, _) -> n) A.Race_fixtures.all));
+       2
+     | Some (n, run, descr, _expected) ->
+       let report = A.Report.make ~subject:("racecheck:" ^ n) (run ()) in
+       if json then print_string (A.Report.json_string [ report ])
+       else begin
+         A.Report.print report;
+         Printf.printf "racecheck fixture %s (%s): %d error(s), %d warning(s)\n"
+           n descr
+           (A.Report.errors report)
+           (A.Report.warnings report)
+       end;
+       A.Report.exit_code [ report ])
+  | None ->
+    (* Self-test: every fixture must produce exactly its expected codes —
+       in particular the seeded race must come back RX501. A detector
+       that cannot see the planted bug blesses nothing (exit 3). *)
+    let codes_of diags =
+      List.sort_uniq compare (List.map (fun d -> d.A.Diagnostic.code) diags)
+    in
+    let failures = ref [] in
+    let fixture_reports =
+      List.map
+        (fun (name, run, _descr, expected) ->
+          let diags = run () in
+          let got = codes_of diags in
+          if got <> List.sort_uniq compare expected then
+            failures := (name, expected, got) :: !failures;
+          A.Report.make ~subject:("racecheck:" ^ name) diags)
+        A.Race_fixtures.all
+    in
+    if !failures <> [] then begin
+      List.iter
+        (fun (name, expected, got) ->
+          Printf.eprintf "racecheck self-test FAILED: %s expected [%s] got [%s]\n"
+            name (String.concat " " expected) (String.concat " " got))
+        (List.rev !failures);
+      3
+    end
+    else begin
+      let workload = racecheck_workload ~domains ~iters ~scale () in
+      let wreport =
+        A.Report.make ~subject:"racecheck:parallel-workload" workload
+      in
+      (* JSON carries only the workload findings (the fixture sweep is a
+         self-test, not a finding), so its exit_code field matches the
+         process exit. *)
+      if json then print_string (A.Report.json_string [ wreport ])
+      else begin
+        Printf.printf
+          "racecheck self-test: %d fixture(s) behaved as seeded\n"
+          (List.length fixture_reports);
+        A.Report.print wreport
+      end;
+      A.Report.exit_code [ wreport ]
+    end
 
 (* ---------------------------------------------------------------------- *)
 (* profile: the built-in XMark workload under full telemetry — the self-  *)
@@ -483,6 +632,11 @@ let trace_validate_cmd =
   in
   Cmd.v (Cmd.info "trace-validate" ~doc) Term.(const trace_validate $ file)
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the diagnostics as JSON on stdout (stable keys: reports, \
+               errors, warnings, exit_code) instead of rendered text.")
+
 let analyze_cmd =
   let query_file =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY"
@@ -491,13 +645,73 @@ let analyze_cmd =
   let list_codes =
     Arg.(value & flag & info [ "codes" ] ~doc:"List the diagnostic codes and exit.")
   in
+  let codes_md =
+    Arg.(value & flag & info [ "codes-md" ]
+           ~doc:"Print the full diagnostic-code registry as a Markdown table \
+                 (the generated section in DESIGN.md) and exit.")
+  in
+  let explain =
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"CODE"
+           ~doc:"Print the long explanation for one diagnostic code (e.g. \
+                 $(b,RX501)) and exit; unknown codes exit 2.")
+  in
   let doc =
     "Static analysis: check Join Graphs, verify optimizer traces and executed \
      plans, and run the operator-contract sanitizer over the built-in workloads \
      (or a supplied query). Exits non-zero if any error diagnostic is found."
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const analyze $ docs_arg $ query_file $ list_codes)
+    Term.(const analyze $ docs_arg $ query_file $ list_codes $ codes_md
+          $ explain $ json_arg)
+
+let lint_cmd =
+  let root =
+    Arg.(value & opt string "lib" & info [ "root" ] ~docv:"DIR"
+           ~doc:"Directory tree to scan (default $(b,lib)).")
+  in
+  let list_bindings =
+    Arg.(value & flag & info [ "list" ]
+           ~doc:"Print every mutable global and mutable field the scanner \
+                 finds (the inventory behind the allowlist) and exit 0.")
+  in
+  let doc =
+    "Static mutable-state lint: scan the sources for top-level mutable \
+     globals and mutable record fields, and fail (RX510) on any not covered \
+     by a guarded entry in the capability allowlist. Stale allowlist entries \
+     are RX511 warnings. Exits 1 on undocumented mutable state."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint $ root $ json_arg $ list_bindings)
+
+let racecheck_cmd =
+  let fixture =
+    Arg.(value & opt (some string) None & info [ "fixture" ] ~docv:"NAME"
+           ~doc:"Run one seeded fixture and report its diagnostics (exit 1 \
+                 when they contain errors — the seeded-race fixture does). \
+                 Omit to run the full self-test plus the multi-domain \
+                 workload replay.")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the workload replay (default 4).")
+  in
+  let iters =
+    Arg.(value & opt int 2 & info [ "iters" ] ~docv:"N"
+           ~doc:"Passes over the query list per domain (default 2).")
+  in
+  let scale =
+    Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"F"
+           ~doc:"XMark scale factor for the replayed workload (default 0.02).")
+  in
+  let doc =
+    "Dynamic race detection (RX501-RX504): first prove the detector's teeth \
+     on the seeded fixtures (every planted bug must be flagged, every fixed \
+     twin must be clean — exit 3 otherwise), then record the multi-domain \
+     parallel-serving workload and verify it race-free. Exits 1 if the \
+     workload itself races."
+  in
+  Cmd.v (Cmd.info "racecheck" ~doc)
+    Term.(const racecheck $ fixture $ json_arg $ domains $ iters $ scale)
 
 let cmd =
   let docs = docs_arg in
@@ -557,7 +771,7 @@ let cmd =
   in
   let group =
     Cmd.group ~default:run_term (Cmd.info "rox" ~doc)
-      [ analyze_cmd; profile_cmd; trace_validate_cmd ]
+      [ analyze_cmd; lint_cmd; racecheck_cmd; profile_cmd; trace_validate_cmd ]
   in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in
   (group, legacy)
@@ -572,6 +786,8 @@ let () =
     && String.length Sys.argv.(1) > 0
     && Sys.argv.(1).[0] <> '-'
     && Sys.argv.(1) <> "analyze"
+    && Sys.argv.(1) <> "lint"
+    && Sys.argv.(1) <> "racecheck"
     && Sys.argv.(1) <> "profile"
     && Sys.argv.(1) <> "trace-validate"
   in

@@ -29,3 +29,27 @@ let print ?(oc = stdout) t =
   output_char oc '\n'
 
 let exit_code reports = if List.exists has_errors reports then 1 else 0
+
+let to_json t =
+  let open Rox_util.Minijson in
+  Obj
+    [
+      ("subject", Str t.subject);
+      ("errors", Num (float_of_int (errors t)));
+      ("warnings", Num (float_of_int (warnings t)));
+      ("diagnostics", Arr (List.map D.to_json t.diagnostics));
+    ]
+
+(* The machine-readable shape CI asserts on: stable keys, one object per
+   report, totals at the top level so a jq one-liner can gate a build. *)
+let json_string reports =
+  let open Rox_util.Minijson in
+  let total f = List.fold_left (fun n r -> n + f r) 0 reports in
+  to_string
+    (Obj
+       [
+         ("reports", Arr (List.map to_json reports));
+         ("errors", Num (float_of_int (total errors)));
+         ("warnings", Num (float_of_int (total warnings)));
+         ("exit_code", Num (float_of_int (exit_code reports)));
+       ])

@@ -17,3 +17,11 @@ val print : ?oc:out_channel -> t -> unit
 
 val exit_code : t list -> int
 (** [1] if any report contains an error, [0] otherwise. *)
+
+val to_json : t -> Rox_util.Minijson.t
+(** One report as a JSON object (subject, counts, diagnostics). *)
+
+val json_string : t list -> string
+(** The [--json] payload: [{reports, errors, warnings, exit_code}] —
+    stable keys so CI can assert on specific codes instead of grepping
+    rendered text. *)

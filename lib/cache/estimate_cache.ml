@@ -7,7 +7,7 @@ end)
 
 type t = Rox_algebra.Cutoff.t L.t
 
-let create ~budget = L.create ~budget
+let create ~budget = L.create ~name:"cache.estimates" ~budget
 let find t k = L.find t k
 
 let weight (c : Rox_algebra.Cutoff.t) =

@@ -21,7 +21,7 @@ module type S = sig
   type key
   type 'v t
 
-  val create : budget:int -> 'v t
+  val create : name:string -> budget:int -> 'v t
   val find : 'v t -> key -> 'v option
   val mem : 'v t -> key -> bool
   val add : 'v t -> key -> weight:int -> 'v -> unit
@@ -51,6 +51,13 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
        concurrent sessions (possibly on different domains), and every
        public operation mutates recency links and stats counters. *)
     lock : Mutex.t;
+    (* RX5xx access-log identities: every public operation records one
+       Write at [al_site] while holding [al_lock], so the race detector
+       sees the cache as one mutex-guarded shared site. Both are -1 when
+       the log was disarmed at construction — the instrumentation then
+       costs one boolean test per operation. *)
+    al_site : int;
+    al_lock : int;
     table : 'v node H.t;
     budget : int;
     mutable first : 'v node option;
@@ -63,9 +70,15 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
     mutable rejected : int;
   }
 
-  let create ~budget =
+  let create ~name ~budget =
+    let armed = Rox_util.Accesslog.armed () in
     {
       lock = Mutex.create ();
+      al_site =
+        (if armed then Rox_util.Accesslog.site ~name Rox_util.Accesslog.Shared
+         else -1);
+      al_lock =
+        (if armed then Rox_util.Accesslog.lock ~name:(name ^ ".mutex") else -1);
       table = H.create 64;
       budget;
       first = None;
@@ -98,7 +111,16 @@ module Make (K : Hashtbl.HashedType) : S with type key = K.t = struct
       push_hottest t n
     end
 
-  let locked t f = Mutex.protect t.lock f
+  (* Every public operation mutates recency links or counters, so each
+     records as one Write (even [find]/[mem]) inside the critical
+     section. Disarmed: one boolean test beyond the existing lock. *)
+  let locked t f =
+    Mutex.protect t.lock (fun () ->
+        if Rox_util.Accesslog.armed () then
+          Rox_util.Accesslog.with_lock t.al_lock (fun () ->
+              Rox_util.Accesslog.record ~site:t.al_site Rox_util.Accesslog.Write;
+              f ())
+        else f ())
 
   let find t k =
     locked t @@ fun () ->

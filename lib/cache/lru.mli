@@ -10,7 +10,13 @@
 
     Every operation takes a per-cache mutex, so one cache (and hence one
     [Rox_cache.Store.t]) may be shared by concurrent sessions running on
-    separate OCaml domains. The lock is uncontended in single-domain use. *)
+    separate OCaml domains. The lock is uncontended in single-domain use.
+
+    When the {!Rox_util.Accesslog} is armed at construction time, every
+    operation additionally records one access-log Write under the cache's
+    registered lock, so the RX5xx race detector sees the cache as a
+    mutex-guarded shared site; disarmed, the instrumentation is one
+    boolean test per operation. *)
 
 type stats = {
   hits : int;        (** lookups answered from the cache *)
@@ -30,10 +36,11 @@ module type S = sig
   type key
   type 'v t
 
-  val create : budget:int -> 'v t
+  val create : name:string -> budget:int -> 'v t
   (** A cache holding at most [budget] bytes of entry weight. A
       non-positive budget admits nothing (every [add] is a no-op), which
-      is how "cache off" is spelled. *)
+      is how "cache off" is spelled. [name] labels the cache's site and
+      lock in RX5xx race-detector reports. *)
 
   val find : 'v t -> key -> 'v option
   (** Counted lookup; a hit refreshes the entry's recency. *)

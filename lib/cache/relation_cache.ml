@@ -8,7 +8,7 @@ end)
 type value = { left : Rox_util.Column.t; right : Rox_util.Column.t }
 type t = value L.t
 
-let create ~budget = L.create ~budget
+let create ~budget = L.create ~name:"cache.relations" ~budget
 let find t k = L.find t k
 
 (* Bytes of the *underlying storage*, with storage shared between the two

@@ -49,6 +49,12 @@ type t = {
   counter : Cost.counter;
   cache : Rox_cache.Store.t option;
   telemetry : Rox_telemetry.Sink.t;
+  (* RX5xx access-log site (kind Confined, -1 when the log was disarmed
+     at creation): every [confine] entry records one Write, so the race
+     detector proves each session lives and dies on one domain — a
+     session reused across domains is RX504, the cross-domain extension
+     of RX307. *)
+  al_site : int;
   mutable deadline_at : float option;
       (* Absolute wall-clock instant (Unix time) past which the session
          aborts; set when a run is armed, cleared when it unwinds. *)
@@ -72,6 +78,10 @@ let create ?config ?trace ?cache ?telemetry () =
     counter = Cost.new_counter ~sampling_budget ();
     cache;
     telemetry;
+    al_site =
+      (if Accesslog.armed () then
+         Accesslog.site ~name:"core.session" Accesslog.Confined
+       else -1);
     deadline_at = None;
   }
 
@@ -111,6 +121,7 @@ let check_deadline t =
     end
 
 let confine t f =
+  if Accesslog.armed () then Accesslog.record ~site:t.al_site Accesslog.Write;
   arm t;
   Fun.protect
     ~finally:(fun () -> disarm t)

@@ -18,6 +18,13 @@ type t = {
      explicit invalidation bumps it, so consumers can scope keys by epoch
      and retire everything derived from the old document set in O(1). *)
   mutable epoch : int;
+  (* RX5xx access-log site for the mutation epoch (-1 when the log was
+     disarmed at engine construction). Epoch reads and bumps record here,
+     so the race detector can prove a concurrent bump never overlaps a
+     reader minting fingerprints — or report RX503 when it does. The
+     bump stands proxy for the whole registration mutation (docs table,
+     uri map): the epoch write is its last store. *)
+  al_epoch : int;
 }
 
 let create () =
@@ -28,10 +35,23 @@ let create () =
     ndocs = 0;
     by_uri = Hashtbl.create 16;
     epoch = 0;
+    al_epoch =
+      (if Rox_util.Accesslog.armed () then
+         Rox_util.Accesslog.site ~name:"engine.epoch" Rox_util.Accesslog.Epoch
+       else -1);
   }
 
-let epoch t = t.epoch
-let bump_epoch t = t.epoch <- t.epoch + 1
+let epoch t =
+  if Rox_util.Accesslog.armed () then
+    Rox_util.Accesslog.record ~site:t.al_epoch ~info:t.epoch
+      Rox_util.Accesslog.Read;
+  t.epoch
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  if Rox_util.Accesslog.armed () then
+    Rox_util.Accesslog.record ~site:t.al_epoch ~info:t.epoch
+      Rox_util.Accesslog.Write
 
 let qnames t = t.qname_pool
 let values t = t.value_pool

@@ -1,12 +1,38 @@
 type t = {
   mutex : Mutex.t;
   metrics : Metrics.t;
+  (* RX5xx access-log identities (-1 when the log was disarmed at
+     construction): every merge records one Write at [al_site] under
+     [al_lock], so the race detector sees the process registry as a
+     mutex-guarded shared site. Disarmed: one boolean test per merge. *)
+  al_site : int;
+  al_lock : int;
 }
 
-let create () = { mutex = Mutex.create (); metrics = Metrics.create () }
+let create () =
+  let armed = Rox_util.Accesslog.armed () in
+  {
+    mutex = Mutex.create ();
+    metrics = Metrics.create ();
+    al_site =
+      (if armed then
+         Rox_util.Accesslog.site ~name:"telemetry.aggregate"
+           Rox_util.Accesslog.Shared
+       else -1);
+    al_lock =
+      (if armed then Rox_util.Accesslog.lock ~name:"telemetry.aggregate.mutex"
+       else -1);
+  }
 
 let with_metrics t f =
   Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> f t.metrics)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if Rox_util.Accesslog.armed () then
+        Rox_util.Accesslog.with_lock t.al_lock (fun () ->
+            Rox_util.Accesslog.record ~site:t.al_site Rox_util.Accesslog.Write;
+            f t.metrics)
+      else f t.metrics)
 
 let absorb t m = with_metrics t (fun into -> Metrics.add_into ~into m)

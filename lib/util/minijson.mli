@@ -19,6 +19,12 @@ val parse : string -> (t, string) result
 (** The whole input must be one JSON value (surrounding whitespace ok);
     [Error] carries a message with a character offset. *)
 
+val to_string : t -> string
+(** Compact serialization. Strings get the standard escapes (control
+    characters as [\uXXXX]); integral numbers under 1e15 print without a
+    fraction; NaN and infinities (which JSON cannot spell) print as
+    [null]. [parse (to_string v)] round-trips every finite value. *)
+
 val member : string -> t -> t option
 (** First binding of the key in an [Obj]; [None] otherwise. *)
 

@@ -43,7 +43,7 @@ let prop_lru_model =
     QCheck.(pair small_int (int_range 5 60))
     (fun (seed, budget) ->
       let rng = Rox_util.Xoshiro.create (seed * 31 + budget) in
-      let cache = SLru.create ~budget in
+      let cache = SLru.create ~name:"test.lru" ~budget in
       let model = ref [] in
       let ok = ref true in
       for i = 0 to 79 do
@@ -76,7 +76,7 @@ let prop_lru_model =
       && s.Lru.bytes = model_total !model)
 
 let test_lru_basics () =
-  let c = SLru.create ~budget:10 in
+  let c = SLru.create ~name:"test.lru" ~budget:10 in
   SLru.add c "a" ~weight:4 1;
   SLru.add c "b" ~weight:4 2;
   check_bool "both resident" true (SLru.mem c "a" && SLru.mem c "b");
@@ -96,7 +96,7 @@ let test_lru_basics () =
      | _ -> false
      | exception Invalid_argument _ -> true);
   (* A non-positive budget means "cache off": nothing is ever admitted. *)
-  let off = SLru.create ~budget:0 in
+  let off = SLru.create ~name:"test.lru" ~budget:0 in
   SLru.add off "a" ~weight:0 1;
   check_bool "budget 0 admits nothing" true (not (SLru.mem off "a"));
   SLru.clear c;

@@ -249,6 +249,70 @@ let test_plot_constant () =
   in
   check_bool "renders" true (String.contains s 'o')
 
+(* ---------- Minijson writer ---------- *)
+
+let test_json_write_escapes () =
+  let s = Minijson.to_string (Minijson.Str "a\"b\\c\nd\te\x01f") in
+  check_string "escaped" {|"a\"b\\c\nd\te\u0001f"|} s;
+  (match Minijson.parse s with
+   | Ok (Minijson.Str back) -> check_string "round-trip" "a\"b\\c\nd\te\x01f" back
+   | _ -> Alcotest.fail "escape round-trip failed")
+
+let test_json_write_numbers () =
+  check_string "integral" "42" (Minijson.to_string (Minijson.Num 42.0));
+  check_string "negative" "-7" (Minijson.to_string (Minijson.Num (-7.0)));
+  check_string "fraction" "1.5" (Minijson.to_string (Minijson.Num 1.5));
+  check_string "nan is null" "null" (Minijson.to_string (Minijson.Num Float.nan));
+  check_string "inf is null" "null"
+    (Minijson.to_string (Minijson.Num Float.infinity));
+  (* Huge integral floats keep full precision via %.17g. *)
+  (match Minijson.parse (Minijson.to_string (Minijson.Num 1e300)) with
+   | Ok (Minijson.Num f) -> check_bool "1e300 survives" true (f = 1e300)
+   | _ -> Alcotest.fail "huge float round-trip failed")
+
+let test_json_deep_nesting () =
+  let deep = ref (Minijson.Num 1.0) in
+  for _ = 1 to 200 do
+    deep := Minijson.Arr [ !deep ]
+  done;
+  let obj = Minijson.Obj [ ("deep", !deep); ("empty", Minijson.Arr []) ] in
+  match Minijson.parse (Minijson.to_string obj) with
+  | Ok back -> check_bool "200 levels round-trip" true (back = obj)
+  | Error e -> Alcotest.fail e
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Minijson.Null;
+        map (fun b -> Minijson.Bool b) bool;
+        map (fun n -> Minijson.Num (float_of_int n)) small_signed_int;
+        map (fun s -> Minijson.Str s) (string_size (int_bound 12));
+      ]
+  in
+  let value =
+    fix (fun self depth ->
+        if depth <= 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Minijson.Arr l)
+                   (list_size (int_bound 4) (self (depth - 1))));
+              (1, map (fun l -> Minijson.Obj l)
+                   (list_size (int_bound 4)
+                      (pair (string_size ~gen:(char_range 'a' 'z') (int_bound 6))
+                         (self (depth - 1)))));
+            ])
+  in
+  value 4
+
+let prop_json_roundtrip =
+  qtest ~count:300 "Minijson parse(to_string v) = v"
+    (QCheck.make ~print:(fun v -> Minijson.to_string v) json_gen)
+    (fun v -> Minijson.parse (Minijson.to_string v) = Ok v)
+
 let suite =
   [
     Alcotest.test_case "xoshiro determinism" `Quick test_determinism;
@@ -279,4 +343,8 @@ let suite =
     Alcotest.test_case "plot render" `Quick test_plot_render;
     Alcotest.test_case "plot empty" `Quick test_plot_empty;
     Alcotest.test_case "plot constant" `Quick test_plot_constant;
+    Alcotest.test_case "json write escapes" `Quick test_json_write_escapes;
+    Alcotest.test_case "json write numbers" `Quick test_json_write_numbers;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
+    prop_json_roundtrip;
   ]

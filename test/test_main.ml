@@ -15,6 +15,7 @@ let () =
       ("workload", Suite_workload.suite);
       ("extensions", Suite_extensions.suite);
       ("analysis", Suite_analysis.suite);
+      ("concurrency", Suite_concurrency.suite);
       ("telemetry", Suite_telemetry.suite);
       ("fuzz", Suite_fuzz.suite);
       ("props", Suite_props.suite);
