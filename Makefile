@@ -1,4 +1,4 @@
-.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke check clean
+.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke serve-smoke check clean
 
 all: build
 
@@ -47,10 +47,20 @@ sanitize:
 # columnar relation kernels vs the row-major reference
 # (BENCH_relation.json, warns under 2x at 10^5 rows), concurrent
 # sessions on OCaml 5 domains (BENCH_parallel.json, bit-identity
-# enforced; speedup tracks physical cores), and telemetry overhead on
-# the Figure 5 workload (BENCH_telemetry.json, <3% target).
+# enforced; speedup tracks physical cores), telemetry overhead on
+# the Figure 5 workload (BENCH_telemetry.json, <3% target), and the
+# serving front-end (BENCH_serve.json: saturation qps at 1 and N
+# worker domains, open-loop p50/p99, coalesce hit ratio with
+# bit-identity enforced).
 bench-smoke:
-	dune exec bench/main.exe -- cache relation parallel telemetry
+	dune exec bench/main.exe -- cache relation parallel telemetry serve
+
+# A scripted protocol session against an in-process server over a
+# socketpair: PING, repeated QUERY (answers must be bit-identical),
+# a budget-aborted QUERY (structured ERR, not a dropped connection),
+# STATS accounting, QUIT — then the RX601-603 self-audit.
+serve-smoke:
+	dune exec bin/rox_cli.exe -- serve --smoke
 
 # An instrumented run of the built-in XMark workload: --profile summary
 # on stderr, Chrome trace-event JSON + Prometheus metrics on disk, then
@@ -61,7 +71,7 @@ profile-smoke:
 	  --trace-out rox_trace.json --metrics-out rox_metrics.prom
 	dune exec bin/rox_cli.exe -- trace-validate rox_trace.json
 
-check: build test analyze lint racecheck sanitize profile-smoke
+check: build test analyze lint racecheck sanitize profile-smoke serve-smoke
 	-$(MAKE) bench-smoke
 
 clean:

@@ -435,36 +435,63 @@ let lint root json list_bindings =
 (* multi-domain parallel-serving workload, which must come back clean.    *)
 
 let racecheck_workload ~domains ~iters ~scale () =
-  A.Race_fixtures.with_recording (fun () ->
-      (* Everything is created *inside* the armed region so every cache,
-         engine epoch, aggregate and session registers its site. *)
-      let engine = Rox_storage.Engine.create () in
-      let params = Rox_workload.Xmark.scaled scale in
-      ignore
-        (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
-          : Rox_storage.Engine.docref);
-      let compiled_list =
-        List.map
-          (Rox_xquery.Compile.compile_string engine)
-          [ xmark_query "<"; xmark_query ">"; showdown_query ]
-      in
-      let cache = Rox_cache.Store.of_megabytes engine 8 in
-      let aggregate = Rox_telemetry.Aggregate.create () in
-      A.Race_fixtures.fork_join domains (fun _ ->
-          for _ = 1 to iters do
-            List.iter
-              (fun compiled ->
-                let telemetry = Rox_telemetry.Sink.create ~enabled:true () in
-                let session = Rox_core.Session.create ~cache ~telemetry () in
-                let answer =
-                  Rox_core.Session.confine session (fun () ->
-                      fst (Rox_core.Optimizer.answer session compiled))
-                in
-                ignore (answer : _ array);
-                Rox_telemetry.Aggregate.absorb aggregate
-                  (Rox_telemetry.Sink.metrics telemetry))
-              compiled_list
-          done))
+  let serve_diags = ref [] in
+  let race_diags =
+    A.Race_fixtures.with_recording (fun () ->
+        (* Everything is created *inside* the armed region so every cache,
+           engine epoch, aggregate and session registers its site. *)
+        let engine = Rox_storage.Engine.create () in
+        let params = Rox_workload.Xmark.scaled scale in
+        ignore
+          (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
+            : Rox_storage.Engine.docref);
+        let queries = [ xmark_query "<"; xmark_query ">"; showdown_query ] in
+        let compiled_list =
+          List.map (Rox_xquery.Compile.compile_string engine) queries
+        in
+        let cache = Rox_cache.Store.of_megabytes engine 8 in
+        let aggregate = Rox_telemetry.Aggregate.create () in
+        A.Race_fixtures.fork_join domains (fun _ ->
+            for _ = 1 to iters do
+              List.iter
+                (fun compiled ->
+                  let telemetry = Rox_telemetry.Sink.create ~enabled:true () in
+                  let session = Rox_core.Session.create ~cache ~telemetry () in
+                  let answer =
+                    Rox_core.Session.confine session (fun () ->
+                        fst (Rox_core.Optimizer.answer session compiled))
+                  in
+                  ignore (answer : _ array);
+                  Rox_telemetry.Aggregate.absorb aggregate
+                    (Rox_telemetry.Sink.metrics telemetry))
+                compiled_list
+            done);
+        (* Served pass: the same queries through the serving front-end's
+           shared state (admission queue, in-flight table, audit counters)
+           — client domains submitting against a 2-worker pool, so the
+           recording covers the server's mutex discipline too. *)
+        let server =
+          Rox_serve.Server.create
+            (Rox_serve.Server.config ~cache ~workers:2 ~queue_capacity:64
+               engine)
+        in
+        A.Race_fixtures.fork_join domains (fun i ->
+            for _ = 1 to iters do
+              List.iter
+                (fun q ->
+                  let query =
+                    Rox_serve.Protocol.query
+                      ~client_id:(Printf.sprintf "domain%d" i) q
+                  in
+                  ignore
+                    (Rox_serve.Server.submit server query
+                      : Rox_serve.Protocol.response))
+                queries
+            done);
+        Rox_serve.Server.shutdown server;
+        serve_diags := Rox_serve.Server.self_check server)
+  in
+  race_diags @ !serve_diags
 
 let racecheck fixture json domains iters scale =
   match fixture with
@@ -529,6 +556,125 @@ let racecheck fixture json domains iters scale =
       end;
       A.Report.exit_code [ wreport ]
     end
+
+(* ---------------------------------------------------------------------- *)
+(* serve: the protocol front-end over a worker-domain pool. Real mode     *)
+(* listens on a Unix or TCP socket; --smoke runs a scripted client over a *)
+(* socketpair against an in-process XMark engine (`make serve-smoke`).    *)
+
+module Serve = Rox_serve.Server
+module Sproto = Rox_serve.Protocol
+
+let serve_smoke scale =
+  let engine = Rox_storage.Engine.create () in
+  let params = Rox_workload.Xmark.scaled scale in
+  ignore
+    (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
+      : Rox_storage.Engine.docref);
+  let cache = Rox_cache.Store.of_megabytes engine 8 in
+  let server = Serve.create (Serve.config ~cache ~workers:2 ~queue_capacity:16 engine) in
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let handler = Thread.create (fun () -> Serve.handle_connection server srv_fd) () in
+  let decoder = Sproto.decoder () in
+  let send req = Sproto.write_frame cli_fd (Sproto.render_request req) in
+  let recv () =
+    match Sproto.read_frame cli_fd decoder with
+    | `Frame payload ->
+      (match Sproto.parse_response payload with
+       | Ok r -> r
+       | Error m -> failwith ("bad response: " ^ m))
+    | `Eof -> failwith "unexpected EOF"
+    | `Corrupt m -> failwith ("corrupt response stream: " ^ m)
+  in
+  let failures = ref 0 in
+  let check name ok =
+    Printf.printf "serve-smoke: %-32s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  send Sproto.Ping;
+  check "ping" (recv () = Sproto.Pong);
+  let q = Sproto.query ~client_id:"smoke" (xmark_query "<") in
+  send (Sproto.Query q);
+  let r1 = recv () in
+  check "query answers"
+    (match r1 with Sproto.Answer a -> a.total > 0 | _ -> false);
+  send (Sproto.Query q);
+  let r2 = recv () in
+  check "repeat query bit-identical"
+    (match (r1, r2) with
+     | Sproto.Answer a, Sproto.Answer b -> a.ids = b.ids && a.total = b.total
+     | _ -> false);
+  send (Sproto.Query (Sproto.query ~max_sampled_rows:1 (xmark_query ">")));
+  check "budget abort is an ERR reply"
+    (match recv () with Sproto.Err (Sproto.Sampled_rows, _) -> true | _ -> false);
+  send Sproto.Stats;
+  let stats = match recv () with Sproto.Stats_reply kvs -> kvs | _ -> [] in
+  let stat k = try List.assoc k stats with Not_found -> "<absent>" in
+  check "stats requests=5" (stat "requests" = "5");
+  check "stats executed=3" (stat "executed" = "3");
+  check "stats rejected=0" (stat "rejected" = "0");
+  check "stats tenant.smoke=2" (stat "tenant.smoke" = "2");
+  send Sproto.Quit;
+  check "quit acknowledged" (recv () = Sproto.Bye);
+  Thread.join handler;
+  Serve.shutdown server;
+  check "audit self-check clean" (Serve.self_check server = []);
+  (try Unix.close cli_fd with Unix.Unix_error _ -> ());
+  Printf.printf "serve-smoke: %s\n" (if !failures = 0 then "PASS" else "FAIL");
+  if !failures = 0 then 0 else 1
+
+let serve_run docs socket port workers queue_cap cache_mb smoke scale =
+  if smoke then serve_smoke scale
+  else begin
+    let engine = Rox_storage.Engine.create () in
+    List.iter
+      (fun path ->
+        let tree =
+          try Rox_xmldom.Xml_parser.parse_file path with
+          | Rox_xmldom.Xml_parser.Parse_error { line; column; message } ->
+            Printf.eprintf "%s:%d:%d: parse error: %s\n" path line column message;
+            exit 1
+          | Sys_error m ->
+            Printf.eprintf "%s\n" m;
+            exit 1
+        in
+        let uri = Filename.basename path in
+        ignore (Rox_storage.Engine.add_tree engine ~uri tree : Rox_storage.Engine.docref);
+        Printf.eprintf "loaded %s as doc(%S)\n" path uri)
+      docs;
+    if docs = [] then
+      Printf.eprintf "warning: no --doc given; every doc() reference will fail\n";
+    let cache =
+      if cache_mb > 0 then Some (Rox_cache.Store.of_megabytes engine cache_mb)
+      else None
+    in
+    let server =
+      Serve.create (Serve.config ?cache ~workers ~queue_capacity:queue_cap engine)
+    in
+    let fd =
+      match socket with
+      | Some path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        Printf.eprintf "rox serve: listening on %s (%d worker(s), queue %d)\n"
+          path workers queue_cap;
+        fd
+      | None ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        Printf.eprintf
+          "rox serve: listening on 127.0.0.1:%d (%d worker(s), queue %d)\n"
+          port workers queue_cap;
+        fd
+    in
+    Serve.serve server fd;
+    Serve.shutdown server;
+    0
+  end
 
 (* ---------------------------------------------------------------------- *)
 (* profile: the built-in XMark workload under full telemetry — the self-  *)
@@ -600,6 +746,49 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Write the metrics registry in Prometheus text exposition format \
                to $(docv).")
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of TCP.")
+  in
+  let port =
+    Arg.(value & opt int 7077 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (default 7077; ignored with --socket).")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing queries (default 2).")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N"
+           ~doc:"Admission-queue capacity; a full queue answers ERR busy \
+                 (default 64).")
+  in
+  let cache_mb =
+    Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Cross-query cache budget shared by all workers (0 = off).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Self-test: serve an in-process XMark engine to a scripted \
+                 client over a socketpair, assert the protocol replies and \
+                 the STATS counters, and exit 0/1 (behind $(b,make serve-smoke)).")
+  in
+  let scale =
+    Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"F"
+           ~doc:"XMark scale factor for the --smoke engine (default 0.02).")
+  in
+  let doc =
+    "Serve queries over a length-prefixed socket protocol (QUERY/PING/STATS/\
+     QUIT) with bounded admission, a worker-domain pool and fingerprint \
+     coalescing of concurrent identical requests. Budget overruns answer as \
+     structured ERR replies (the served counterpart of the one-shot CLI's \
+     exit 2), never as dropped connections."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve_run $ docs_arg $ socket $ port $ workers $ queue_cap
+          $ cache_mb $ smoke $ scale)
 
 let profile_cmd =
   let repeat =
@@ -771,7 +960,8 @@ let cmd =
   in
   let group =
     Cmd.group ~default:run_term (Cmd.info "rox" ~doc)
-      [ analyze_cmd; lint_cmd; racecheck_cmd; profile_cmd; trace_validate_cmd ]
+      [ analyze_cmd; lint_cmd; racecheck_cmd; serve_cmd; profile_cmd;
+        trace_validate_cmd ]
   in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in
   (group, legacy)
@@ -788,6 +978,7 @@ let () =
     && Sys.argv.(1) <> "analyze"
     && Sys.argv.(1) <> "lint"
     && Sys.argv.(1) <> "racecheck"
+    && Sys.argv.(1) <> "serve"
     && Sys.argv.(1) <> "profile"
     && Sys.argv.(1) <> "trace-validate"
   in

@@ -72,6 +72,18 @@ let allowlist =
     f "lib/joingraph/trace.ml" "t.*"
       "single-owner: the trace belongs to one session (one domain); \
        cross-domain aggregation copies, never shares";
+    (* -- serve ----------------------------------------------------- *)
+    f "lib/serve/protocol.ml" "decoder.*"
+      "single-owner: one decoder per connection, fed and drained only \
+       by that connection's handler thread";
+    f "lib/serve/server.ml" "pending.*"
+      "mutex: outcome and waiters only change inside the server's one \
+       t.mutex critical section (completion broadcasts under it)";
+    f "lib/serve/server.ml" "t.*"
+      "mutex: queue, in-flight table, audit counters, tenant table, \
+       server metrics, stopping and the worker list all mutate inside \
+       Mutex.protect t.mutex (the locked wrapper records the Accesslog \
+       serve.mutex bracket); worker spawn/join carry hb tokens";
     (* -- shred ----------------------------------------------------- *)
     f "lib/shred/doc.ml" "t.doc_id"
       "publish-before-spawn: written once by Engine.register before the \

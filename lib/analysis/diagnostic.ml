@@ -347,6 +347,30 @@ let registry =
          lint scan: the state it documented was removed or renamed. \
          Delete or update the entry so the allowlist stays an honest \
          inventory." };
+    { ci_code = "RX601"; ci_severity = Error;
+      ci_summary = "server wrote more responses than it parsed requests";
+      ci_detail =
+        "The serving front-end's audit counters show responses_sent \
+         exceeding requests_received: some reply was fabricated without a \
+         matching parsed frame — a connection-handler bookkeeping bug \
+         (every reply, including protocol errors, must answer exactly one \
+         frame)." };
+    { ci_code = "RX602"; ci_severity = Error;
+      ci_summary = "coalesced result diverged from an independent execution";
+      ci_detail =
+        "Under ROX_SANITIZE=1 every request served by attaching to a \
+         fingerprint-equal in-flight execution re-runs the query \
+         independently afterwards and compares bit-for-bit. A divergence \
+         means the coalescing key conflated two distinct computations \
+         (wrong fingerprint parts, epoch leak) and a client received an \
+         answer to someone else's query." };
+    { ci_code = "RX603"; ci_severity = Error;
+      ci_summary = "admission accounting imbalance (submitted != executed + coalesced + rejected)";
+      ci_detail =
+        "At quiescence every submitted request must be accounted for \
+         exactly once: executed by a worker, attached to an in-flight \
+         twin, or rejected at admission. An imbalance means a request was \
+         dropped on the floor (a hung client) or double-served." };
   ]
 
 let find_code code =

@@ -1,0 +1,44 @@
+type counts = {
+  sv_requests : int;
+  sv_responses : int;
+  sv_submitted : int;
+  sv_executed : int;
+  sv_coalesced : int;
+  sv_rejected : int;
+  sv_divergence : int;
+}
+
+let check c =
+  let diags = ref [] in
+  if c.sv_responses > c.sv_requests then
+    diags :=
+      Diagnostic.of_code "RX601" Diagnostic.Graph_loc
+        ~hint:
+          "every reply (including protocol errors) must answer exactly one \
+           parsed frame"
+        (Printf.sprintf "%d response(s) written for %d parsed request(s)"
+           c.sv_responses c.sv_requests)
+      :: !diags;
+  if c.sv_divergence > 0 then
+    diags :=
+      Diagnostic.of_code "RX602" Diagnostic.Graph_loc
+        ~hint:
+          "the coalescing key conflated two distinct computations — audit \
+           the fingerprint parts (query text, seed, tau, budgets, epoch)"
+        (Printf.sprintf
+           "%d coalesced result(s) diverged from an independent execution"
+           c.sv_divergence)
+      :: !diags;
+  let accounted = c.sv_executed + c.sv_coalesced + c.sv_rejected in
+  if c.sv_submitted <> accounted then
+    diags :=
+      Diagnostic.of_code "RX603" Diagnostic.Graph_loc
+        ~hint:
+          "take the snapshot at quiescence (workers joined, queue drained) \
+           — mid-flight snapshots legitimately imbalance"
+        (Printf.sprintf
+           "%d submitted request(s) but %d accounted (executed %d + \
+            coalesced %d + rejected %d)"
+           c.sv_submitted accounted c.sv_executed c.sv_coalesced c.sv_rejected)
+      :: !diags;
+  List.rev !diags

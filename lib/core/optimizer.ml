@@ -85,6 +85,7 @@ let execute_segment state ~order ~rows edges =
 let run_graph session engine graph =
   let tel = Session.telemetry session in
   Sink.with_span tel "query"
+    ~attrs:(fun () -> [ ("client", Session.client_id session) ])
     ~record:(fun m dur -> Tm.observe m.Tm.query_ns dur)
     (fun () ->
   try

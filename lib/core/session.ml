@@ -22,6 +22,7 @@ type config = {
   table_fraction : float option;
   sanitize : bool;
   budgets : budgets;
+  client_id : string;
 }
 
 (* The ONLY place a session consults process-global state: the default
@@ -40,6 +41,7 @@ let default_config () =
     table_fraction = None;
     sanitize = Sanitize.default_mode ();
     budgets = default_budgets;
+    client_id = "local";
   }
 
 type t = {
@@ -90,6 +92,7 @@ let seed t = t.config.seed
 let tau t = t.config.tau
 let sanitize t = t.config.sanitize
 let budgets t = t.config.budgets
+let client_id t = t.config.client_id
 let rng t = t.rng
 let trace t = t.trace
 let counter t = t.counter
@@ -148,10 +151,10 @@ let runtime_config t =
 let describe t =
   let b = t.config.budgets in
   Printf.sprintf
-    "session seed=%d tau=%d chain=%b resample=%b grow_cutoff=%b race=%b \
+    "session client=%s seed=%d tau=%d chain=%b resample=%b grow_cutoff=%b race=%b \
      table_fraction=%s sanitize=%b max_rows=%d deadline_ms=%s \
      max_sampled_rows=%s cache=%b trace=%b telemetry=%b"
-    t.config.seed t.config.tau t.config.use_chain t.config.resample
+    t.config.client_id t.config.seed t.config.tau t.config.use_chain t.config.resample
     t.config.grow_cutoff t.config.race_operators
     (match t.config.table_fraction with
      | None -> "-"

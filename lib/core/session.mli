@@ -41,6 +41,10 @@ type config = {
   table_fraction : float option; (** approximate mode (Section 6) *)
   sanitize : bool;               (** operator-contract checking mode *)
   budgets : budgets;
+  client_id : string;
+      (** tenant tag (default ["local"]): surfaced per request by the
+          serving front-end, threaded into the query span's attributes and
+          the server's per-tenant accounting *)
 }
 
 val default_config : unit -> config
@@ -66,6 +70,10 @@ val seed : t -> int
 val tau : t -> int
 val sanitize : t -> bool
 val budgets : t -> budgets
+
+val client_id : t -> string
+(** The session's tenant tag ([config.client_id]). *)
+
 val rng : t -> Rox_util.Xoshiro.t
 val trace : t -> Rox_joingraph.Trace.t
 val counter : t -> Rox_algebra.Cost.counter

@@ -1,0 +1,338 @@
+type query = {
+  text : string;
+  seed : int;
+  tau : int;
+  deadline_ms : int option;
+  max_sampled_rows : int option;
+  max_rows : int option;
+  limit : int option;
+  client_id : string;
+}
+
+let query ?(seed = 42) ?(tau = 100) ?deadline_ms ?max_sampled_rows ?max_rows
+    ?limit ?(client_id = "local") text =
+  { text; seed; tau; deadline_ms; max_sampled_rows; max_rows; limit; client_id }
+
+type request = Query of query | Ping | Stats | Quit
+
+type err_kind =
+  | Busy | Deadline | Sampled_rows | Max_rows | Bad_query | Proto | Internal
+
+let err_kind_label = function
+  | Busy -> "busy"
+  | Deadline -> "deadline"
+  | Sampled_rows -> "sampled_rows"
+  | Max_rows -> "max_rows"
+  | Bad_query -> "bad_query"
+  | Proto -> "proto"
+  | Internal -> "internal"
+
+let err_kind_of_label = function
+  | "busy" -> Some Busy
+  | "deadline" -> Some Deadline
+  | "sampled_rows" -> Some Sampled_rows
+  | "max_rows" -> Some Max_rows
+  | "bad_query" -> Some Bad_query
+  | "proto" -> Some Proto
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response =
+  | Answer of { ids : int array; total : int; sampling : int; execution : int }
+  | Pong
+  | Stats_reply of (string * string) list
+  | Bye
+  | Err of err_kind * string
+
+let default_max_frame = 1 lsl 20
+
+(* ---- rendering ---------------------------------------------------------- *)
+
+let valid_id s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       s
+
+let render_request req =
+  match req with
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+  | Query q ->
+    let b = Buffer.create (String.length q.text + 64) in
+    Buffer.add_string b (Printf.sprintf "QUERY seed=%d tau=%d" q.seed q.tau);
+    let opt name = function
+      | None -> ()
+      | Some v -> Buffer.add_string b (Printf.sprintf " %s=%d" name v)
+    in
+    opt "deadline_ms" q.deadline_ms;
+    opt "max_sampled_rows" q.max_sampled_rows;
+    opt "max_rows" q.max_rows;
+    opt "limit" q.limit;
+    if q.client_id <> "local" then
+      Buffer.add_string b (Printf.sprintf " client_id=%s" q.client_id);
+    Buffer.add_char b '\n';
+    Buffer.add_string b q.text;
+    Buffer.contents b
+
+let render_response resp =
+  match resp with
+  | Pong -> "PONG"
+  | Bye -> "BYE"
+  | Stats_reply kvs ->
+    String.concat " "
+      ("STATS" :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) kvs)
+  | Err (kind, msg) -> Printf.sprintf "ERR %s %s" (err_kind_label kind) msg
+  | Answer { ids; total; sampling; execution } ->
+    let b = Buffer.create (16 + (8 * Array.length ids)) in
+    Buffer.add_string b
+      (Printf.sprintf "OK n=%d sampling=%d execution=%d\n" total sampling
+         execution);
+    Array.iteri
+      (fun i id ->
+        if i > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int id))
+      ids;
+    Buffer.contents b
+
+(* ---- parsing ------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let split_head payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, None)
+  | Some i ->
+    ( String.sub payload 0 i,
+      Some (String.sub payload (i + 1) (String.length payload - i - 1)) )
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let kv w =
+  match String.index_opt w '=' with
+  | None -> Error (Printf.sprintf "expected key=value, got %S" w)
+  | Some i ->
+    Ok (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+
+let nat name v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "%s wants a non-negative integer, got %S" name v)
+
+let parse_query_args args body =
+  let q = ref (query "") in
+  let rec go = function
+    | [] -> Ok ()
+    | w :: rest ->
+      let* k, v = kv w in
+      let* () =
+        match k with
+        | "seed" ->
+          let* n = nat k v in
+          q := { !q with seed = n };
+          Ok ()
+        | "tau" ->
+          let* n = nat k v in
+          q := { !q with tau = n };
+          Ok ()
+        | "deadline_ms" ->
+          let* n = nat k v in
+          q := { !q with deadline_ms = Some n };
+          Ok ()
+        | "max_sampled_rows" ->
+          let* n = nat k v in
+          q := { !q with max_sampled_rows = Some n };
+          Ok ()
+        | "max_rows" ->
+          let* n = nat k v in
+          q := { !q with max_rows = Some n };
+          Ok ()
+        | "limit" ->
+          let* n = nat k v in
+          q := { !q with limit = Some n };
+          Ok ()
+        | "client_id" ->
+          if valid_id v then begin
+            q := { !q with client_id = v };
+            Ok ()
+          end
+          else Error (Printf.sprintf "client_id %S outside [A-Za-z0-9_.-]+" v)
+        | _ -> Error (Printf.sprintf "unknown QUERY argument %S" k)
+      in
+      go rest
+  in
+  let* () = go args in
+  match body with
+  | None | Some "" -> Error "QUERY needs a non-empty body (the query text)"
+  | Some text -> Ok (Query { !q with text })
+
+let parse_request payload =
+  let head, body = split_head payload in
+  match words head with
+  | [ "PING" ] -> Ok Ping
+  | [ "STATS" ] -> Ok Stats
+  | [ "QUIT" ] -> Ok Quit
+  | "QUERY" :: args -> parse_query_args args body
+  | verb :: _ -> Error (Printf.sprintf "unknown request verb %S" verb)
+  | [] -> Error "empty request"
+
+let parse_response payload =
+  let head, body = split_head payload in
+  match words head with
+  | [ "PONG" ] -> Ok Pong
+  | [ "BYE" ] -> Ok Bye
+  | "STATS" :: kvs ->
+    let rec go acc = function
+      | [] -> Ok (Stats_reply (List.rev acc))
+      | w :: rest ->
+        let* pair = kv w in
+        go (pair :: acc) rest
+    in
+    go [] kvs
+  | "ERR" :: label :: msg -> (
+    match err_kind_of_label label with
+    | Some kind -> Ok (Err (kind, String.concat " " msg))
+    | None -> Error (Printf.sprintf "unknown error kind %S" label))
+  | "OK" :: args ->
+    let* total, sampling, execution =
+      match args with
+      | [ a; b; c ] ->
+        let field name w =
+          let* k, v = kv w in
+          if k <> name then Error (Printf.sprintf "expected %s=, got %s=" name k)
+          else nat name v
+        in
+        let* n = field "n" a in
+        let* s = field "sampling" b in
+        let* e = field "execution" c in
+        Ok (n, s, e)
+      | _ -> Error "OK wants n= sampling= execution="
+    in
+    let* ids =
+      match body with
+      | None | Some "" -> Ok [||]
+      | Some line ->
+        let ws = words line in
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | w :: rest -> (
+            match int_of_string_opt w with
+            | Some id -> go (id :: acc) rest
+            | None -> Error (Printf.sprintf "non-integer id %S" w))
+        in
+        go [] ws
+    in
+    Ok (Answer { ids; total; sampling; execution })
+  | verb :: _ -> Error (Printf.sprintf "unknown response verb %S" verb)
+  | [] -> Error "empty response"
+
+(* ---- framing ------------------------------------------------------------ *)
+
+let frame payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+type state = Header | Body of int | Corrupt of string
+
+type decoder = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable pos : int;  (** consumed prefix of [buf] *)
+  mutable state : state;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Buffer.create 256; pos = 0; state = Header }
+
+let feed d bytes = Buffer.add_string d.buf bytes
+
+let pending d = Buffer.length d.buf - d.pos
+
+(* Drop the consumed prefix once it dominates the buffer, so long-lived
+   connections don't grow it without bound. *)
+let compact d =
+  if d.pos > 4096 && d.pos > Buffer.length d.buf / 2 then begin
+    let rest = Buffer.sub d.buf d.pos (pending d) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let next d =
+  match d.state with
+  | Corrupt msg -> `Corrupt msg
+  | Body n when pending d >= n ->
+    let payload = Buffer.sub d.buf d.pos n in
+    d.pos <- d.pos + n;
+    d.state <- Header;
+    compact d;
+    `Frame payload
+  | Body _ -> `Awaiting
+  | Header -> (
+    let contents = Buffer.contents d.buf in
+    match String.index_from_opt contents d.pos '\n' with
+    | None ->
+      if pending d > 9 then begin
+        (* More bytes than the longest legal header and still no newline. *)
+        d.state <- Corrupt "length header too long";
+        `Corrupt "length header too long"
+      end
+      else `Awaiting
+    | Some nl ->
+      let header = String.sub contents d.pos (nl - d.pos) in
+      let corrupt msg =
+        d.state <- Corrupt msg;
+        `Corrupt msg
+      in
+      if header = "" then corrupt "empty length header"
+      else if not (String.for_all (function '0' .. '9' -> true | _ -> false) header)
+      then corrupt (Printf.sprintf "junk length header %S" header)
+      else if String.length header > 8 then corrupt "length header too long"
+      else
+        let n = int_of_string header in
+        if n > d.max_frame then
+          corrupt (Printf.sprintf "frame of %d bytes exceeds limit %d" n d.max_frame)
+        else begin
+          d.pos <- nl + 1;
+          d.state <- Body n;
+          (* Recurse at most once: state is now [Body]. *)
+          match d.state with
+          | Body m when pending d >= m ->
+            let payload = Buffer.sub d.buf d.pos m in
+            d.pos <- d.pos + m;
+            d.state <- Header;
+            compact d;
+            `Frame payload
+          | _ -> `Awaiting
+        end)
+
+(* ---- blocking fd helpers ------------------------------------------------ *)
+
+let write_frame fd payload =
+  let s = frame payload in
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then raise End_of_file;
+    off := !off + n
+  done
+
+let read_frame fd d =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match next d with
+    | `Frame _ as f -> f
+    | `Corrupt _ as c -> c
+    | `Awaiting -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if pending d = 0 then `Eof else `Corrupt "eof mid-frame"
+      | n ->
+        feed d (Bytes.sub_string chunk 0 n);
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

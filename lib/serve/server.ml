@@ -1,0 +1,542 @@
+module Session = Rox_core.Session
+module Optimizer = Rox_core.Optimizer
+module Compile = Rox_xquery.Compile
+module Cost = Rox_algebra.Cost
+module Sanitize = Rox_algebra.Sanitize
+module Engine = Rox_storage.Engine
+module Fingerprint = Rox_cache.Fingerprint
+module Accesslog = Rox_util.Accesslog
+module Sink = Rox_telemetry.Sink
+module Tm = Rox_telemetry.Metrics
+module Aggregate = Rox_telemetry.Aggregate
+module Clock = Rox_telemetry.Clock
+module Serve_check = Rox_analysis.Serve_check
+module Diagnostic = Rox_analysis.Diagnostic
+
+type config = {
+  engine : Engine.t;
+  cache : Rox_cache.Store.t option;
+  workers : int;
+  queue_capacity : int;
+  session : Session.config;
+  telemetry : bool;
+  max_frame : int;
+}
+
+let config ?cache ?(workers = 2) ?(queue_capacity = 64) ?session
+    ?(telemetry = true) ?(max_frame = Protocol.default_max_frame) engine =
+  let session =
+    match session with Some s -> s | None -> Session.default_config ()
+  in
+  if workers < 0 then invalid_arg "Server.config: workers < 0";
+  if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
+  { engine; cache; workers; queue_capacity; session; telemetry; max_frame }
+
+type pending = {
+  key : Fingerprint.t;
+  query : Protocol.query;
+  submitted_ns : int64;
+  done_c : Condition.t;
+  mutable outcome : Protocol.response option;
+  mutable waiters : int;
+}
+
+type ticket = { entry : pending; coalesced : bool }
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  work : Condition.t;               (* signalled on push and on shutdown *)
+  queue : pending Queue.t;
+  inflight : (Fingerprint.t, pending) Hashtbl.t;
+  (* audit counters — the Serve_check.counts source of truth *)
+  mutable requests : int;
+  mutable responses : int;
+  mutable submitted : int;
+  mutable executed : int;
+  mutable coalesced : int;
+  mutable rejected : int;
+  mutable divergence : int;
+  tenants : (string, int) Hashtbl.t;
+  metrics : Tm.t;                   (* server-level instruments, mutex-guarded *)
+  aggregate : Aggregate.t;          (* absorbed per-request session sinks *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  sanitize_coalesce : bool;
+  (* Accesslog ids; -1 (no-op) when created disarmed *)
+  al_lock : int;
+  al_queue : int;
+  al_inflight : int;
+  al_counts : int;
+  hb_spawn : int;
+  hb_done : int;
+}
+
+(* Every mutation of [t]'s shared state goes through [locked]: the one
+   mutex, with the Accesslog critical-section bracket inside it so the
+   recorded acquisition order is the real one. Never wait on a condition
+   inside the bracket — waiting releases the real mutex while the bracket
+   would still claim it. *)
+let locked t f =
+  Mutex.protect t.mutex (fun () -> Accesslog.with_lock t.al_lock f)
+
+let set_depth_locked t =
+  Tm.set t.metrics.Tm.queue_depth (float_of_int (Queue.length t.queue))
+
+let bump_tenant t client_id =
+  let n = try Hashtbl.find t.tenants client_id with Not_found -> 0 in
+  Hashtbl.replace t.tenants client_id (n + 1)
+
+(* The coalescing identity: everything that determines the *answer bytes*
+   — query text, RNG seed, τ, every budget, the reply limit, and the
+   engine epoch — and nothing that doesn't (the tenant tag). Two requests
+   from different tenants with equal fingerprints share one execution. *)
+let coalesce_key t (q : Protocol.query) =
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  Fingerprint.make ~epoch:(Engine.epoch t.cfg.engine)
+    [
+      "serve";
+      Digest.to_hex (Digest.string q.Protocol.text);
+      string_of_int q.Protocol.seed;
+      string_of_int q.Protocol.tau;
+      opt q.Protocol.deadline_ms;
+      opt q.Protocol.max_sampled_rows;
+      opt q.Protocol.max_rows;
+      opt q.Protocol.limit;
+    ]
+
+(* ---- execution ---------------------------------------------------------- *)
+
+(* One served execution: a fresh single-domain session over the shared
+   engine/cache, wire-level overrides winning over the base config. Every
+   failure mode maps to a structured ERR — a budget abort is an answer. *)
+let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
+  let sink =
+    if t.cfg.telemetry then Sink.create ~enabled:true () else Sink.null ()
+  in
+  let base = t.cfg.session in
+  let budgets =
+    {
+      Session.max_rows =
+        Option.value q.Protocol.max_rows
+          ~default:base.Session.budgets.Session.max_rows;
+      deadline_ms;
+      max_sampled_rows =
+        (match q.Protocol.max_sampled_rows with
+        | Some _ as s -> s
+        | None -> base.Session.budgets.Session.max_sampled_rows);
+    }
+  in
+  let config =
+    {
+      base with
+      Session.seed = q.Protocol.seed;
+      tau = q.Protocol.tau;
+      client_id = q.Protocol.client_id;
+      budgets;
+    }
+  in
+  let session = Session.create ~config ?cache:t.cfg.cache ~telemetry:sink () in
+  let resp =
+    try
+      let compiled =
+        Compile.compile_string ~telemetry:sink t.cfg.engine q.Protocol.text
+      in
+      let ids, result = Optimizer.answer session compiled in
+      let total = Array.length ids in
+      let ids =
+        match q.Protocol.limit with
+        | Some l when l < total -> Array.sub ids 0 l
+        | _ -> ids
+      in
+      Protocol.Answer
+        {
+          ids;
+          total;
+          sampling = Cost.read result.Optimizer.counter Cost.Sampling;
+          execution = Cost.read result.Optimizer.counter Cost.Execution;
+        }
+    with
+    | Rox_xquery.Parser.Parse_error msg ->
+      Protocol.Err (Protocol.Bad_query, "parse error: " ^ msg)
+    | Compile.Unsupported msg ->
+      Protocol.Err (Protocol.Bad_query, "unsupported: " ^ msg)
+    | Compile.Rejected d ->
+      Protocol.Err (Protocol.Bad_query, Diagnostic.to_string d)
+    | Cost.Budget_exceeded { reason; _ } as e ->
+      let kind =
+        match reason with
+        | Cost.Deadline -> Protocol.Deadline
+        | Cost.Sampled_rows -> Protocol.Sampled_rows
+      in
+      Protocol.Err
+        (kind, Option.value (Cost.budget_message e) ~default:"budget exceeded")
+    | Rox_joingraph.Runtime.Blowup { edge; rows; limit } ->
+      Protocol.Err
+        ( Protocol.Max_rows,
+          Printf.sprintf "edge %d materialized %d rows over max_rows %d" edge
+            rows limit )
+    | exn -> Protocol.Err (Protocol.Internal, Printexc.to_string exn)
+  in
+  if absorb && t.cfg.telemetry then Aggregate.absorb t.aggregate (Sink.metrics sink);
+  resp
+
+let complete t entry ~wait_ns resp =
+  locked t (fun () ->
+      Accesslog.record ~site:t.al_counts Write;
+      entry.outcome <- Some resp;
+      t.executed <- t.executed + 1;
+      Accesslog.record ~site:t.al_inflight Write;
+      Hashtbl.remove t.inflight entry.key;
+      Tm.observe t.metrics.Tm.queue_wait_ns wait_ns;
+      Tm.observe t.metrics.Tm.serve_ns (Clock.elapsed_ns entry.submitted_ns);
+      Condition.broadcast entry.done_c)
+
+let process t entry =
+  let wait_ns = Clock.elapsed_ns entry.submitted_ns in
+  let wait_ms = int_of_float (Clock.ms_of_ns wait_ns) in
+  let q = entry.query in
+  let resp =
+    match q.Protocol.deadline_ms with
+    | Some d when wait_ms >= d ->
+      (* The budget ran out while queued: answer without executing. *)
+      Protocol.Err
+        ( Protocol.Deadline,
+          Printf.sprintf
+            "deadline budget exceeded in queue: waited %d ms, budget %d ms"
+            wait_ms d )
+    | Some d -> run_query t q ~deadline_ms:(Some (d - wait_ms)) ~absorb:true
+    | None ->
+      run_query t q
+        ~deadline_ms:t.cfg.session.Session.budgets.Session.deadline_ms
+        ~absorb:true
+  in
+  complete t entry ~wait_ns resp
+
+let take_locked t =
+  (* Called with t.mutex held (worker loop / drain). *)
+  let rec go () =
+    if not (Queue.is_empty t.queue) then
+      Some
+        (Accesslog.with_lock t.al_lock (fun () ->
+             Accesslog.record ~site:t.al_queue Write;
+             let e = Queue.pop t.queue in
+             set_depth_locked t;
+             e))
+    else if t.stopping then None
+    else begin
+      Condition.wait t.work t.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop t =
+  Accesslog.hb_acquire t.hb_spawn;
+  let rec loop () =
+    match Mutex.protect t.mutex (fun () -> take_locked t) with
+    | None -> ()
+    | Some entry ->
+      process t entry;
+      loop ()
+  in
+  loop ();
+  Accesslog.hb_publish t.hb_done
+
+(* ---- lifecycle ---------------------------------------------------------- *)
+
+let create cfg =
+  let armed = Accesslog.armed () in
+  let reg_site name = if armed then Accesslog.site ~name Accesslog.Shared else -1 in
+  let t =
+    {
+      cfg;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 64;
+      requests = 0;
+      responses = 0;
+      submitted = 0;
+      executed = 0;
+      coalesced = 0;
+      rejected = 0;
+      divergence = 0;
+      tenants = Hashtbl.create 8;
+      metrics = Tm.create ();
+      aggregate = Aggregate.create ();
+      stopping = false;
+      workers = [];
+      sanitize_coalesce = Sanitize.default_mode ();
+      al_lock = (if armed then Accesslog.lock ~name:"serve.mutex" else -1);
+      al_queue = reg_site "serve.queue";
+      al_inflight = reg_site "serve.inflight";
+      al_counts = reg_site "serve.counts";
+      hb_spawn = (if armed then Accesslog.hb_token ~name:"serve.spawn" else -1);
+      hb_done = (if armed then Accesslog.hb_token ~name:"serve.done" else -1);
+    }
+  in
+  (* Publish construction before the fork so the detector sees the real
+     init-to-worker happens-before edge (the Race_fixtures pattern). *)
+  Accesslog.hb_publish t.hb_spawn;
+  t.workers <-
+    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  let workers =
+    locked t (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work;
+          let ws = t.workers in
+          t.workers <- [];
+          ws
+        end)
+  in
+  List.iter
+    (fun d ->
+      Domain.join d;
+      Accesslog.hb_acquire t.hb_done)
+    workers;
+  (* Workers drain the queue before exiting; anything still here means
+     workers = 0. Fail it as rejected so the RX603 balance holds and no
+     awaiting client hangs. *)
+  locked t (fun () ->
+      while not (Queue.is_empty t.queue) do
+        Accesslog.record ~site:t.al_queue Write;
+        let e = Queue.pop t.queue in
+        Accesslog.record ~site:t.al_counts Write;
+        t.rejected <- t.rejected + 1;
+        Tm.incr t.metrics.Tm.admission_rejects;
+        Accesslog.record ~site:t.al_inflight Write;
+        Hashtbl.remove t.inflight e.key;
+        e.outcome <- Some (Protocol.Err (Protocol.Busy, "server shutting down"));
+        Condition.broadcast e.done_c
+      done;
+      set_depth_locked t)
+
+(* ---- admission ---------------------------------------------------------- *)
+
+let submit_async t (q : Protocol.query) =
+  locked t (fun () ->
+      Accesslog.record ~site:t.al_counts Write;
+      t.submitted <- t.submitted + 1;
+      let reject () =
+        t.rejected <- t.rejected + 1;
+        Tm.incr t.metrics.Tm.admission_rejects;
+        `Rejected
+      in
+      if t.stopping then reject ()
+      else begin
+        let key = coalesce_key t q in
+        Accesslog.record ~site:t.al_inflight Read;
+        match Hashtbl.find_opt t.inflight key with
+        | Some entry ->
+          entry.waiters <- entry.waiters + 1;
+          t.coalesced <- t.coalesced + 1;
+          Tm.incr t.metrics.Tm.coalesce_hits;
+          bump_tenant t q.Protocol.client_id;
+          `Ticket { entry; coalesced = true }
+        | None ->
+          if Queue.length t.queue >= t.cfg.queue_capacity then reject ()
+          else begin
+            let entry =
+              {
+                key;
+                query = q;
+                submitted_ns = Clock.now_ns ();
+                done_c = Condition.create ();
+                outcome = None;
+                waiters = 1;
+              }
+            in
+            Accesslog.record ~site:t.al_queue Write;
+            Queue.push entry t.queue;
+            Accesslog.record ~site:t.al_inflight Write;
+            Hashtbl.add t.inflight key entry;
+            set_depth_locked t;
+            bump_tenant t q.Protocol.client_id;
+            Condition.signal t.work;
+            `Ticket { entry; coalesced = false }
+          end
+      end)
+
+let await t (tk : ticket) =
+  let resp =
+    Mutex.protect t.mutex (fun () ->
+        let rec wait () =
+          match tk.entry.outcome with
+          | Some r -> r
+          | None ->
+            Condition.wait tk.entry.done_c t.mutex;
+            wait ()
+        in
+        wait ())
+  in
+  (* RX602 cross-check: under sanitize, a coalesced answer must be
+     bit-identical to an independent execution of the same request. Only
+     Answer/Answer pairs are compared — budget errors are timing-dependent
+     and say nothing about coalescing soundness. *)
+  if tk.coalesced && t.sanitize_coalesce then begin
+    let independent =
+      run_query t tk.entry.query
+        ~deadline_ms:tk.entry.query.Protocol.deadline_ms ~absorb:false
+    in
+    let diverged =
+      match (resp, independent) with
+      | Protocol.Answer a, Protocol.Answer b ->
+        a.total <> b.total || a.ids <> b.ids
+      | _ -> false
+    in
+    if diverged then
+      locked t (fun () ->
+          Accesslog.record ~site:t.al_counts Write;
+          t.divergence <- t.divergence + 1)
+  end;
+  resp
+
+let submit t q =
+  match submit_async t q with
+  | `Rejected -> Protocol.Err (Protocol.Busy, "admission queue full")
+  | `Ticket tk -> await t tk
+
+let drain_once t =
+  match locked t (fun () ->
+            if Queue.is_empty t.queue then None
+            else begin
+              Accesslog.record ~site:t.al_queue Write;
+              let e = Queue.pop t.queue in
+              set_depth_locked t;
+              Some e
+            end)
+  with
+  | None -> false
+  | Some entry ->
+    process t entry;
+    true
+
+(* ---- introspection ------------------------------------------------------ *)
+
+let queue_depth t = locked t (fun () -> Queue.length t.queue)
+
+let audit t =
+  locked t (fun () ->
+      Accesslog.record ~site:t.al_counts Read;
+      {
+        Serve_check.sv_requests = t.requests;
+        sv_responses = t.responses;
+        sv_submitted = t.submitted;
+        sv_executed = t.executed;
+        sv_coalesced = t.coalesced;
+        sv_rejected = t.rejected;
+        sv_divergence = t.divergence;
+      })
+
+let self_check t = Serve_check.check (audit t)
+
+let tenants t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tenants []
+      |> List.sort compare)
+
+let stats_kvs t =
+  let counts =
+    locked t (fun () ->
+        Accesslog.record ~site:t.al_counts Read;
+        [
+          ("requests", string_of_int t.requests);
+          ("responses", string_of_int t.responses);
+          ("submitted", string_of_int t.submitted);
+          ("executed", string_of_int t.executed);
+          ("coalesced", string_of_int t.coalesced);
+          ("rejected", string_of_int t.rejected);
+          ("divergence", string_of_int t.divergence);
+          ("queue_depth", string_of_int (Queue.length t.queue));
+          ("inflight", string_of_int (Hashtbl.length t.inflight));
+          ("workers", string_of_int t.cfg.workers);
+        ])
+  in
+  counts
+  @ List.map (fun (k, v) -> ("tenant." ^ k, string_of_int v)) (tenants t)
+
+let aggregate t = t.aggregate
+
+let metrics t =
+  let snap = Tm.create () in
+  locked t (fun () -> Tm.add_into ~into:snap t.metrics);
+  Aggregate.with_metrics t.aggregate (fun m -> Tm.add_into ~into:snap m);
+  snap
+
+(* ---- connection handling ------------------------------------------------ *)
+
+let count_request t =
+  locked t (fun () ->
+      Accesslog.record ~site:t.al_counts Write;
+      t.requests <- t.requests + 1;
+      Tm.incr t.metrics.Tm.requests_received)
+
+let reply t fd resp =
+  locked t (fun () ->
+      Accesslog.record ~site:t.al_counts Write;
+      t.responses <- t.responses + 1;
+      Tm.incr t.metrics.Tm.responses_sent);
+  Protocol.write_frame fd (Protocol.render_response resp)
+
+let handle_connection t fd =
+  let d = Protocol.decoder ~max_frame:t.cfg.max_frame () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        match Protocol.read_frame fd d with
+        | `Eof -> ()
+        | `Corrupt msg ->
+          (* The stream cannot be resynchronized: answer the garbage as
+             one request (keeping RX601 sound) and close. *)
+          count_request t;
+          (try reply t fd (Protocol.Err (Protocol.Proto, msg))
+           with Unix.Unix_error _ | End_of_file -> ())
+        | `Frame payload -> (
+          count_request t;
+          match Protocol.parse_request payload with
+          | Error msg ->
+            reply t fd (Protocol.Err (Protocol.Proto, msg));
+            loop ()
+          | Ok Protocol.Ping ->
+            reply t fd Protocol.Pong;
+            loop ()
+          | Ok Protocol.Stats ->
+            reply t fd (Protocol.Stats_reply (stats_kvs t));
+            loop ()
+          | Ok Protocol.Quit -> reply t fd Protocol.Bye
+          | Ok (Protocol.Query q) -> (
+            match submit_async t q with
+            | `Rejected ->
+              reply t fd (Protocol.Err (Protocol.Busy, "admission queue full"));
+              loop ()
+            | `Ticket tk ->
+              reply t fd (await t tk);
+              loop ()))
+      in
+      loop ())
+
+let serve t listen_fd =
+  let rec loop () =
+    let stop = locked t (fun () -> t.stopping) in
+    if not stop then
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        let (_ : Thread.t) =
+          Thread.create
+            (fun () ->
+              try handle_connection t fd
+              with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+            ()
+        in
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop ()

@@ -1,0 +1,119 @@
+(** The serving front-end: bounded admission, a worker-domain pool, and
+    fingerprint coalescing over one shared read-side engine.
+
+    One server owns:
+
+    - a *bounded admission queue* — {!submit_async} returns [`Rejected]
+      instead of queueing when the queue is at capacity, and the protocol
+      layer turns that into [ERR busy] (backpressure, never silent
+      buffering);
+    - a pool of long-lived *worker domains* that pop requests and run one
+      fresh {!Rox_core.Session} each over the shared engine and the
+      mutex-guarded cache store;
+    - an *in-flight table* keyed by request fingerprint (query text hash,
+      seed, τ, budgets, engine epoch — {e not} the tenant): a request whose
+      fingerprint matches an in-flight execution attaches to it as a
+      waiter instead of executing again. Under [ROX_SANITIZE=1] every
+      coalesced answer is cross-checked against an independent execution;
+      a mismatch is the RX602 audit signal.
+
+    Connection handling is separate from execution: {!serve} accepts on a
+    listening socket and runs {!handle_connection} on a thread per
+    connection; those threads only parse frames and block in {!await} —
+    all query work happens on the worker domains.
+
+    Budget aborts are answers: a worker catching
+    [Rox_algebra.Cost.Budget_exceeded] or [Rox_joingraph.Runtime.Blowup]
+    completes the request with a structured [ERR deadline] /
+    [ERR sampled_rows] / [ERR max_rows] reply — a served request never
+    drops the connection the way the one-shot CLI exits with code 2.
+
+    All shared state ([t]'s queue, in-flight table and audit counters) is
+    guarded by one mutex and instrumented through {!Rox_util.Accesslog}
+    when armed, so [rox racecheck] covers a served workload. *)
+
+type config = {
+  engine : Rox_storage.Engine.t;
+  cache : Rox_cache.Store.t option;   (** shared across all workers *)
+  workers : int;        (** worker domains; [0] = drive with {!drain_once} *)
+  queue_capacity : int; (** admission bound (≥ 1) *)
+  session : Rox_core.Session.config;
+      (** base per-request session config; wire-level overrides (seed, τ,
+          budgets, client_id) win field-by-field *)
+  telemetry : bool;     (** per-request sinks + process aggregate *)
+  max_frame : int;      (** protocol frame cap for {!handle_connection} *)
+}
+
+val config :
+  ?cache:Rox_cache.Store.t -> ?workers:int -> ?queue_capacity:int ->
+  ?session:Rox_core.Session.config -> ?telemetry:bool -> ?max_frame:int ->
+  Rox_storage.Engine.t -> config
+(** Defaults: no cache, 2 workers, capacity 64, default session config,
+    telemetry on, {!Protocol.default_max_frame}. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker domains. The coalesced-answer cross-check arms from
+    {!Rox_algebra.Sanitize.default_mode} at creation time. *)
+
+type ticket
+
+val submit_async : t -> Protocol.query -> [ `Ticket of ticket | `Rejected ]
+(** Admit one request. [`Rejected] when the queue is full or the server
+    is shutting down (the caller answers [ERR busy]). A fingerprint-equal
+    in-flight request coalesces — it returns a ticket without consuming
+    queue capacity. *)
+
+val await : t -> ticket -> Protocol.response
+(** Block until the ticket's request completes. On a coalesced ticket
+    under sanitize mode, re-executes the request independently and counts
+    an RX602 divergence if the answers differ (the coalesced answer is
+    still returned). *)
+
+val submit : t -> Protocol.query -> Protocol.response
+(** {!submit_async} + {!await}; a full queue is [Err (Busy, _)]. *)
+
+val drain_once : t -> bool
+(** Synchronously process one queued request on the calling domain;
+    [false] if the queue was empty. Lets tests run a [workers = 0] server
+    deterministically. *)
+
+val handle_connection : t -> Unix.file_descr -> unit
+(** Serve one connection until QUIT, EOF or a corrupt frame; always
+    closes [fd]. Every reply answers exactly one parsed frame (corrupt
+    framing counts as a parsed frame and is answered [ERR proto]), which
+    is what keeps the RX601 request/response audit sound. *)
+
+val serve : t -> Unix.file_descr -> unit
+(** Accept loop on a listening socket: one {!handle_connection} thread
+    per connection. Returns when the socket closes or {!shutdown} ran. *)
+
+val queue_depth : t -> int
+
+val stats_kvs : t -> (string * string) list
+(** The STATS reply: audit counters, queue depth, worker count, and
+    per-tenant served counts as [tenant.<client_id>]. *)
+
+val tenants : t -> (string * int) list
+(** Per-tenant admitted-request counts, sorted by client_id. *)
+
+val audit : t -> Rox_analysis.Serve_check.counts
+(** Snapshot the audit counters ({!Rox_analysis.Serve_check.check}
+    expects a quiescent snapshot — take it after {!shutdown}). *)
+
+val self_check : t -> Rox_analysis.Diagnostic.t list
+(** [Serve_check.check (audit t)]. *)
+
+val metrics : t -> Rox_telemetry.Metrics.t
+(** A merged snapshot: the server's own instruments (queue depth,
+    admission rejects, coalesce hits, queue-wait and serve latency) plus
+    the absorbed per-request session registries. *)
+
+val aggregate : t -> Rox_telemetry.Aggregate.t
+(** The process aggregate per-request sinks are absorbed into. *)
+
+val shutdown : t -> unit
+(** Stop admitting, drain: workers finish every queued request before
+    joining ([workers = 0] leftovers are failed as [ERR busy] and counted
+    rejected, keeping the RX603 balance). Idempotent. *)

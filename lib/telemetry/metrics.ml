@@ -39,7 +39,14 @@ type t = {
   queries_served : counter;
   budget_aborts : counter;
   spans_dropped : counter;
+  requests_received : counter;
+  responses_sent : counter;
+  admission_rejects : counter;
+  coalesce_hits : counter;
+  queue_wait_ns : histogram;
+  serve_ns : histogram;
   cache_resident_bytes : gauge;
+  queue_depth : gauge;
 }
 
 let counter name help = { c_name = name; c_help = help; c_value = 0 }
@@ -83,8 +90,25 @@ let create () =
     budget_aborts =
       counter "rox_budget_aborts_total" "runs aborted by a deadline or sampling budget";
     spans_dropped = counter "rox_spans_dropped_total" "spans lost to the sink buffer cap";
+    requests_received =
+      counter "rox_serve_requests_total" "protocol frames parsed by the server";
+    responses_sent =
+      counter "rox_serve_responses_total" "protocol replies written by the server";
+    admission_rejects =
+      counter "rox_serve_admission_rejects_total"
+        "requests rejected because the admission queue was full";
+    coalesce_hits =
+      counter "rox_serve_coalesce_hits_total"
+        "requests attached to a fingerprint-equal in-flight execution";
+    queue_wait_ns =
+      histogram "rox_serve_queue_wait_duration_ns"
+        "admission-queue residence per served request";
+    serve_ns =
+      histogram "rox_serve_request_duration_ns"
+        "whole served-request latency (queue wait + execution)";
     cache_resident_bytes =
       gauge "rox_cache_resident_bytes" "bytes resident in the cross-query cache";
+    queue_depth = gauge "rox_serve_queue_depth" "requests waiting in the admission queue";
   }
 
 let incr ?(by = 1) c = c.c_value <- c.c_value + by
@@ -133,14 +157,15 @@ let counters t =
     t.sampling_time_ns; t.execution_time_ns; t.relation_cache_hits;
     t.relation_cache_misses; t.estimate_cache_hits; t.estimate_cache_misses;
     t.rows_materialized; t.pairs_emitted; t.edges_executed; t.chain_rounds;
-    t.queries_served; t.budget_aborts; t.spans_dropped;
+    t.queries_served; t.budget_aborts; t.spans_dropped; t.requests_received;
+    t.responses_sent; t.admission_rejects; t.coalesce_hits;
   ]
 
-let gauges t = [ t.cache_resident_bytes ]
+let gauges t = [ t.cache_resident_bytes; t.queue_depth ]
 
 let histograms t =
   [ t.compile_ns; t.query_ns; t.edge_execution_ns; t.chain_round_ns;
-    t.sampled_run_ns ]
+    t.sampled_run_ns; t.queue_wait_ns; t.serve_ns ]
 
 let add_into ~into t =
   List.iter2

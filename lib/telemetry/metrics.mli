@@ -57,7 +57,14 @@ type t = {
   queries_served : counter;
   budget_aborts : counter;       (** runs ended by [Cost.Budget_exceeded] *)
   spans_dropped : counter;       (** spans lost to the sink's buffer cap *)
+  requests_received : counter;   (** protocol frames parsed by [rox serve] *)
+  responses_sent : counter;      (** protocol replies written by [rox serve] *)
+  admission_rejects : counter;   (** requests bounced off a full queue *)
+  coalesce_hits : counter;       (** requests served by an in-flight twin *)
+  queue_wait_ns : histogram;     (** admission-queue residence per request *)
+  serve_ns : histogram;          (** whole served-request latency *)
   cache_resident_bytes : gauge;  (** last observed [Rox_cache] residency *)
+  queue_depth : gauge;           (** requests waiting in the admission queue *)
 }
 
 val create : unit -> t

@@ -1,0 +1,406 @@
+(* The serving front-end: wire protocol totality (framing, truncation,
+   junk), bounded admission with backpressure, fingerprint coalescing
+   determinism, budget aborts as structured replies, the RX6xx audit
+   checks, and a 2-domain end-to-end session over a socketpair. *)
+
+module P = Rox_serve.Protocol
+module S = Rox_serve.Server
+module A = Rox_analysis
+
+let codes diags =
+  List.sort_uniq compare (List.map (fun d -> d.A.Diagnostic.code) diags)
+
+(* ---------- fixture ---------------------------------------------------- *)
+
+let library_xml =
+  {|<library>
+  <book year="2009"><title>Run-time Query Optimization</title>
+    <author>Abdel Kader</author><author>Boncz</author></book>
+  <book year="2004"><title>Staircase Join</title>
+    <author>Grust</author><author>van Keulen</author><author>Teubner</author></book>
+  <book year="2009"><title>Join Graph Isolation</title>
+    <author>Grust</author><author>Mayr</author><author>Rittinger</author></book>
+</library>|}
+
+let library_query =
+  {|for $b in doc("library.xml")//book[./@year = 2009],
+    $a in doc("library.xml")//author
+where $b//author/text() = $a/text()
+return $a|}
+
+let other_query =
+  {|for $b in doc("library.xml")//book[./@year = 2004],
+    $a in doc("library.xml")//author
+where $b//author/text() = $a/text()
+return $a|}
+
+let library_engine () =
+  let engine = Rox_storage.Engine.create () in
+  ignore
+    (Rox_storage.Engine.add_tree engine ~uri:"library.xml"
+       (Rox_xmldom.Xml_parser.parse_string library_xml)
+      : Rox_storage.Engine.docref);
+  engine
+
+(* The reference answer: a plain session run, no server involved. *)
+let reference_ids engine query =
+  let compiled = Rox_xquery.Compile.compile_string engine query in
+  let session = Rox_core.Session.create () in
+  fst (Rox_core.Optimizer.answer session compiled)
+
+(* ---------- protocol: render/parse round-trips ------------------------- *)
+
+let test_request_roundtrip () =
+  let check r =
+    match P.parse_request (P.render_request r) with
+    | Ok r' -> Alcotest.(check bool) "request round-trip" true (r = r')
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  check P.Ping;
+  check P.Stats;
+  check P.Quit;
+  check (P.Query (P.query "for $a in doc(\"x.xml\")//a return $a"));
+  check
+    (P.Query
+       (P.query ~seed:7 ~tau:50 ~deadline_ms:200 ~max_sampled_rows:1000
+          ~max_rows:99 ~limit:10 ~client_id:"tenant-1.a"
+          "for $a in doc(\"x.xml\")//a\nreturn $a"))
+
+let test_response_roundtrip () =
+  let check r =
+    match P.parse_response (P.render_response r) with
+    | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  check P.Pong;
+  check P.Bye;
+  check (P.Stats_reply [ ("requests", "3"); ("tenant.local", "2") ]);
+  check (P.Err (P.Busy, "admission queue full"));
+  check (P.Err (P.Sampled_rows, "budget exceeded: spent 212, budget 1"));
+  check (P.Answer { ids = [| 3; 1; 4; 1; 5 |]; total = 5; sampling = 12; execution = 34 });
+  check (P.Answer { ids = [||]; total = 0; sampling = 0; execution = 0 })
+
+let test_request_rejects () =
+  let bad payload =
+    match P.parse_request payload with
+    | Ok _ -> Alcotest.failf "accepted %S" payload
+    | Error _ -> ()
+  in
+  bad "";
+  bad "FROB";
+  bad "QUERY seed=1";                 (* no body *)
+  bad "QUERY seed=1\n";               (* empty body *)
+  bad "QUERY seed=-3\nq";             (* negative *)
+  bad "QUERY seed=abc\nq";            (* junk number *)
+  bad "QUERY frobs=1\nq";             (* unknown key *)
+  bad "QUERY seed\nq";                (* not k=v *)
+  bad "QUERY client_id=a|b\nq";       (* outside the id alphabet *)
+  match P.parse_request "QUERY seed=1 tau=5 client_id=ok_id.1-x\nbody" with
+  | Ok (P.Query q) ->
+    Alcotest.(check string) "client_id" "ok_id.1-x" q.P.client_id;
+    Alcotest.(check string) "body" "body" q.P.text
+  | _ -> Alcotest.fail "valid QUERY rejected"
+
+(* ---------- protocol: incremental decoder ------------------------------ *)
+
+let test_decoder_byte_by_byte () =
+  let payloads = [ "PING"; "QUERY seed=1\nfor $a in x return $a"; "" ] in
+  let stream = String.concat "" (List.map P.frame payloads) in
+  let d = P.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.feed d (String.make 1 c);
+      let rec drain () =
+        match P.next d with
+        | `Frame f ->
+          got := f :: !got;
+          drain ()
+        | `Awaiting -> ()
+        | `Corrupt m -> Alcotest.failf "corrupt: %s" m
+      in
+      drain ())
+    stream;
+  Alcotest.(check (list string)) "frames" payloads (List.rev !got)
+
+let test_decoder_truncated_awaits () =
+  let d = P.decoder () in
+  P.feed d "11\nonly4";
+  (match P.next d with
+   | `Awaiting -> ()
+   | _ -> Alcotest.fail "truncated frame must await");
+  P.feed d "chars";
+  (match P.next d with
+   | `Awaiting -> ()
+   | _ -> Alcotest.fail "still one byte short");
+  P.feed d "!";
+  match P.next d with
+  | `Frame f -> Alcotest.(check string) "completed" "only4chars!" f
+  | _ -> Alcotest.fail "frame must complete"
+
+let test_decoder_corrupt () =
+  let corrupt input =
+    let d = P.decoder () in
+    P.feed d input;
+    let rec drain () =
+      match P.next d with
+      | `Frame _ -> drain ()
+      | `Awaiting -> Alcotest.failf "%S must corrupt, got awaiting" input
+      | `Corrupt _ -> ()
+    in
+    drain ()
+  in
+  corrupt "abc\nPING";                 (* junk header *)
+  corrupt "\nPING";                    (* empty header *)
+  corrupt "12x\nPING";                 (* mixed header *)
+  corrupt "999999999\n";               (* longer than 8 digits *)
+  corrupt "xxxxxxxxxxxx";              (* no newline in sight *)
+  corrupt (P.frame "PING" ^ "junk\n"); (* corrupt after a good frame *)
+  let d = P.decoder ~max_frame:16 () in
+  P.feed d "17\n";
+  (match P.next d with
+   | `Corrupt _ -> ()
+   | _ -> Alcotest.fail "oversized declared length must corrupt");
+  (* sticky: once corrupt, always corrupt *)
+  P.feed d (P.frame "PING");
+  match P.next d with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption must be sticky"
+
+(* ---------- admission: bounded queue, backpressure --------------------- *)
+
+let test_admission_rejects_when_full () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:0 ~queue_capacity:1 ~telemetry:false engine)
+  in
+  let t1 =
+    match S.submit_async server (P.query library_query) with
+    | `Ticket t -> t
+    | `Rejected -> Alcotest.fail "first submit must be admitted"
+  in
+  (* A *distinct* fingerprint must bounce off the full queue (an identical
+     one would coalesce, which consumes no capacity). *)
+  (match S.submit_async server (P.query other_query) with
+   | `Rejected -> ()
+   | `Ticket _ -> Alcotest.fail "full queue must reject");
+  S.shutdown server;
+  (match S.await server t1 with
+   | P.Err (P.Busy, _) -> ()
+   | _ -> Alcotest.fail "shutdown must fail queued tickets as busy");
+  let a = S.audit server in
+  Alcotest.(check int) "submitted" 2 a.A.Serve_check.sv_submitted;
+  Alcotest.(check int) "rejected" 2 a.A.Serve_check.sv_rejected;
+  Alcotest.(check int) "executed" 0 a.A.Serve_check.sv_executed;
+  Alcotest.(check (list string)) "audit balances" [] (codes (S.self_check server))
+
+(* ---------- coalescing: one execution, bit-identical answers ----------- *)
+
+let test_coalescing_deterministic () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:0 ~queue_capacity:4 ~telemetry:false engine)
+  in
+  let q = P.query library_query in
+  let t1 =
+    match S.submit_async server q with
+    | `Ticket t -> t
+    | `Rejected -> Alcotest.fail "admitted"
+  in
+  let t2 =
+    match S.submit_async server (P.query ~client_id:"twin" library_query) with
+    | `Ticket t -> t
+    | `Rejected -> Alcotest.fail "identical request must coalesce, not reject"
+  in
+  Alcotest.(check int) "one queued execution" 1 (S.queue_depth server);
+  Alcotest.(check bool) "one drain serves both" true (S.drain_once server);
+  Alcotest.(check bool) "queue empty" false (S.drain_once server);
+  let r1 = S.await server t1 and r2 = S.await server t2 in
+  let ids = function
+    | P.Answer a -> a.ids
+    | r -> Alcotest.failf "expected answer, got %s" (P.render_response r)
+  in
+  Alcotest.(check bool) "coalesced twins bit-identical" true (ids r1 = ids r2);
+  Alcotest.(check bool) "matches independent execution" true
+    (ids r1 = reference_ids engine library_query);
+  S.shutdown server;
+  let a = S.audit server in
+  Alcotest.(check int) "coalesced" 1 a.A.Serve_check.sv_coalesced;
+  Alcotest.(check int) "executed" 1 a.A.Serve_check.sv_executed;
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
+let test_distinct_seeds_do_not_coalesce () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:0 ~queue_capacity:4 ~telemetry:false engine)
+  in
+  ignore (S.submit_async server (P.query ~seed:1 library_query));
+  ignore (S.submit_async server (P.query ~seed:2 library_query));
+  Alcotest.(check int) "two executions queued" 2 (S.queue_depth server);
+  while S.drain_once server do () done;
+  S.shutdown server;
+  let a = S.audit server in
+  Alcotest.(check int) "no coalescing" 0 a.A.Serve_check.sv_coalesced;
+  Alcotest.(check int) "both executed" 2 a.A.Serve_check.sv_executed
+
+(* ---------- budget aborts are structured replies ----------------------- *)
+
+let test_budget_abort_replies () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:1 ~queue_capacity:8 ~telemetry:false engine)
+  in
+  (match S.submit server (P.query ~max_sampled_rows:1 library_query) with
+   | P.Err (P.Sampled_rows, _) -> ()
+   | r -> Alcotest.failf "want ERR sampled_rows, got %s" (P.render_response r));
+  (match S.submit server (P.query ~max_rows:1 library_query) with
+   | P.Err (P.Max_rows, _) -> ()
+   | r -> Alcotest.failf "want ERR max_rows, got %s" (P.render_response r));
+  (match S.submit server (P.query ~deadline_ms:0 library_query) with
+   | P.Err (P.Deadline, _) -> ()
+   | r -> Alcotest.failf "want ERR deadline, got %s" (P.render_response r));
+  (match S.submit server (P.query "for $a in doc(\"nope.xml\"//a") with
+   | P.Err (P.Bad_query, _) -> ()
+   | r -> Alcotest.failf "want ERR bad_query, got %s" (P.render_response r));
+  S.shutdown server;
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
+(* ---------- the RX6xx checks over synthetic audit snapshots ------------ *)
+
+let test_serve_check_codes () =
+  let ok =
+    {
+      A.Serve_check.sv_requests = 5;
+      sv_responses = 5;
+      sv_submitted = 3;
+      sv_executed = 2;
+      sv_coalesced = 1;
+      sv_rejected = 0;
+      sv_divergence = 0;
+    }
+  in
+  Alcotest.(check (list string)) "balanced is clean" []
+    (codes (A.Serve_check.check ok));
+  Alcotest.(check (list string)) "response without request" [ "RX601" ]
+    (codes (A.Serve_check.check { ok with A.Serve_check.sv_responses = 6 }));
+  Alcotest.(check (list string)) "divergence" [ "RX602" ]
+    (codes (A.Serve_check.check { ok with A.Serve_check.sv_divergence = 1 }));
+  Alcotest.(check (list string)) "dropped request" [ "RX603" ]
+    (codes (A.Serve_check.check { ok with A.Serve_check.sv_submitted = 4 }));
+  Alcotest.(check (list string)) "all three" [ "RX601"; "RX602"; "RX603" ]
+    (codes
+       (A.Serve_check.check
+          {
+            ok with
+            A.Serve_check.sv_responses = 9;
+            sv_divergence = 2;
+            sv_rejected = 7;
+          }))
+
+(* ---------- tenants ----------------------------------------------------- *)
+
+let test_tenant_accounting () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:1 ~queue_capacity:8 ~telemetry:false engine)
+  in
+  ignore (S.submit server (P.query ~client_id:"alpha" library_query));
+  ignore (S.submit server (P.query ~client_id:"alpha" other_query));
+  ignore (S.submit server (P.query ~client_id:"beta" library_query));
+  ignore (S.submit server (P.query library_query));
+  S.shutdown server;
+  Alcotest.(check (list (pair string int)))
+    "per-tenant served counts"
+    [ ("alpha", 2); ("beta", 1); ("local", 1) ]
+    (S.tenants server)
+
+(* ---------- end-to-end: protocol session over a socketpair ------------- *)
+
+let test_socketpair_session_two_domains () =
+  let engine = library_engine () in
+  let expected = Array.length (reference_ids engine library_query) in
+  let server = S.create (S.config ~workers:2 ~queue_capacity:8 engine) in
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* The client drives the whole scripted session from its own domain
+     while this domain runs the connection handler. *)
+  let client =
+    Domain.spawn (fun () ->
+        let d = P.decoder () in
+        let send r = P.write_frame cli_fd (P.render_request r) in
+        let recv () =
+          match P.read_frame cli_fd d with
+          | `Frame payload -> (
+            match P.parse_response payload with
+            | Ok r -> r
+            | Error m -> failwith m)
+          | `Eof -> failwith "eof"
+          | `Corrupt m -> failwith m
+        in
+        send P.Ping;
+        let pong = recv () in
+        send (P.Query (P.query ~client_id:"e2e" library_query));
+        let full = recv () in
+        send (P.Query (P.query ~client_id:"e2e" ~limit:1 library_query));
+        let limited = recv () in
+        send P.Stats;
+        let stats = recv () in
+        send P.Quit;
+        let bye = recv () in
+        Unix.close cli_fd;
+        (pong, full, limited, stats, bye))
+  in
+  S.handle_connection server srv_fd;
+  let pong, full, limited, stats, bye = Domain.join client in
+  S.shutdown server;
+  Alcotest.(check bool) "pong" true (pong = P.Pong);
+  (match full with
+   | P.Answer a ->
+     Alcotest.(check int) "full answer" expected (Array.length a.ids);
+     Alcotest.(check int) "total" expected a.total
+   | r -> Alcotest.failf "want answer, got %s" (P.render_response r));
+  (match limited with
+   | P.Answer a ->
+     Alcotest.(check int) "limit truncates ids" 1 (Array.length a.ids);
+     Alcotest.(check int) "limit keeps total" expected a.total
+   | r -> Alcotest.failf "want answer, got %s" (P.render_response r));
+  (match stats with
+   | P.Stats_reply kvs ->
+     Alcotest.(check string) "requests" "4" (List.assoc "requests" kvs);
+     Alcotest.(check string) "executed" "2" (List.assoc "executed" kvs);
+     Alcotest.(check string) "tenant" "2" (List.assoc "tenant.e2e" kvs)
+   | r -> Alcotest.failf "want stats, got %s" (P.render_response r));
+  Alcotest.(check bool) "bye" true (bye = P.Bye);
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
+(* ---------- server metrics --------------------------------------------- *)
+
+let test_server_metrics () =
+  let engine = library_engine () in
+  let server = S.create (S.config ~workers:1 ~queue_capacity:8 engine) in
+  ignore (S.submit server (P.query library_query));
+  ignore (S.submit server (P.query library_query));
+  S.shutdown server;
+  let m = S.metrics server in
+  let module Tm = Rox_telemetry.Metrics in
+  Alcotest.(check int) "serve_ns histogram count" 2 m.Tm.serve_ns.Tm.h_count;
+  Alcotest.(check int) "queue_wait histogram count" 2 m.Tm.queue_wait_ns.Tm.h_count;
+  Alcotest.(check bool) "absorbed session registries served 2 queries" true
+    (m.Tm.queries_served.Tm.c_value = 2)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "protocol: malformed requests rejected" `Quick test_request_rejects;
+    Alcotest.test_case "decoder: byte-by-byte" `Quick test_decoder_byte_by_byte;
+    Alcotest.test_case "decoder: truncated frame awaits" `Quick test_decoder_truncated_awaits;
+    Alcotest.test_case "decoder: junk and oversized corrupt" `Quick test_decoder_corrupt;
+    Alcotest.test_case "admission: full queue rejects" `Quick test_admission_rejects_when_full;
+    Alcotest.test_case "coalescing: bit-identical twins" `Quick test_coalescing_deterministic;
+    Alcotest.test_case "coalescing: distinct seeds independent" `Quick test_distinct_seeds_do_not_coalesce;
+    Alcotest.test_case "budget aborts answer as ERR" `Quick test_budget_abort_replies;
+    Alcotest.test_case "serve_check: RX601/602/603" `Quick test_serve_check_codes;
+    Alcotest.test_case "tenant accounting" `Quick test_tenant_accounting;
+    Alcotest.test_case "e2e: socketpair session, 2 domains" `Quick test_socketpair_session_two_domains;
+    Alcotest.test_case "server metrics snapshot" `Quick test_server_metrics;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("analysis", Suite_analysis.suite);
       ("concurrency", Suite_concurrency.suite);
       ("telemetry", Suite_telemetry.suite);
+      ("serve", Suite_serve.suite);
       ("fuzz", Suite_fuzz.suite);
       ("props", Suite_props.suite);
     ]
