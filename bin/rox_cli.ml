@@ -623,7 +623,7 @@ let serve_smoke scale =
   Printf.printf "serve-smoke: %s\n" (if !failures = 0 then "PASS" else "FAIL");
   if !failures = 0 then 0 else 1
 
-let serve_run docs socket port workers queue_cap cache_mb smoke scale =
+let serve_run docs socket port workers queue_cap max_conns cache_mb smoke scale =
   if smoke then serve_smoke scale
   else begin
     let engine = Rox_storage.Engine.create () in
@@ -649,7 +649,9 @@ let serve_run docs socket port workers queue_cap cache_mb smoke scale =
       else None
     in
     let server =
-      Serve.create (Serve.config ?cache ~workers ~queue_capacity:queue_cap engine)
+      Serve.create
+        (Serve.config ?cache ~workers ~queue_capacity:queue_cap
+           ~max_connections:max_conns engine)
     in
     let fd =
       match socket with
@@ -765,6 +767,11 @@ let serve_cmd =
            ~doc:"Admission-queue capacity; a full queue answers ERR busy \
                  (default 64).")
   in
+  let max_conns =
+    Arg.(value & opt int 256 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Concurrent-connection cap; an over-limit connection is \
+                 answered one ERR busy frame and closed (default 256).")
+  in
   let cache_mb =
     Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MB"
            ~doc:"Cross-query cache budget shared by all workers (0 = off).")
@@ -788,7 +795,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve_run $ docs_arg $ socket $ port $ workers $ queue_cap
-          $ cache_mb $ smoke $ scale)
+          $ max_conns $ cache_mb $ smoke $ scale)
 
 let profile_cmd =
   let repeat =

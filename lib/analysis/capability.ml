@@ -80,10 +80,11 @@ let allowlist =
       "mutex: outcome and waiters only change inside the server's one \
        t.mutex critical section (completion broadcasts under it)";
     f "lib/serve/server.ml" "t.*"
-      "mutex: queue, in-flight table, audit counters, tenant table, \
-       server metrics, stopping and the worker list all mutate inside \
-       Mutex.protect t.mutex (the locked wrapper records the Accesslog \
-       serve.mutex bracket); worker spawn/join carry hb tokens";
+      "mutex: queue, in-flight table, audit and connection counters, \
+       tenant table, server metrics, stopping and the worker list all \
+       mutate inside Mutex.protect t.mutex (the locked wrapper records \
+       the Accesslog serve.mutex bracket); worker spawn/join carry hb \
+       tokens";
     (* -- shred ----------------------------------------------------- *)
     f "lib/shred/doc.ml" "t.doc_id"
       "publish-before-spawn: written once by Engine.register before the \

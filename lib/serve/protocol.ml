@@ -316,9 +316,10 @@ let write_frame fd payload =
   let len = Bytes.length b in
   let off = ref 0 in
   while !off < len do
-    let n = Unix.write fd b !off (len - !off) in
-    if n = 0 then raise End_of_file;
-    off := !off + n
+    match Unix.write fd b !off (len - !off) with
+    | 0 -> raise End_of_file
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let read_frame fd d =

@@ -18,19 +18,38 @@ type config = {
   cache : Rox_cache.Store.t option;
   workers : int;
   queue_capacity : int;
+  max_connections : int;
   session : Session.config;
   telemetry : bool;
   max_frame : int;
 }
 
-let config ?cache ?(workers = 2) ?(queue_capacity = 64) ?session
-    ?(telemetry = true) ?(max_frame = Protocol.default_max_frame) engine =
+let config ?cache ?(workers = 2) ?(queue_capacity = 64)
+    ?(max_connections = 256) ?session ?(telemetry = true)
+    ?(max_frame = Protocol.default_max_frame) engine =
   let session =
     match session with Some s -> s | None -> Session.default_config ()
   in
   if workers < 0 then invalid_arg "Server.config: workers < 0";
   if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
-  { engine; cache; workers; queue_capacity; session; telemetry; max_frame }
+  if max_connections < 1 then invalid_arg "Server.config: max_connections < 1";
+  {
+    engine;
+    cache;
+    workers;
+    queue_capacity;
+    max_connections;
+    session;
+    telemetry;
+    max_frame;
+  }
+
+(* A client that disconnects before reading its reply turns our write into
+   a SIGPIPE, whose default disposition kills the whole process — every
+   tenant, every worker. Ignore it once, process-wide, and let the write's
+   EPIPE surface as an ordinary connection close. *)
+let ignore_sigpipe =
+  lazy (if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
 type pending = {
   key : Fingerprint.t;
@@ -57,6 +76,9 @@ type t = {
   mutable coalesced : int;
   mutable rejected : int;
   mutable divergence : int;
+  (* connection accounting — bounds the thread-per-connection pool *)
+  mutable conns : int;
+  mutable conn_rejected : int;
   tenants : (string, int) Hashtbl.t;
   metrics : Tm.t;                   (* server-level instruments, mutex-guarded *)
   aggregate : Aggregate.t;          (* absorbed per-request session sinks *)
@@ -246,6 +268,7 @@ let worker_loop t =
 (* ---- lifecycle ---------------------------------------------------------- *)
 
 let create cfg =
+  Lazy.force ignore_sigpipe;
   let armed = Accesslog.armed () in
   let reg_site name = if armed then Accesslog.site ~name Accesslog.Shared else -1 in
   let t =
@@ -262,6 +285,8 @@ let create cfg =
       coalesced = 0;
       rejected = 0;
       divergence = 0;
+      conns = 0;
+      conn_rejected = 0;
       tenants = Hashtbl.create 8;
       metrics = Tm.create ();
       aggregate = Aggregate.create ();
@@ -445,6 +470,12 @@ let stats_kvs t =
   let counts =
     locked t (fun () ->
         Accesslog.record ~site:t.al_counts Read;
+        Accesslog.record ~site:t.al_inflight Read;
+        (* Clients currently attached to in-flight executions: each entry's
+           submitter plus every coalesced waiter. *)
+        let inflight_waiters =
+          Hashtbl.fold (fun _ e acc -> acc + e.waiters) t.inflight 0
+        in
         [
           ("requests", string_of_int t.requests);
           ("responses", string_of_int t.responses);
@@ -455,6 +486,9 @@ let stats_kvs t =
           ("divergence", string_of_int t.divergence);
           ("queue_depth", string_of_int (Queue.length t.queue));
           ("inflight", string_of_int (Hashtbl.length t.inflight));
+          ("inflight_waiters", string_of_int inflight_waiters);
+          ("connections", string_of_int t.conns);
+          ("conn_rejected", string_of_int t.conn_rejected);
           ("workers", string_of_int t.cfg.workers);
         ])
   in
@@ -489,6 +523,18 @@ let handle_connection t fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
+      (* A peer that disconnected before reading its reply is an ordinary
+         connection close (SIGPIPE is ignored process-wide, so the failed
+         write surfaces as EPIPE), never a server error. *)
+      let reply_ok resp =
+        try
+          reply t fd resp;
+          true
+        with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+        | End_of_file ->
+          false
+      in
       let rec loop () =
         match Protocol.read_frame fd d with
         | `Eof -> ()
@@ -496,47 +542,97 @@ let handle_connection t fd =
           (* The stream cannot be resynchronized: answer the garbage as
              one request (keeping RX601 sound) and close. *)
           count_request t;
-          (try reply t fd (Protocol.Err (Protocol.Proto, msg))
-           with Unix.Unix_error _ | End_of_file -> ())
+          ignore (reply_ok (Protocol.Err (Protocol.Proto, msg)) : bool)
         | `Frame payload -> (
           count_request t;
           match Protocol.parse_request payload with
           | Error msg ->
-            reply t fd (Protocol.Err (Protocol.Proto, msg));
-            loop ()
-          | Ok Protocol.Ping ->
-            reply t fd Protocol.Pong;
-            loop ()
+            if reply_ok (Protocol.Err (Protocol.Proto, msg)) then loop ()
+          | Ok Protocol.Ping -> if reply_ok Protocol.Pong then loop ()
           | Ok Protocol.Stats ->
-            reply t fd (Protocol.Stats_reply (stats_kvs t));
-            loop ()
-          | Ok Protocol.Quit -> reply t fd Protocol.Bye
+            if reply_ok (Protocol.Stats_reply (stats_kvs t)) then loop ()
+          | Ok Protocol.Quit -> ignore (reply_ok Protocol.Bye : bool)
           | Ok (Protocol.Query q) -> (
             match submit_async t q with
             | `Rejected ->
-              reply t fd (Protocol.Err (Protocol.Busy, "admission queue full"));
-              loop ()
-            | `Ticket tk ->
-              reply t fd (await t tk);
-              loop ()))
+              if reply_ok (Protocol.Err (Protocol.Busy, "admission queue full"))
+              then loop ()
+            | `Ticket tk -> if reply_ok (await t tk) then loop ()))
       in
       loop ())
 
+(* Admit or bounce one accepted connection. The cap bounds the handler
+   thread pool — admission control only bounds queued queries: an
+   over-limit connection is answered one best-effort [ERR busy] frame —
+   outside the request/response audit, since it answers the connection
+   attempt rather than a parsed frame — and closed. *)
+let dispatch_connection t fd =
+  let admitted =
+    locked t (fun () ->
+        Accesslog.record ~site:t.al_counts Write;
+        if t.conns >= t.cfg.max_connections then begin
+          t.conn_rejected <- t.conn_rejected + 1;
+          false
+        end
+        else begin
+          t.conns <- t.conns + 1;
+          true
+        end)
+  in
+  if not admitted then begin
+    (try
+       Protocol.write_frame fd
+         (Protocol.render_response
+            (Protocol.Err (Protocol.Busy, "connection limit reached")))
+     with Unix.Unix_error _ | End_of_file -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else
+    let (_ : Thread.t) =
+      Thread.create
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              locked t (fun () ->
+                  Accesslog.record ~site:t.al_counts Write;
+                  t.conns <- t.conns - 1))
+            (fun () ->
+              try handle_connection t fd
+              with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())))
+        ()
+    in
+    ()
+
 let serve t listen_fd =
+  Lazy.force ignore_sigpipe;
   let rec loop () =
     let stop = locked t (fun () -> t.stopping) in
     if not stop then
       match Unix.accept listen_fd with
       | fd, _ ->
-        let (_ : Thread.t) =
-          Thread.create
-            (fun () ->
-              try handle_connection t fd
-              with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
-            ()
-        in
+        dispatch_connection t fd;
         loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error _ -> ()
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.ECONNRESET), _, _)
+        ->
+        (* The peer vanished between SYN and accept — its problem, not the
+           listening socket's. *)
+        loop ()
+      | exception Unix.Unix_error (((Unix.EMFILE | Unix.ENFILE) as e), _, _) ->
+        (* fd exhaustion is load, not a broken listener: back off, retry. *)
+        Printf.eprintf "rox serve: accept: %s; backing off\n%!"
+          (Unix.error_message e);
+        Unix.sleepf 0.05;
+        loop ()
+      | exception Unix.Unix_error (((Unix.EBADF | Unix.EINVAL) as e), _, _) ->
+        (* The listening fd itself is gone (closed or shut down under us):
+           nothing left to accept. *)
+        Printf.eprintf "rox serve: accept: %s; stopping\n%!"
+          (Unix.error_message e)
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "rox serve: accept: %s; retrying\n%!"
+          (Unix.error_message e);
+        Unix.sleepf 0.01;
+        loop ()
   in
   loop ()

@@ -37,6 +37,12 @@ type config = {
   cache : Rox_cache.Store.t option;   (** shared across all workers *)
   workers : int;        (** worker domains; [0] = drive with {!drain_once} *)
   queue_capacity : int; (** admission bound (≥ 1) *)
+  max_connections : int;
+      (** concurrent-connection cap for {!serve} (≥ 1): admission control
+          bounds queued {e queries}, this bounds handler {e threads} — an
+          over-limit connection is answered one [ERR busy] frame (outside
+          the request/response audit, since it answers the connection
+          attempt rather than a parsed frame) and closed *)
   session : Rox_core.Session.config;
       (** base per-request session config; wire-level overrides (seed, τ,
           budgets, client_id) win field-by-field *)
@@ -46,16 +52,19 @@ type config = {
 
 val config :
   ?cache:Rox_cache.Store.t -> ?workers:int -> ?queue_capacity:int ->
-  ?session:Rox_core.Session.config -> ?telemetry:bool -> ?max_frame:int ->
-  Rox_storage.Engine.t -> config
-(** Defaults: no cache, 2 workers, capacity 64, default session config,
-    telemetry on, {!Protocol.default_max_frame}. *)
+  ?max_connections:int -> ?session:Rox_core.Session.config ->
+  ?telemetry:bool -> ?max_frame:int -> Rox_storage.Engine.t -> config
+(** Defaults: no cache, 2 workers, capacity 64, 256 connections, default
+    session config, telemetry on, {!Protocol.default_max_frame}. *)
 
 type t
 
 val create : config -> t
 (** Spawns the worker domains. The coalesced-answer cross-check arms from
-    {!Rox_algebra.Sanitize.default_mode} at creation time. *)
+    {!Rox_algebra.Sanitize.default_mode} at creation time. Also ignores
+    [SIGPIPE] process-wide (once), so a client that disconnects before
+    reading its reply surfaces as [EPIPE] on the write — an ordinary
+    connection close — instead of killing the process. *)
 
 type ticket
 
@@ -87,13 +96,20 @@ val handle_connection : t -> Unix.file_descr -> unit
 
 val serve : t -> Unix.file_descr -> unit
 (** Accept loop on a listening socket: one {!handle_connection} thread
-    per connection. Returns when the socket closes or {!shutdown} ran. *)
+    per connection, bounded by [config.max_connections]. Transient accept
+    failures never stop the loop — [ECONNABORTED]/[ECONNRESET] retry
+    immediately, [EMFILE]/[ENFILE] (and anything else unexpected) log to
+    stderr and retry after a short backoff. Returns when the listening fd
+    itself dies ([EBADF]/[EINVAL], e.g. closed or shut down by the owner)
+    or {!shutdown} ran. *)
 
 val queue_depth : t -> int
 
 val stats_kvs : t -> (string * string) list
-(** The STATS reply: audit counters, queue depth, worker count, and
-    per-tenant served counts as [tenant.<client_id>]. *)
+(** The STATS reply: audit counters, queue depth, in-flight entries and
+    their attached waiters ([inflight_waiters] — submitters plus coalesced
+    clients), open/bounced connections ([connections] / [conn_rejected]),
+    worker count, and per-tenant served counts as [tenant.<client_id>]. *)
 
 val tenants : t -> (string * int) list
 (** Per-tenant admitted-request counts, sorted by client_id. *)

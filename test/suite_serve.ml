@@ -213,6 +213,11 @@ let test_coalescing_deterministic () =
     | `Rejected -> Alcotest.fail "identical request must coalesce, not reject"
   in
   Alcotest.(check int) "one queued execution" 1 (S.queue_depth server);
+  (* One in-flight entry, two clients attached to it (submitter + twin). *)
+  let stats = S.stats_kvs server in
+  Alcotest.(check string) "one inflight entry" "1" (List.assoc "inflight" stats);
+  Alcotest.(check string) "two attached waiters" "2"
+    (List.assoc "inflight_waiters" stats);
   Alcotest.(check bool) "one drain serves both" true (S.drain_once server);
   Alcotest.(check bool) "queue empty" false (S.drain_once server);
   let r1 = S.await server t1 and r2 = S.await server t2 in
@@ -372,6 +377,96 @@ let test_socketpair_session_two_domains () =
   Alcotest.(check bool) "bye" true (bye = P.Bye);
   Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
 
+(* ---------- disconnecting clients and the connection cap --------------- *)
+
+let test_sigpipe_ignored_on_closed_peer () =
+  let engine = library_engine () in
+  (* create installs the process-wide SIGPIPE ignore … *)
+  let server = S.create (S.config ~workers:0 ~telemetry:false engine) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  (* … so a write to a closed peer surfaces as EPIPE instead of killing
+     the whole test process. *)
+  (match P.write_frame a "PING" with
+   | () -> Alcotest.fail "write to a closed peer must fail"
+   | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+   | exception End_of_file -> ());
+  Unix.close a;
+  S.shutdown server
+
+let test_client_disconnects_mid_session () =
+  let engine = library_engine () in
+  let server = S.create (S.config ~workers:2 ~telemetry:false engine) in
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* The client fires a query and hangs up without reading the reply; the
+     handler must treat the dead peer as a normal close, not raise. *)
+  P.write_frame cli_fd (P.render_request (P.Query (P.query library_query)));
+  Unix.close cli_fd;
+  S.handle_connection server srv_fd;
+  S.shutdown server;
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
+let test_connection_cap () =
+  let engine = library_engine () in
+  let server =
+    S.create (S.config ~workers:1 ~max_connections:1 ~telemetry:false engine)
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rox_serve_cap_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 8;
+  let acceptor = Thread.create (fun () -> S.serve server listen_fd) () in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let recv fd d =
+    match P.read_frame fd d with
+    | `Frame payload -> (
+      match P.parse_response payload with
+      | Ok r -> `Resp r
+      | Error m -> Alcotest.failf "bad response: %s" m)
+    | `Eof -> `Eof
+    | `Corrupt m -> Alcotest.failf "corrupt stream: %s" m
+  in
+  let c1 = connect () in
+  let d1 = P.decoder () in
+  P.write_frame c1 (P.render_request P.Ping);
+  Alcotest.(check bool) "first connection serves" true
+    (recv c1 d1 = `Resp P.Pong);
+  (* The second connection is over the cap: one ERR busy frame, then EOF —
+     and the first connection keeps working. *)
+  let c2 = connect () in
+  let d2 = P.decoder () in
+  (match recv c2 d2 with
+   | `Resp (P.Err (P.Busy, _)) -> ()
+   | _ -> Alcotest.fail "over-cap connection must answer ERR busy");
+  Alcotest.(check bool) "over-cap connection closes" true (recv c2 d2 = `Eof);
+  Unix.close c2;
+  P.write_frame c1 (P.render_request P.Stats);
+  (match recv c1 d1 with
+   | `Resp (P.Stats_reply kvs) ->
+     Alcotest.(check string) "connections" "1" (List.assoc "connections" kvs);
+     Alcotest.(check string) "conn_rejected" "1"
+       (List.assoc "conn_rejected" kvs)
+   | _ -> Alcotest.fail "stats over the surviving connection");
+  P.write_frame c1 (P.render_request P.Quit);
+  Alcotest.(check bool) "bye" true (recv c1 d1 = `Resp P.Bye);
+  Unix.close c1;
+  (* Shutting the listener down makes accept fail on the fd itself, which
+     is the one condition that ends the loop. *)
+  Unix.shutdown listen_fd Unix.SHUTDOWN_ALL;
+  Thread.join acceptor;
+  Unix.close listen_fd;
+  S.shutdown server;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
 (* ---------- server metrics --------------------------------------------- *)
 
 let test_server_metrics () =
@@ -402,5 +497,8 @@ let suite =
     Alcotest.test_case "serve_check: RX601/602/603" `Quick test_serve_check_codes;
     Alcotest.test_case "tenant accounting" `Quick test_tenant_accounting;
     Alcotest.test_case "e2e: socketpair session, 2 domains" `Quick test_socketpair_session_two_domains;
+    Alcotest.test_case "sigpipe ignored: closed peer is EPIPE" `Quick test_sigpipe_ignored_on_closed_peer;
+    Alcotest.test_case "client disconnect is a normal close" `Quick test_client_disconnects_mid_session;
+    Alcotest.test_case "connection cap bounces with ERR busy" `Quick test_connection_cap;
     Alcotest.test_case "server metrics snapshot" `Quick test_server_metrics;
   ]
