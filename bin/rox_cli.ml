@@ -18,6 +18,18 @@ let optimizer_conv =
     [ ("rox", Opt_rox); ("greedy", Opt_greedy); ("static", Opt_static);
       ("midquery", Opt_midquery) ]
 
+(* Shard counts must be powers of two (Lru.create enforces it); reject
+   bad values at the command line instead of surfacing the exception. *)
+let shards_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 && n land (n - 1) = 0 -> Ok n
+    | Some n ->
+      Error (`Msg (Printf.sprintf "shard count %d is not a power of two" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid shard count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let read_query = function
   | "-" ->
     let buf = Buffer.create 1024 in
@@ -84,8 +96,8 @@ let write_file path content =
   close_out oc
 
 let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
-    max_sampled_rows count_only limit cache_mb cache_stats profile trace_out
-    metrics_out =
+    max_sampled_rows count_only limit cache_mb cache_shards cache_cost_aware
+    cache_stats profile trace_out metrics_out =
   let telemetry_on = profile || trace_out <> None || metrics_out <> None in
   let sink = Rox_telemetry.Sink.create ~enabled:telemetry_on () in
   let engine = Rox_storage.Engine.create () in
@@ -116,7 +128,13 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
   in
   if show_graph then prerr_string (Rox_joingraph.Pretty.to_string compiled.Rox_xquery.Compile.graph);
   let cache =
-    if cache_mb > 0 then Some (Rox_cache.Store.of_megabytes engine cache_mb) else None
+    if cache_mb > 0 then
+      Some
+        (Rox_cache.Store.of_megabytes ~shards:cache_shards
+           ~policy:(if cache_cost_aware then Rox_cache.Lru.Cost_aware
+                    else Rox_cache.Lru.Lru_only)
+           engine cache_mb)
+    else None
   in
   if (cache_mb > 0 || cache_stats)
      && not (optimizer = Opt_rox || optimizer = Opt_greedy)
@@ -623,7 +641,8 @@ let serve_smoke scale =
   Printf.printf "serve-smoke: %s\n" (if !failures = 0 then "PASS" else "FAIL");
   if !failures = 0 then 0 else 1
 
-let serve_run docs socket port workers queue_cap max_conns cache_mb smoke scale =
+let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
+    cache_cost_aware smoke scale =
   if smoke then serve_smoke scale
   else begin
     let engine = Rox_storage.Engine.create () in
@@ -645,7 +664,12 @@ let serve_run docs socket port workers queue_cap max_conns cache_mb smoke scale 
     if docs = [] then
       Printf.eprintf "warning: no --doc given; every doc() reference will fail\n";
     let cache =
-      if cache_mb > 0 then Some (Rox_cache.Store.of_megabytes engine cache_mb)
+      if cache_mb > 0 then
+        Some
+          (Rox_cache.Store.of_megabytes ~shards:cache_shards
+             ~policy:(if cache_cost_aware then Rox_cache.Lru.Cost_aware
+                      else Rox_cache.Lru.Lru_only)
+             engine cache_mb)
       else None
     in
     let server =
@@ -776,6 +800,18 @@ let serve_cmd =
     Arg.(value & opt int 0 & info [ "cache-mb" ] ~docv:"MB"
            ~doc:"Cross-query cache budget shared by all workers (0 = off).")
   in
+  let cache_shards =
+    Arg.(value & opt shards_conv Rox_cache.Store.default_shards
+         & info [ "cache-shards" ] ~docv:"N"
+             ~doc:"Power-of-two shard count for each cache (per-shard \
+                   mutexes plus a lock-free read fast path; default 4).")
+  in
+  let cache_cost_aware =
+    Arg.(value & flag
+         & info [ "cache-cost-aware" ]
+             ~doc:"Evict by cost-per-byte within the cold window instead \
+                   of pure LRU: keep what is expensive to recompute.")
+  in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
            ~doc:"Self-test: serve an in-process XMark engine to a scripted \
@@ -795,7 +831,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve_run $ docs_arg $ socket $ port $ workers $ queue_cap
-          $ max_conns $ cache_mb $ smoke $ scale)
+          $ max_conns $ cache_mb $ cache_shards $ cache_cost_aware $ smoke $ scale)
 
 let profile_cmd =
   let repeat =
@@ -944,6 +980,20 @@ let cmd =
                  executions and sample estimates (0 = off; default 0). Only \
                  affects the rox and greedy optimizers.")
   in
+  let cache_shards =
+    Arg.(value & opt shards_conv Rox_cache.Store.default_shards
+         & info [ "cache-shards" ] ~docv:"N"
+             ~doc:"Power-of-two shard count for each cache: keys spread \
+                   across N independently locked shards with a lock-free \
+                   read fast path (default 4; 1 = classic single lock).")
+  in
+  let cache_cost_aware =
+    Arg.(value & flag
+         & info [ "cache-cost-aware" ]
+             ~doc:"Evict by cost-per-byte within the cold window instead \
+                   of pure LRU: keep entries that are expensive to \
+                   recompute rather than merely recently used.")
+  in
   let cache_stats =
     Arg.(value & flag & info [ "cache-stats" ]
            ~doc:"Print cache hit/miss/eviction counters to stderr after the run \
@@ -958,11 +1008,12 @@ let cmd =
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed dl msr c l cmb cst p tro mo ->
-          run docs qf g t o tau seed dl msr c l cmb cst p tro mo;
+      const (fun docs qf g t o tau seed dl msr c l cmb csh cca cst p tro mo ->
+          run docs qf g t o tau seed dl msr c l cmb csh cca cst p tro mo;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb $ cache_stats
+      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb
+      $ cache_shards $ cache_cost_aware $ cache_stats
       $ profile $ trace_out_arg $ metrics_out_arg)
   in
   let group =

@@ -6,6 +6,7 @@ type contract =
   | Sorted_flag
   | Kernel_equiv
   | Session_confined
+  | Shard_consistent
 
 type violation = {
   op : string;
@@ -23,6 +24,7 @@ let contract_label = function
   | Sorted_flag -> "column sorted flag honest (strictly increasing)"
   | Kernel_equiv -> "columnar kernel bit-identical to naive reference"
   | Session_confined -> "per-query state reached only through the session"
+  | Shard_consistent -> "lock-free shard hit bit-identical to locked reference"
 
 let fail ~op ~contract detail = raise (Violation { op; contract; detail })
 

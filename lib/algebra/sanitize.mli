@@ -41,6 +41,10 @@ type contract =
       (** no operator inside a session run reads process-global mutable
           state (cost counters, RNG, sanitize mode) other than through its
           session (RX307) *)
+  | Shard_consistent
+      (** a sharded-cache hit served by the lock-free fast path is
+          bit-identical to what the single-lock reference lookup returns
+          for the same key (RX308) *)
 
 type violation = {
   op : string;          (** operator, e.g. ["Staircase.join(descendant)"] *)

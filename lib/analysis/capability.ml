@@ -55,10 +55,12 @@ let allowlist =
     (* -- cache ----------------------------------------------------- *)
     f "lib/cache/lru.ml" "node.*"
       "mutex: recency links and entry payloads only change inside the \
-       owning cache's t.lock critical section";
-    f "lib/cache/lru.ml" "t.*"
-      "mutex: every public operation runs under t.lock (Mutex.protect \
-       in locked); the armed access log records each entry as a Write";
+       owning shard's lock critical section";
+    f "lib/cache/lru.ml" "shard.*"
+      "mutex: every locked operation runs under the shard's own lock \
+       (Mutex.protect in locked / try_locked); the lock-free fast path \
+       reads only the Atomic-published immutable image, never these \
+       fields; the armed access log records each locked entry as a Write";
     (* -- core ------------------------------------------------------ *)
     f "lib/core/session.ml" "t.deadline_at"
       "single-owner: a session lives and dies on one domain; confine \
@@ -102,15 +104,20 @@ let allowlist =
        access-log site, so a bump overlapping a reader is RX503";
     (* -- telemetry ------------------------------------------------- *)
     f "lib/telemetry/metrics.ml" "counter.*"
-      "single-owner: a Metrics.t belongs to one sink on one domain; the \
-       process-wide registry is only touched via Aggregate's mutex";
+      "single-owner: a Metrics.t belongs to one sink on one domain; \
+       cross-domain totals live in Aggregate's per-domain slots, each \
+       mutated only under its own slot mutex";
     f "lib/telemetry/metrics.ml" "gauge.*"
       "single-owner: same discipline as counter.*";
     f "lib/telemetry/metrics.ml" "histogram.*"
       "single-owner: same discipline as counter.*";
+    f "lib/telemetry/aggregate.ml" "t.slots"
+      "mutex: the slot list grows only under reg_mutex; each slot's \
+       Metrics.t mutates only under that slot's slot_mutex, and the \
+       owning domain is its only steady-state writer (Domain.DLS)";
     f "lib/telemetry/sink.ml" "t.*"
       "single-owner: sinks are session-local; Aggregate.absorb moves \
-       totals across domains under its mutex";
+       totals into the calling domain's slot under that slot's mutex";
     (* -- util: access log itself ----------------------------------- *)
     g "lib/util/accesslog.ml" "armed_flag"
       "publish-before-spawn: flipped at CLI startup or by a racecheck \

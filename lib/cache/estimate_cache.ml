@@ -2,17 +2,26 @@ module L = Lru.Make (struct
   type t = string
 
   let equal = String.equal
-  let hash = Hashtbl.hash
+  let hash = Fingerprint.shard_hash
 end)
 
 type t = Rox_algebra.Cutoff.t L.t
 
-let create ~budget = L.create ~name:"cache.estimates" ~budget
-let find t k = L.find t k
+(* Cutoff.t is plain data (estimate, out array, consumed flag), so
+   structural equality is the bit-identity the RX308 cross-check wants. *)
+let cutoff_equal (a : Rox_algebra.Cutoff.t) (b : Rox_algebra.Cutoff.t) =
+  a == b || a = b
+
+let create ?shards ?policy ?fast_path ?rebalance_every ?validate ~budget () =
+  L.create ~name:"cache.estimates" ?shards ?policy ?fast_path ?rebalance_every
+    ?validate ~check_equal:cutoff_equal ~budget ()
+
+let find ?sanitize t k = L.find ?sanitize t k
 
 let weight (c : Rox_algebra.Cutoff.t) =
   (8 * Array.length c.Rox_algebra.Cutoff.out) + 160
 
-let add t k v = L.add t k ~weight:(weight v) v
+let add ?cost t k v = L.add t k ~weight:(weight v) ?cost v
 let stats = L.stats
+let shard_stats = L.shard_stats
 let clear = L.clear

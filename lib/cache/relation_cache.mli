@@ -15,14 +15,29 @@ type value = { left : Rox_util.Column.t; right : Rox_util.Column.t }
 
 type t
 
-val create : budget:int -> t
-(** [budget] in bytes of resident pair data. *)
+val create :
+  ?shards:int ->
+  ?policy:Lru.policy ->
+  ?fast_path:bool ->
+  ?rebalance_every:int ->
+  ?validate:(unit -> int) ->
+  budget:int ->
+  unit ->
+  t
+(** [budget] in bytes of resident pair data; sharding, eviction policy,
+    fast path and epoch validation as in {!Lru.S.create}. Fast-path hits
+    are cross-checked against the locked reference by column content
+    (Fingerprint digests) under the sanitizer. *)
 
-val find : t -> Fingerprint.t -> value option
-val add : t -> Fingerprint.t -> value -> unit
+val find : ?sanitize:bool -> t -> Fingerprint.t -> value option
+val add : ?cost:int -> t -> Fingerprint.t -> value -> unit
+(** [cost] is the measured execution time (ns) of producing the value —
+    the input to cost-aware eviction. *)
+
 val weight : value -> int
 (** The byte weight charged for a value: underlying column storage (shared
     storage counted once) plus entry overhead. *)
 
 val stats : t -> Lru.stats
+val shard_stats : t -> Lru.stats array
 val clear : t -> unit

@@ -85,7 +85,10 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
         ]
     in
     let estimates = Rox_cache.Store.estimates store in
-    (match Rox_cache.Estimate_cache.find estimates key with
+    (match
+       Rox_cache.Estimate_cache.find ~sanitize:(Session.sanitize t.session)
+         estimates key
+     with
      | Some cut ->
        note_lookup true;
        Trace.emit (trace t)
@@ -113,8 +116,10 @@ let sampled_cutoff t (e : Edge.t) ~outer ~sample ~inner_table ~limit =
        note_lookup false;
        Trace.emit (trace t)
          (Trace.Cache_lookup { edge = e.Edge.id; store = `Estimate; hit = false });
+       let t0 = Rox_telemetry.Clock.now_ns () in
        let cut = run_charged () in
-       Rox_cache.Estimate_cache.add estimates key cut;
+       let cost = Rox_telemetry.Clock.elapsed_ns t0 in
+       Rox_cache.Estimate_cache.add ~cost estimates key cut;
        cut)
 
 let set_sample_from t v table =

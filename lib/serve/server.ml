@@ -200,6 +200,9 @@ let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
             rows limit )
     | exn -> Protocol.Err (Protocol.Internal, Printexc.to_string exn)
   in
+  (* Runs on the worker's own domain, so the absorb lands in that
+     domain's Aggregate slot: per-request sinks batch into the worker's
+     local registry without ever contending with other workers. *)
   if absorb && t.cfg.telemetry then Aggregate.absorb t.aggregate (Sink.metrics sink);
   resp
 
@@ -492,7 +495,41 @@ let stats_kvs t =
           ("workers", string_of_int t.cfg.workers);
         ])
   in
-  counts
+  (* Cache shard surface: per-shard residency plus the eviction and
+     contention counters the sharded store maintains (no server lock —
+     Store aggregates one shard lock at a time). *)
+  let cache_kvs =
+    match t.cfg.cache with
+    | None -> []
+    | Some store ->
+      let rel, est = Rox_cache.Store.shard_stats store in
+      let member name (per : Rox_cache.Lru.stats array) =
+        let sum f = Array.fold_left (fun a s -> a + f s) 0 per in
+        let open Rox_cache.Lru in
+        [
+          (Printf.sprintf "cache.%s.shards" name, string_of_int (Array.length per));
+          (Printf.sprintf "cache.%s.bytes" name, string_of_int (sum (fun s -> s.bytes)));
+          (Printf.sprintf "cache.%s.entries" name, string_of_int (sum (fun s -> s.entries)));
+          (Printf.sprintf "cache.%s.evictions" name, string_of_int (sum (fun s -> s.evictions)));
+          ( Printf.sprintf "cache.%s.cost_evictions" name,
+            string_of_int (sum (fun s -> s.cost_evictions)) );
+          (Printf.sprintf "cache.%s.lock_waits" name, string_of_int (sum (fun s -> s.lock_waits)));
+          (Printf.sprintf "cache.%s.fast_hits" name, string_of_int (sum (fun s -> s.fast_hits)));
+        ]
+        @ List.concat
+            (List.mapi
+               (fun i (s : Rox_cache.Lru.stats) ->
+                 [
+                   ( Printf.sprintf "cache.%s.shard%d.bytes" name i,
+                     string_of_int s.bytes );
+                   ( Printf.sprintf "cache.%s.shard%d.entries" name i,
+                     string_of_int s.entries );
+                 ])
+               (Array.to_list per))
+      in
+      member "relations" rel @ member "estimates" est
+  in
+  counts @ cache_kvs
   @ List.map (fun (k, v) -> ("tenant." ^ k, string_of_int v)) (tenants t)
 
 let aggregate t = t.aggregate

@@ -39,6 +39,7 @@ type t = {
   queries_served : counter;
   budget_aborts : counter;
   spans_dropped : counter;
+  aggregate_merges : counter;
   requests_received : counter;
   responses_sent : counter;
   admission_rejects : counter;
@@ -46,6 +47,7 @@ type t = {
   queue_wait_ns : histogram;
   serve_ns : histogram;
   cache_resident_bytes : gauge;
+  cache_shard_lock_waits : gauge;
   queue_depth : gauge;
 }
 
@@ -90,6 +92,9 @@ let create () =
     budget_aborts =
       counter "rox_budget_aborts_total" "runs aborted by a deadline or sampling budget";
     spans_dropped = counter "rox_spans_dropped_total" "spans lost to the sink buffer cap";
+    aggregate_merges =
+      counter "rox_aggregate_merges_total"
+        "per-session registries merged into a domain-local aggregate slot";
     requests_received =
       counter "rox_serve_requests_total" "protocol frames parsed by the server";
     responses_sent =
@@ -108,6 +113,9 @@ let create () =
         "whole served-request latency (queue wait + execution)";
     cache_resident_bytes =
       gauge "rox_cache_resident_bytes" "bytes resident in the cross-query cache";
+    cache_shard_lock_waits =
+      gauge "rox_cache_shard_lock_waits"
+        "cache lookups that found their shard lock busy (cumulative, last observed)";
     queue_depth = gauge "rox_serve_queue_depth" "requests waiting in the admission queue";
   }
 
@@ -157,11 +165,11 @@ let counters t =
     t.sampling_time_ns; t.execution_time_ns; t.relation_cache_hits;
     t.relation_cache_misses; t.estimate_cache_hits; t.estimate_cache_misses;
     t.rows_materialized; t.pairs_emitted; t.edges_executed; t.chain_rounds;
-    t.queries_served; t.budget_aborts; t.spans_dropped; t.requests_received;
-    t.responses_sent; t.admission_rejects; t.coalesce_hits;
+    t.queries_served; t.budget_aborts; t.spans_dropped; t.aggregate_merges;
+    t.requests_received; t.responses_sent; t.admission_rejects; t.coalesce_hits;
   ]
 
-let gauges t = [ t.cache_resident_bytes; t.queue_depth ]
+let gauges t = [ t.cache_resident_bytes; t.cache_shard_lock_waits; t.queue_depth ]
 
 let histograms t =
   [ t.compile_ns; t.query_ns; t.edge_execution_ns; t.chain_round_ns;

@@ -57,6 +57,7 @@ type t = {
   queries_served : counter;
   budget_aborts : counter;       (** runs ended by [Cost.Budget_exceeded] *)
   spans_dropped : counter;       (** spans lost to the sink's buffer cap *)
+  aggregate_merges : counter;    (** registries merged into a domain-local slot *)
   requests_received : counter;   (** protocol frames parsed by [rox serve] *)
   responses_sent : counter;      (** protocol replies written by [rox serve] *)
   admission_rejects : counter;   (** requests bounced off a full queue *)
@@ -64,6 +65,7 @@ type t = {
   queue_wait_ns : histogram;     (** admission-queue residence per request *)
   serve_ns : histogram;          (** whole served-request latency *)
   cache_resident_bytes : gauge;  (** last observed [Rox_cache] residency *)
+  cache_shard_lock_waits : gauge; (** last observed shard-lock contention total *)
   queue_depth : gauge;           (** requests waiting in the admission queue *)
 }
 

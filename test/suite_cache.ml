@@ -43,7 +43,7 @@ let prop_lru_model =
     QCheck.(pair small_int (int_range 5 60))
     (fun (seed, budget) ->
       let rng = Rox_util.Xoshiro.create (seed * 31 + budget) in
-      let cache = SLru.create ~name:"test.lru" ~budget in
+      let cache = SLru.create ~name:"test.lru" ~budget () in
       let model = ref [] in
       let ok = ref true in
       for i = 0 to 79 do
@@ -76,7 +76,7 @@ let prop_lru_model =
       && s.Lru.bytes = model_total !model)
 
 let test_lru_basics () =
-  let c = SLru.create ~name:"test.lru" ~budget:10 in
+  let c = SLru.create ~name:"test.lru" ~budget:10 () in
   SLru.add c "a" ~weight:4 1;
   SLru.add c "b" ~weight:4 2;
   check_bool "both resident" true (SLru.mem c "a" && SLru.mem c "b");
@@ -96,13 +96,166 @@ let test_lru_basics () =
      | _ -> false
      | exception Invalid_argument _ -> true);
   (* A non-positive budget means "cache off": nothing is ever admitted. *)
-  let off = SLru.create ~name:"test.lru" ~budget:0 in
+  let off = SLru.create ~name:"test.lru" ~budget:0 () in
   SLru.add off "a" ~weight:0 1;
   check_bool "budget 0 admits nothing" true (not (SLru.mem off "a"));
   SLru.clear c;
   let s = SLru.stats c in
   check_int "clear empties" 0 s.Lru.entries;
   check_int "clear keeps counters" 1 s.Lru.rejected
+
+(* ---------- Sharded store vs independent single-shard models ---------- *)
+
+(* With rebalancing off, a 4-shard cache must be observationally equal to
+   four independent single-shard caches each holding a quarter of the
+   budget, with keys routed by [shard_of]: same find answers, same
+   per-shard hit/miss/eviction counters, same residency, same
+   coldest-first order. This is the property that makes the sharding
+   refactor safe: nothing about admission or recency is global. *)
+let prop_sharded_model =
+  qtest ~count:150 "4-shard LRU = 4 independent single-shard models"
+    QCheck.(pair small_int (int_range 8 200))
+    (fun (seed, budget) ->
+      let rng = Rox_util.Xoshiro.create ((seed * 97) + budget) in
+      let sharded =
+        SLru.create ~name:"test.shardmodel" ~shards:4 ~rebalance_every:0
+          ~budget ()
+      in
+      let refs =
+        Array.init 4 (fun i ->
+            SLru.create
+              ~name:(Printf.sprintf "test.shardmodel.ref%d" i)
+              ~budget:(budget / 4) ())
+      in
+      let ok = ref true in
+      for i = 0 to 199 do
+        let k = Printf.sprintf "m%d" (Rox_util.Xoshiro.int rng 24) in
+        let r = refs.(SLru.shard_of sharded k) in
+        if Rox_util.Xoshiro.int rng 3 = 0 then begin
+          if SLru.find_fast sharded k <> SLru.find_fast r k then ok := false;
+          if SLru.find sharded k <> SLru.find r k then ok := false
+        end
+        else begin
+          let w = Rox_util.Xoshiro.int rng ((budget / 3) + 2) in
+          SLru.add sharded k ~weight:w ~cost:i i;
+          SLru.add r k ~weight:w ~cost:i i
+        end
+      done;
+      let per = SLru.shard_stats sharded in
+      let counters_match =
+        List.for_all
+          (fun i ->
+            let a = per.(i) and b = SLru.stats refs.(i) in
+            a.Lru.hits = b.Lru.hits
+            && a.Lru.misses = b.Lru.misses
+            && a.Lru.insertions = b.Lru.insertions
+            && a.Lru.evictions = b.Lru.evictions
+            && a.Lru.rejected = b.Lru.rejected
+            && a.Lru.entries = b.Lru.entries
+            && a.Lru.bytes = b.Lru.bytes
+            && a.Lru.budget = b.Lru.budget)
+          [ 0; 1; 2; 3 ]
+      in
+      let order c =
+        let acc = ref [] in
+        SLru.iter_coldest_first c (fun k v -> acc := (k, v) :: !acc);
+        List.rev !acc
+      in
+      let expected = List.concat_map (fun i -> order refs.(i)) [ 0; 1; 2; 3 ] in
+      !ok && counters_match && order sharded = expected)
+
+(* ---------- Cost-aware admission ---------- *)
+
+let test_cost_aware_eviction () =
+  (* The coldest entry is the most expensive to recompute; a cheap one
+     sits just above it in the recency order. Plain LRU sacrifices the
+     dear entry; the cost-aware policy spares it and counts the swap. *)
+  let run policy =
+    let c = SLru.create ~name:"test.cost" ~policy ~budget:12 () in
+    SLru.add c "dear" ~weight:4 ~cost:1_000_000 1;
+    SLru.add c "cheap" ~weight:4 ~cost:10 2;
+    SLru.add c "mid" ~weight:4 ~cost:500 3;
+    (* The budget is now full: the next insert forces one eviction. *)
+    SLru.add c "new" ~weight:4 ~cost:100 4;
+    c
+  in
+  let lru = run Lru.Lru_only in
+  check_bool "LRU evicts the coldest (dear)" true
+    ((not (SLru.mem lru "dear")) && SLru.mem lru "cheap");
+  check_int "no cost evictions under plain LRU" 0
+    (SLru.stats lru).Lru.cost_evictions;
+  let ca = run Lru.Cost_aware in
+  check_bool "cost-aware spares dear, evicts cheap" true
+    (SLru.mem ca "dear" && not (SLru.mem ca "cheap"));
+  let s = SLru.stats ca in
+  check_int "one eviction" 1 s.Lru.evictions;
+  check_int "counted as cost-aware" 1 s.Lru.cost_evictions
+
+(* ---------- Budget rebalance ---------- *)
+
+let test_shard_rebalance () =
+  let total = 4096 in
+  let c =
+    SLru.create ~name:"test.rebalance" ~shards:4 ~rebalance_every:8
+      ~budget:total ()
+  in
+  (* Drive every insertion into one shard; after [rebalance_every]
+     insertions its budget share must grow while cold shards keep their
+     quarter-share floor. *)
+  let hot = SLru.shard_of c "r0" in
+  let rec hot_keys i acc n =
+    if n = 0 then List.rev acc
+    else
+      let k = Printf.sprintf "r%d" i in
+      if SLru.shard_of c k = hot then hot_keys (i + 1) (k :: acc) (n - 1)
+      else hot_keys (i + 1) acc n
+  in
+  List.iter (fun k -> SLru.add c k ~weight:32 0) (hot_keys 0 [] 16);
+  let per = SLru.shard_stats c in
+  let hot_b = per.(hot).Lru.budget in
+  check_bool "hot shard budget grew past its even share" true
+    (hot_b > total / 4);
+  Array.iteri
+    (fun i s ->
+      if i <> hot then begin
+        check_bool "cold shard keeps its floor" true
+          (s.Lru.budget >= total / 16);
+        check_bool "cold shard below hot" true (s.Lru.budget < hot_b)
+      end)
+    per;
+  let sum = Array.fold_left (fun a s -> a + s.Lru.budget) 0 per in
+  check_bool "shard budgets stay within the total" true (sum <= total);
+  check_int "aggregate stats report the configured total" total
+    (SLru.stats c).Lru.budget
+
+(* ---------- Two-domain hammer: every hit bit-identical ---------- *)
+
+let test_sharded_hammer_bit_identical () =
+  (* Each key's value is a pure function of the key, so whatever domain
+     wrote last, any hit — locked or lock-free — must return exactly
+     that function's value. *)
+  let expected k = Hashtbl.hash ("v:" ^ k) in
+  let cache = SLru.create ~name:"test.hammer" ~shards:4 ~budget:65536 () in
+  let keys = Array.init 64 (fun i -> Printf.sprintf "h%d" i) in
+  Array.iter (fun k -> SLru.add cache k ~weight:8 (expected k)) keys;
+  let bad = Atomic.make 0 in
+  let work d () =
+    for i = 1 to 500 do
+      let k = keys.(i * (d + 3) land 63) in
+      SLru.add cache k ~weight:8 (expected k);
+      (match SLru.find cache k with
+       | Some v when v <> expected k -> Atomic.incr bad
+       | _ -> ());
+      match SLru.find_fast cache k with
+      | Some v when v <> expected k -> Atomic.incr bad
+      | _ -> ()
+    done
+  in
+  let other = Domain.spawn (work 1) in
+  work 0 ();
+  Domain.join other;
+  check_int "every hit bit-identical to the writer's value" 0
+    (Atomic.get bad)
 
 (* ---------- Fingerprints ---------- *)
 
@@ -228,6 +381,11 @@ let suite =
   [
     prop_lru_model;
     Alcotest.test_case "weighted LRU basics" `Quick test_lru_basics;
+    prop_sharded_model;
+    Alcotest.test_case "cost-aware eviction" `Quick test_cost_aware_eviction;
+    Alcotest.test_case "shard budget rebalance" `Quick test_shard_rebalance;
+    Alcotest.test_case "2-domain hammer hits bit-identical" `Slow
+      test_sharded_hammer_bit_identical;
     prop_fingerprint;
     Alcotest.test_case "epoch bump invalidates" `Quick test_epoch_invalidation;
     Alcotest.test_case "repeat run replays from cache" `Quick test_estimate_reuse;

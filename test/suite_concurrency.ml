@@ -192,7 +192,7 @@ let test_shared_lru_clean () =
   end) in
   let diags =
     A.Race_fixtures.with_recording (fun () ->
-        let cache = L.create ~name:"test.shared_lru" ~budget:4096 in
+        let cache = L.create ~name:"test.shared_lru" ~budget:4096 () in
         A.Race_fixtures.fork_join 2 (fun d ->
             for i = 1 to 100 do
               L.add cache (i land 15) ~weight:8 (d * 1000 + i);
