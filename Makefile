@@ -1,4 +1,4 @@
-.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke serve-smoke check clean
+.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke serve-smoke par-smoke check clean
 
 all: build
 
@@ -62,6 +62,16 @@ bench-smoke:
 serve-smoke:
 	dune exec bin/rox_cli.exe -- serve --smoke
 
+# Intra-query parallelism under the sanitizer: the built-in profile
+# workload at --parallel-parts 2, so every partitioned edge kernel is
+# replayed sequentially and bit-compared (RX310 Partition_consistent)
+# and every concurrent racing probe must reproduce the sequential
+# scores. Catches partition/merge divergence that a 1-core container's
+# timing never would.
+par-smoke:
+	ROX_SANITIZE=1 dune exec bin/rox_cli.exe -- profile --parallel-parts 2 \
+	  --scale 0.02 > /dev/null
+
 # An instrumented run of the built-in XMark workload: --profile summary
 # on stderr, Chrome trace-event JSON + Prometheus metrics on disk, then
 # the emitted trace parsed back and schema-checked (well-nested spans,
@@ -71,7 +81,7 @@ profile-smoke:
 	  --trace-out rox_trace.json --metrics-out rox_metrics.prom
 	dune exec bin/rox_cli.exe -- trace-validate rox_trace.json
 
-check: build test analyze lint racecheck sanitize profile-smoke serve-smoke
+check: build test analyze lint racecheck sanitize profile-smoke serve-smoke par-smoke
 	-$(MAKE) bench-smoke
 
 clean:

@@ -233,3 +233,16 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
+
+(* ---------- Machine stamp ---------- *)
+
+let cores () = Domain.recommended_domain_count ()
+
+(* The "machine" fragment every BENCH_*.json carries: a scaling (or
+   non-scaling) number is unreadable without the core count the run
+   actually had — a 1-core container must be recognizable from the
+   artifact alone. [domains_used] is the widest fan-out the experiment
+   attempted, 1 for single-domain experiments. *)
+let machine_json ~domains_used =
+  Printf.sprintf "\"machine\": {\"cores\": %d, \"domains_used\": %d}"
+    (cores ()) domains_used

@@ -108,9 +108,9 @@ let run ~full () =
     speedup;
   print_string (Store.stats_to_string stats);
   let oc = open_out json_file in
+  Printf.fprintf oc "{\n  %s,\n" (machine_json ~domains_used:1);
   Printf.fprintf oc
-    {|{
-  "experiment": "cache",
+    {|  "experiment": "cache",
   "workload": "xmark q1 family",
   "queries": %d,
   "xmark_factor": %g,

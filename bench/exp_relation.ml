@@ -158,8 +158,8 @@ let run ~full () =
   Printf.printf "minimum speedup at 10^5 rows: %.2fx\n" min_speedup;
   let oc = open_out json_file in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"relation\",\n  \"bit_identical\": true,\n  \"min_speedup_1e5\": %.2f,\n  \"cases\": [\n"
-    min_speedup;
+    "{\n  %s,\n  \"experiment\": \"relation\",\n  \"bit_identical\": true,\n  \"min_speedup_1e5\": %.2f,\n  \"cases\": [\n"
+    (machine_json ~domains_used:1) min_speedup;
   List.iteri
     (fun i c ->
       Printf.fprintf oc

@@ -97,7 +97,7 @@ let ids_of = function P.Answer a -> Some a.ids | _ -> None
 let run ?(factor = 0.1) ?(requests = 90) () =
   header "Serving front-end: admission, worker domains, coalescing";
   let engine = xmark_engine ~factor () in
-  let n_cores = Domain.recommended_domain_count () in
+  let n_cores = cores () in
   let big_workers = 4 in
   Printf.printf "machine: %d recommended domain(s)\n%!" n_cores;
 
@@ -230,6 +230,8 @@ let run ?(factor = 0.1) ?(requests = 90) () =
   (* -- BENCH_serve.json ---------------------------------------------- *)
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %s,\n" (machine_json ~domains_used:big_workers));
   Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" n_cores);
   Buffer.add_string buf (Printf.sprintf "  \"requests_per_leg\": %d,\n" requests);
   Buffer.add_string buf "  \"closed_loop\": [\n";

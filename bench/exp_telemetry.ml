@@ -65,6 +65,8 @@ let run ?(full = false) () =
     Printf.printf "note: above the %.0f%% target — rerun on a quiet machine\n" target;
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %s,\n" (Bench_common.machine_json ~domains_used:1));
   Buffer.add_string buf (Printf.sprintf "  \"workload\": \"fig5 dblp x%d\",\n" scale);
   Buffer.add_string buf (Printf.sprintf "  \"runs_per_trial\": %d,\n" reps);
   Buffer.add_string buf (Printf.sprintf "  \"trials\": %d,\n" trials);

@@ -95,9 +95,9 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
-let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
-    max_sampled_rows count_only limit cache_mb cache_shards cache_cost_aware
-    cache_stats profile trace_out metrics_out =
+let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
+    deadline_ms max_sampled_rows count_only limit cache_mb cache_shards
+    cache_cost_aware cache_stats profile trace_out metrics_out =
   let telemetry_on = profile || trace_out <> None || metrics_out <> None in
   let sink = Rox_telemetry.Sink.create ~enabled:telemetry_on () in
   let engine = Rox_storage.Engine.create () in
@@ -153,6 +153,13 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
     { (Rox_core.Session.default_config ()) with
       Rox_core.Session.tau; seed; use_chain; budgets }
   in
+  (* One pool for the whole invocation, shared by whichever session the
+     optimizer choice builds; [--parallel-parts 1] spawns nothing and runs
+     the strictly sequential engine byte-for-byte. *)
+  let pool =
+    if parallel_parts > 1 then Some (Rox_core.Pool.create ~parts:parallel_parts)
+    else None
+  in
   (* Telemetry outputs are written on success AND on a budget abort — an
      aborted run's partial profile is exactly what one wants to inspect. *)
   let emit_telemetry ?work_units () =
@@ -182,7 +189,7 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
         let session =
           Rox_core.Session.create
             ~config:(session_config (optimizer = Opt_rox))
-            ~trace ?cache ~telemetry:sink ()
+            ~trace ?cache ~telemetry:sink ?pool ()
         in
         let answer, result = Rox_core.Optimizer.answer session compiled in
         if show_trace then begin
@@ -199,13 +206,15 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
           Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
         in
         let session =
-          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink ()
+          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink
+            ?pool ()
         in
         let answer, run = Rox_classical.Executor.answer session compiled order in
         (answer, run.Rox_classical.Executor.counter)
       | Opt_midquery ->
         let session =
-          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink ()
+          Rox_core.Session.create ~config:(session_config false) ~telemetry:sink
+            ?pool ()
         in
         let answer, run = Rox_classical.Midquery.answer session compiled in
         Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
@@ -215,9 +224,11 @@ let run docs query_file show_graph show_trace optimizer tau seed deadline_ms
        | Some m -> Printf.eprintf "aborted: %s\n" m
        | None -> ());
       emit_telemetry ();
+      Option.iter Rox_core.Pool.shutdown pool;
       exit 2
   in
   let dt = Unix.gettimeofday () -. t0 in
+  Option.iter Rox_core.Pool.shutdown pool;
   Printf.eprintf "answer: %d nodes; work: sampling=%d execution=%d; %.3fs\n"
     (Array.length answer)
     (Rox_algebra.Cost.read counter Rox_algebra.Cost.Sampling)
@@ -484,6 +495,30 @@ let racecheck_workload ~domains ~iters ~scale () =
                     (Rox_telemetry.Sink.metrics telemetry))
                 compiled_list
             done);
+        (* Intra-query pass: the same queries with every session lent one
+           shared 2-part pool, so partitioned edge kernels and concurrent
+           racing probes run under the armed log — the recording covers the
+           pool's generation/batch handoff (hb fork/join tokens) alongside
+           the client domains' own session traffic. *)
+        let pool = Rox_core.Pool.create ~parts:2 in
+        A.Race_fixtures.fork_join domains (fun _ ->
+            for _ = 1 to iters do
+              List.iter
+                (fun compiled ->
+                  let telemetry = Rox_telemetry.Sink.create ~enabled:true () in
+                  let session =
+                    Rox_core.Session.create ~cache ~telemetry ~pool ()
+                  in
+                  let answer =
+                    Rox_core.Session.confine session (fun () ->
+                        fst (Rox_core.Optimizer.answer session compiled))
+                  in
+                  ignore (answer : _ array);
+                  Rox_telemetry.Aggregate.absorb aggregate
+                    (Rox_telemetry.Sink.metrics telemetry))
+                compiled_list
+            done);
+        Rox_core.Pool.shutdown pool;
         (* Served pass: the same queries through the serving front-end's
            shared state (admission queue, in-flight table, audit counters)
            — client domains submitting against a 2-worker pool, so the
@@ -642,7 +677,7 @@ let serve_smoke scale =
   if !failures = 0 then 0 else 1
 
 let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
-    cache_cost_aware smoke scale =
+    cache_cost_aware parallel_parts smoke scale =
   if smoke then serve_smoke scale
   else begin
     let engine = Rox_storage.Engine.create () in
@@ -675,7 +710,8 @@ let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
     let server =
       Serve.create
         (Serve.config ?cache ~workers ~queue_capacity:queue_cap
-           ~max_connections:max_conns engine)
+           ~max_connections:max_conns ~parallel_parts:(max 1 parallel_parts)
+           engine)
     in
     let fd =
       match socket with
@@ -706,7 +742,7 @@ let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
 (* profile: the built-in XMark workload under full telemetry — the self-  *)
 (* contained run behind `make profile-smoke` (no external files needed).  *)
 
-let profile_builtin trace_out metrics_out repeat scale =
+let profile_builtin trace_out metrics_out repeat scale parallel_parts =
   let engine = Rox_storage.Engine.create () in
   let params = Rox_workload.Xmark.scaled scale in
   ignore
@@ -714,13 +750,17 @@ let profile_builtin trace_out metrics_out repeat scale =
       : Rox_storage.Engine.docref);
   let sink = Rox_telemetry.Sink.create ~enabled:true () in
   let cache = Rox_cache.Store.of_megabytes engine 8 in
+  let pool =
+    if parallel_parts > 1 then Some (Rox_core.Pool.create ~parts:parallel_parts)
+    else None
+  in
   let sampling = ref 0 and execution = ref 0 in
   let queries = [ xmark_query "<"; xmark_query ">"; showdown_query ] in
   for _ = 1 to max 1 repeat do
     List.iter
       (fun q ->
         let compiled = Rox_xquery.Compile.compile_string ~telemetry:sink engine q in
-        let session = Rox_core.Session.create ~cache ~telemetry:sink () in
+        let session = Rox_core.Session.create ~cache ~telemetry:sink ?pool () in
         let answer, result = Rox_core.Optimizer.answer session compiled in
         ignore (answer : _ array);
         let c = result.Rox_core.Optimizer.counter in
@@ -742,6 +782,7 @@ let profile_builtin trace_out metrics_out repeat scale =
      Printf.eprintf "wrote metrics to %s\n" path
    | None -> ());
   print_string (Rox_telemetry.Export.profile ~work_units:(!sampling, !execution) m);
+  Option.iter Rox_core.Pool.shutdown pool;
   0
 
 let trace_validate file =
@@ -772,6 +813,14 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Write the metrics registry in Prometheus text exposition format \
                to $(docv).")
+
+let parallel_parts_arg =
+  Arg.(value & opt int 1 & info [ "parallel-parts" ] ~docv:"K"
+         ~doc:"Intra-query partition count: execute each physical join as K \
+               partition-joins and race sampling probes concurrently on a \
+               shared domain pool, merging in partition order so answers are \
+               bit-identical at every K. 1 (the default) spawns no pool and \
+               runs the strictly sequential engine byte-for-byte.")
 
 let serve_cmd =
   let socket =
@@ -831,7 +880,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve_run $ docs_arg $ socket $ port $ workers $ queue_cap
-          $ max_conns $ cache_mb $ cache_shards $ cache_cost_aware $ smoke $ scale)
+          $ max_conns $ cache_mb $ cache_shards $ cache_cost_aware
+          $ parallel_parts_arg $ smoke $ scale)
 
 let profile_cmd =
   let repeat =
@@ -850,7 +900,8 @@ let profile_cmd =
      and metrics — the self-contained run behind $(b,make profile-smoke)."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const profile_builtin $ trace_out_arg $ metrics_out_arg $ repeat $ scale)
+    Term.(const profile_builtin $ trace_out_arg $ metrics_out_arg $ repeat
+          $ scale $ parallel_parts_arg)
 
 let trace_validate_cmd =
   let file =
@@ -1008,12 +1059,12 @@ let cmd =
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed dl msr c l cmb csh cca cst p tro mo ->
-          run docs qf g t o tau seed dl msr c l cmb csh cca cst p tro mo;
+      const (fun docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo ->
+          run docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
-      $ deadline_ms $ max_sampled_rows $ count_only $ limit $ cache_mb
-      $ cache_shards $ cache_cost_aware $ cache_stats
+      $ parallel_parts_arg $ deadline_ms $ max_sampled_rows $ count_only
+      $ limit $ cache_mb $ cache_shards $ cache_cost_aware $ cache_stats
       $ profile $ trace_out_arg $ metrics_out_arg)
   in
   let group =

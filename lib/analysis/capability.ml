@@ -62,6 +62,18 @@ let allowlist =
        reads only the Atomic-published immutable image, never these \
        fields; the armed access log records each locked entry as a Write";
     (* -- core ------------------------------------------------------ *)
+    f "lib/core/pool.ml" "t.*"
+      "mutex: batch installation, generation bumps, stopping and the \
+       remaining countdown all happen inside t.mutex (the armed log \
+       records the core.pool.mutex bracket and the core.pool.batch \
+       site); t.domains is publish-before-spawn — written once in \
+       create before any run, and hb spawn/fork/join/exit tokens order \
+       the handoffs for the race detector";
+    f "lib/core/pool.ml" "batch.*"
+      "mutex: remaining is decremented only inside t.mutex; tasks are \
+       claimed by the atomic cursor (disjoint fetch_and_add slots) and \
+       each worker writes only its own exns slot, read by the caller \
+       after the join edge";
     f "lib/core/session.ml" "t.deadline_at"
       "single-owner: a session lives and dies on one domain; confine \
        records an RX504 site access to prove it";
@@ -131,6 +143,9 @@ let allowlist =
     g "lib/util/accesslog.ml" "lock_names"
       "mutex: grown only inside registry_mutex";
     g "lib/util/accesslog.ml" "n_locks" "mutex: written under registry_mutex";
+    g "lib/util/accesslog.ml" "token_names"
+      "mutex: grown only inside registry_mutex";
+    g "lib/util/accesslog.ml" "n_tokens" "mutex: written under registry_mutex";
     g "lib/util/accesslog.ml" "cap"
       "publish-before-spawn: sized by set_armed before recording begins";
     g "lib/util/accesslog.ml" "buf"

@@ -284,6 +284,15 @@ let registry =
          reference path; a mismatch means the published image diverged \
          from the authoritative shard table (check image maintenance \
          and epoch stamping first)." };
+    { ci_code = "RX310"; ci_severity = Error;
+      ci_summary = "partitioned parallel edge diverged from the sequential kernel";
+      ci_detail =
+        "Under ROX_SANITIZE=1 every edge executed as K partition-joins \
+         on the domain pool is replayed through the sequential kernel \
+         and bit-compared (the RX306 kernel-identity pattern lifted to \
+         the partition layer); a mismatch means partitioning, a per-part \
+         kernel, or the part-order merge broke the deterministic \
+         row-order contract." };
     { ci_code = "RX401"; ci_severity = Error;
       ci_summary = "telemetry spans are not well-nested (overlap without containment)";
       ci_detail =

@@ -1,0 +1,164 @@
+open Rox_util
+
+(* A batch is one fork/join: [n] independent tasks pulled off a shared
+   atomic cursor by [nparts] workers (the caller is worker 0). Per-task
+   exception slots keep failure deterministic: distinct tasks write
+   distinct slots, and the caller re-raises the lowest-index failure
+   regardless of which domain hit it first. *)
+type batch = {
+  n : int;
+  f : worker:int -> int -> unit;
+  cursor : int Atomic.t;
+  exns : exn option array;
+  mutable remaining : int;  (* pool workers yet to finish this batch *)
+}
+
+type t = {
+  nparts : int;
+  mutex : Mutex.t;
+  cond : Condition.t;       (* workers: a new batch or shutdown *)
+  done_cond : Condition.t;  (* caller: pool workers drained the batch *)
+  (* Written by the caller under [mutex]; read by workers under [mutex]. *)
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable stopping : bool;
+  (* Serializes concurrent [run] callers (serve workers share one pool):
+     one batch in flight at a time, correctness over batch interleaving. *)
+  admission : Mutex.t;
+  mutable domains : unit Domain.t array;
+  (* RX5xx instrumentation: ids are -1 / no-ops when the log is disarmed. *)
+  al_lock : int;
+  al_site : int;
+  hb_spawn : int;
+  hb_fork : int;
+  hb_join : int;
+  hb_exit : int;
+}
+
+let parts t = t.nparts
+
+let drain b ~worker =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add b.cursor 1 in
+    if i >= b.n then continue_ := false
+    else
+      match b.f ~worker i with
+      | () -> ()
+      | exception e -> b.exns.(i) <- Some e
+  done
+
+let worker_loop t w =
+  Accesslog.hb_acquire t.hb_spawn;
+  let my_gen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    let b =
+      Accesslog.with_lock t.al_lock (fun () ->
+          while (not t.stopping) && t.generation = !my_gen do
+            Condition.wait t.cond t.mutex
+          done;
+          if t.stopping then None
+          else begin
+            my_gen := t.generation;
+            Accesslog.record ~site:t.al_site Accesslog.Read;
+            t.batch
+          end)
+    in
+    Mutex.unlock t.mutex;
+    match b with
+    | None -> continue_ := false
+    | Some b ->
+      Accesslog.hb_acquire t.hb_fork;
+      drain b ~worker:w;
+      Accesslog.hb_publish t.hb_join;
+      Mutex.lock t.mutex;
+      Accesslog.with_lock t.al_lock (fun () ->
+          b.remaining <- b.remaining - 1;
+          if b.remaining = 0 then Condition.broadcast t.done_cond);
+      Mutex.unlock t.mutex
+  done;
+  Accesslog.hb_publish t.hb_exit
+
+let create ~parts =
+  if parts <= 0 then invalid_arg "Pool.create: parts must be positive";
+  let armed = Accesslog.armed () in
+  let t =
+    {
+      nparts = parts;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      done_cond = Condition.create ();
+      batch = None;
+      generation = 0;
+      stopping = false;
+      admission = Mutex.create ();
+      domains = [||];
+      al_lock = (if armed then Accesslog.lock ~name:"core.pool.mutex" else -1);
+      al_site =
+        (if armed then Accesslog.site ~name:"core.pool.batch" Accesslog.Shared
+         else -1);
+      hb_spawn = (if armed then Accesslog.hb_token ~name:"core.pool.spawn" else -1);
+      hb_fork = (if armed then Accesslog.hb_token ~name:"core.pool.fork" else -1);
+      hb_join = (if armed then Accesslog.hb_token ~name:"core.pool.join" else -1);
+      hb_exit = (if armed then Accesslog.hb_token ~name:"core.pool.exit" else -1);
+    }
+  in
+  (* Publish before spawn: everything built so far happens-before every
+     worker's first read of the pool record. *)
+  Accesslog.hb_publish t.hb_spawn;
+  t.domains <-
+    Array.init (parts - 1) (fun w -> Domain.spawn (fun () -> worker_loop t (w + 1)));
+  t
+
+let run t n f =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  if n = 0 then ()
+  else if t.nparts = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f ~worker:0 i
+    done
+  else begin
+    Mutex.lock t.admission;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.admission)
+      (fun () ->
+        if t.stopping then invalid_arg "Pool.run: pool is shut down";
+        let b =
+          { n; f; cursor = Atomic.make 0; exns = Array.make n None;
+            remaining = t.nparts - 1 }
+        in
+        Accesslog.hb_publish t.hb_fork;
+        Mutex.lock t.mutex;
+        Accesslog.with_lock t.al_lock (fun () ->
+            Accesslog.record ~site:t.al_site Accesslog.Write;
+            t.batch <- Some b;
+            t.generation <- t.generation + 1;
+            Condition.broadcast t.cond);
+        Mutex.unlock t.mutex;
+        drain b ~worker:0;
+        Mutex.lock t.mutex;
+        Accesslog.with_lock t.al_lock (fun () ->
+            while b.remaining > 0 do
+              Condition.wait t.done_cond t.mutex
+            done;
+            t.batch <- None);
+        Mutex.unlock t.mutex;
+        Accesslog.hb_acquire t.hb_join;
+        Array.iter (function None -> () | Some e -> raise e) b.exns)
+  end
+
+let shutdown t =
+  Mutex.lock t.admission;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.admission)
+    (fun () ->
+      if not t.stopping then begin
+        Mutex.lock t.mutex;
+        t.stopping <- true;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        Array.iter Domain.join t.domains;
+        Accesslog.hb_acquire t.hb_exit
+      end)

@@ -1,0 +1,46 @@
+(** Session-owned domain pool for intra-query parallelism.
+
+    One pool of [parts - 1] long-lived worker domains, created once per
+    session (or shared across a server's sessions) and reused for every
+    partitioned edge kernel and every racing-probe batch — never a
+    [Domain.spawn] per edge. [run] is a fork/join: [n] independent tasks
+    are pulled off a shared atomic cursor by all [parts] workers, the
+    caller participating as worker 0, so a pool of size 1 degenerates to
+    the plain sequential loop with no synchronization at all.
+
+    Determinism contract: the pool assigns tasks to workers
+    nondeterministically, so tasks must write only their own slots
+    (indexed by task id) and the *caller* must fold the slots in task
+    order after [run] returns. Session state (RNG, trace, metrics,
+    cache, meters) stays caller-only — RX307/RX504 confinement extends
+    across the pool: a task touching its session is a race the RX5xx
+    detector will flag.
+
+    Failure is deterministic the same way: a task that raises parks its
+    exception in its own slot, every other task still runs, and [run]
+    re-raises the lowest-index failure.
+
+    The fork/join is bracketed with access-log happens-before tokens
+    ([core.pool.spawn]/[fork]/[join]/[exit]) and the batch hand-off is
+    recorded under the [core.pool.mutex] lock, so [rox racecheck] can
+    prove the hand-off sound instead of taking it on faith. *)
+
+type t
+
+val create : parts:int -> t
+(** Spawn [parts - 1] worker domains ([parts = 1] spawns none).
+    @raise Invalid_argument when [parts <= 0]. *)
+
+val parts : t -> int
+
+val run : t -> int -> (worker:int -> int -> unit) -> unit
+(** [run t n f] executes [f ~worker i] once for every task [i < n] and
+    returns when all have finished. [worker] is the executing worker's
+    index in [0 .. parts-1] (0 = the calling domain) — use it only to
+    pick scratch slots or telemetry lanes, never to vary results.
+    Concurrent callers are serialized: one batch in flight at a time.
+    Re-raises the lowest-task-index exception after the join. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; [run] after shutdown
+    is [Invalid_argument]. *)

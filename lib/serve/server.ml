@@ -22,17 +22,19 @@ type config = {
   session : Session.config;
   telemetry : bool;
   max_frame : int;
+  parallel_parts : int;
 }
 
 let config ?cache ?(workers = 2) ?(queue_capacity = 64)
     ?(max_connections = 256) ?session ?(telemetry = true)
-    ?(max_frame = Protocol.default_max_frame) engine =
+    ?(max_frame = Protocol.default_max_frame) ?(parallel_parts = 1) engine =
   let session =
     match session with Some s -> s | None -> Session.default_config ()
   in
   if workers < 0 then invalid_arg "Server.config: workers < 0";
   if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
   if max_connections < 1 then invalid_arg "Server.config: max_connections < 1";
+  if parallel_parts < 1 then invalid_arg "Server.config: parallel_parts < 1";
   {
     engine;
     cache;
@@ -42,6 +44,7 @@ let config ?cache ?(workers = 2) ?(queue_capacity = 64)
     session;
     telemetry;
     max_frame;
+    parallel_parts;
   }
 
 (* A client that disconnects before reading its reply turns our write into
@@ -84,6 +87,10 @@ type t = {
   aggregate : Aggregate.t;          (* absorbed per-request session sinks *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  (* One intra-query pool shared by all request sessions ([None] when
+     parallel_parts = 1): Pool.run serializes concurrent batches, so
+     several worker domains can route partition tasks through it safely. *)
+  pool : Rox_core.Pool.t option;
   sanitize_coalesce : bool;
   (* Accesslog ids; -1 (no-op) when created disarmed *)
   al_lock : int;
@@ -158,7 +165,9 @@ let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
       budgets;
     }
   in
-  let session = Session.create ~config ?cache:t.cfg.cache ~telemetry:sink () in
+  let session =
+    Session.create ~config ?cache:t.cfg.cache ~telemetry:sink ?pool:t.pool ()
+  in
   let resp =
     try
       let compiled =
@@ -295,6 +304,10 @@ let create cfg =
       aggregate = Aggregate.create ();
       stopping = false;
       workers = [];
+      pool =
+        (if cfg.parallel_parts > 1 then
+           Some (Rox_core.Pool.create ~parts:cfg.parallel_parts)
+         else None);
       sanitize_coalesce = Sanitize.default_mode ();
       al_lock = (if armed then Accesslog.lock ~name:"serve.mutex" else -1);
       al_queue = reg_site "serve.queue";
@@ -312,22 +325,28 @@ let create cfg =
   t
 
 let shutdown t =
-  let workers =
+  let first =
     locked t (fun () ->
-        if t.stopping then []
+        if t.stopping then None
         else begin
           t.stopping <- true;
           Condition.broadcast t.work;
           let ws = t.workers in
           t.workers <- [];
-          ws
+          Some ws
         end)
   in
-  List.iter
-    (fun d ->
-      Domain.join d;
-      Accesslog.hb_acquire t.hb_done)
-    workers;
+  (match first with
+   | None -> ()
+   | Some workers ->
+     List.iter
+       (fun d ->
+         Domain.join d;
+         Accesslog.hb_acquire t.hb_done)
+       workers;
+     (* After the request workers joined no session can reach the shared
+        pool, so this is the quiescent point to retire it. *)
+     Option.iter Rox_core.Pool.shutdown t.pool);
   (* Workers drain the queue before exiting; anything still here means
      workers = 0. Fail it as rejected so the RX603 balance holds and no
      awaiting client hangs. *)

@@ -48,14 +48,22 @@ type config = {
           budgets, client_id) win field-by-field *)
   telemetry : bool;     (** per-request sinks + process aggregate *)
   max_frame : int;      (** protocol frame cap for {!handle_connection} *)
+  parallel_parts : int;
+      (** intra-query partition count (≥ 1): when > 1 the server owns one
+          shared {!Rox_core.Pool} and lends it to every request session,
+          so partitioned edge kernels and racing probes fan out without a
+          per-request pool spawn. [1] (the default) serves strictly
+          sequential sessions with no pool. *)
 }
 
 val config :
   ?cache:Rox_cache.Store.t -> ?workers:int -> ?queue_capacity:int ->
   ?max_connections:int -> ?session:Rox_core.Session.config ->
-  ?telemetry:bool -> ?max_frame:int -> Rox_storage.Engine.t -> config
+  ?telemetry:bool -> ?max_frame:int -> ?parallel_parts:int ->
+  Rox_storage.Engine.t -> config
 (** Defaults: no cache, 2 workers, capacity 64, 256 connections, default
-    session config, telemetry on, {!Protocol.default_max_frame}. *)
+    session config, telemetry on, {!Protocol.default_max_frame},
+    [parallel_parts = 1]. *)
 
 type t
 

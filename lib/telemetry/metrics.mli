@@ -62,6 +62,8 @@ type t = {
   responses_sent : counter;      (** protocol replies written by [rox serve] *)
   admission_rejects : counter;   (** requests bounced off a full queue *)
   coalesce_hits : counter;       (** requests served by an in-flight twin *)
+  partition_tasks : counter;     (** intra-query partition tasks run on the pool *)
+  partition_task_ns : histogram; (** per partition-task latency *)
   queue_wait_ns : histogram;     (** admission-queue residence per request *)
   serve_ns : histogram;          (** whole served-request latency *)
   cache_resident_bytes : gauge;  (** last observed [Rox_cache] residency *)
@@ -98,6 +100,19 @@ val histograms : t -> histogram list
 
 val add_into : into:t -> t -> unit
 (** Merge [t] into [into]: counters and histograms add, gauges take the
-    max (residency gauges from different sessions observe the same shared
-    store, so max is the honest combination). The multi-domain server's
-    process aggregate is built from this — see {!Aggregate}. *)
+    max. The multi-domain server's process aggregate is built from this —
+    see {!Aggregate}.
+
+    The counter-vs-gauge rule. A *counter* measures work this registry's
+    owner performed itself (requests served, rows materialized, spans
+    dropped): each session's contribution is disjoint, so merging adds,
+    and absorbing the same registry twice genuinely double-counts — call
+    sites must absorb a registry into a given aggregate at most once per
+    measurement interval. A *gauge* is a last-observed snapshot of shared
+    state (cache residency, shard lock waits, queue depth): many sessions
+    observe the *same* store, so adding would multiply one store's
+    residency by the number of observers. Merging therefore takes
+    [Float.max] — idempotent, so absorbing the same store's snapshot
+    twice yields the observation, not the sum. Pick the instrument by
+    ownership: owned work → counter (additive), shared-state snapshot →
+    gauge (max). *)

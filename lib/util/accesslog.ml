@@ -56,10 +56,17 @@ let n_sites = ref 0
 let lock_names : string array ref = ref [||]
 let n_locks = ref 0
 
-(* Locksets are bitmasks in an OCaml int: at most 62 tracked locks. Later
-   registrations return -1 and their critical sections go untracked —
-   graceful degradation for long test processes, irrelevant for the
-   focused racecheck runs the detector is built for. *)
+(* Locksets are bitmasks in an OCaml int: at most 62 tracked locks.
+   Registration dedups by name — a mutex re-registered under a name seen
+   before (a fixture re-run, a second cache store with the same label)
+   reuses the original bit instead of burning a fresh one, so a long
+   multi-pass racecheck process cannot exhaust the bitmask through
+   repetition alone. The price is that two *live* mutexes sharing a name
+   alias to one tracked bit (labels embed the protected object's
+   identity, so in practice only temporally disjoint objects collide).
+   Past 62 distinct names, registrations return -1 and their critical
+   sections go untracked — graceful degradation, loud in the summary's
+   lock count. *)
 let max_locks = 62
 
 let push tbl count v =
@@ -74,13 +81,31 @@ let push tbl count v =
   count := n + 1;
   n
 
+(* Linear scan: registration is a cold path and the tables are tiny. *)
+let find_name tbl count name =
+  let rec go i = if i >= !count then -1 else if !tbl.(i) = name then i else go (i + 1) in
+  go 0
+
 let site ~name kind =
   Mutex.protect registry_mutex (fun () ->
       push sites n_sites { s_name = name; s_kind = kind })
 
 let lock ~name =
   Mutex.protect registry_mutex (fun () ->
-      if !n_locks >= max_locks then -1 else push lock_names n_locks name)
+      match find_name lock_names n_locks name with
+      | i when i >= 0 -> i
+      | _ -> if !n_locks >= max_locks then -1 else push lock_names n_locks name)
+
+(* Happens-before tokens are pseudo-locks used only for their
+   vector-clock transfer (see below): they never appear in a lockset, so
+   they get their own id space — offset far above any lockset bit — and
+   their own unbounded, name-dedup'd table. Tokens must not compete with
+   real mutexes for the 62 bitmask slots: a workload that forks many
+   times registers tokens freely without ever untracked-ing a mutex. *)
+let token_base = 1 lsl 16
+
+let token_names : string array ref = ref [||]
+let n_tokens = ref 0
 
 let site_count () = !n_sites
 let lock_count () = !n_locks
@@ -92,7 +117,10 @@ let site_kind id =
   if id >= 0 && id < !n_sites then !sites.(id).s_kind else Shared
 
 let lock_name id =
-  if id >= 0 && id < !n_locks then !lock_names.(id) else "?"
+  if id >= 0 && id < !n_locks then !lock_names.(id)
+  else if id >= token_base && id - token_base < !n_tokens then
+    !token_names.(id - token_base)
+  else "?"
 
 let sites_snapshot () = Array.sub !sites 0 !n_sites
 
@@ -175,8 +203,17 @@ let with_lock id f =
    flows into the token), [hb_acquire] like an acquire (the token's
    history flows into the acquiring domain). Drivers bracket
    Domain.spawn/join with these so the detector sees the real fork/join
-   edges instead of inventing races against initialization writes. *)
-let hb_token ~name = lock ~name
+   edges instead of inventing races against initialization writes.
+   Token ids live at [token_base] and up — disjoint from both lock ids
+   and site ids, so the checker's per-id clocks never collide — and are
+   dedup'd by name: a fixture's Nth fork reuses its first fork's token,
+   which only strengthens the recorded ordering (the main domain's
+   clock already covers the earlier rounds it joined). *)
+let hb_token ~name =
+  Mutex.protect registry_mutex (fun () ->
+      match find_name token_names n_tokens name with
+      | i when i >= 0 -> token_base + i
+      | _ -> token_base + push token_names n_tokens name)
 
 let hb_publish tok =
   if !armed_flag && tok >= 0 then

@@ -43,8 +43,12 @@ val site : name:string -> site_kind -> int
     location — two private stores must not alias). Cold path, thread-safe. *)
 
 val lock : name:string -> int
-(** Register one tracked lock. Locksets are bitmasks: at most 62 locks
-    are tracked; later registrations return [-1] and go untracked. *)
+(** Register one tracked lock. Dedup'd by name: re-registering a name
+    returns the original id (so repeated fixture runs or re-created
+    same-labelled objects don't burn bitmask slots — label locks per
+    protected object to keep live mutexes from aliasing). Locksets are
+    bitmasks: at most 62 distinct names are tracked; later registrations
+    return [-1] and go untracked. *)
 
 val record : site:int -> ?info:int -> op -> unit
 (** Append one [Read]/[Write] event with the domain's current lockset.
@@ -60,7 +64,10 @@ val locks_held : unit -> int
 (** This domain's current lockset bitmask. *)
 
 val hb_token : name:string -> int
-(** A pseudo-lock used only for happens-before transfer. *)
+(** A pseudo-lock used only for happens-before transfer. Tokens live in
+    their own unbounded, name-dedup'd id space (disjoint from lock and
+    site ids) and never occupy a lockset bit — fork-heavy workloads
+    cannot exhaust the 62 tracked-mutex slots through tokens. *)
 
 val hb_publish : int -> unit
 (** Release-like: the caller's history flows into the token. Bracket the

@@ -354,6 +354,38 @@ let test_estimate_reuse () =
          && Trace.cache_hits ~store:`Estimate t2 > 0);
       ignore (executed t1))
 
+(* The counter-vs-gauge rule of metrics.mli, exercised end-to-end: a
+   store's residency is a gauge, so observing it into two registries and
+   absorbing both into one aggregate must report the residency ONCE
+   (gauges merge with Float.max — idempotent), while counters genuinely
+   add. A residency that doubled here would mean add_into treats gauges
+   as counters. *)
+let test_double_absorb_gauge_not_summed () =
+  let engine, _ = engine_of_xml site_xml in
+  let store = Store.create engine in
+  (* Populate the store so the residency gauge is non-zero. *)
+  let _ = run_with ~cache:store engine (List.nth queries 1) in
+  let bytes =
+    let s = Store.stats store in
+    float_of_int (s.Store.relations.Lru.bytes + s.Store.estimates.Lru.bytes)
+  in
+  Alcotest.(check bool) "store is non-empty" true (bytes > 0.0);
+  let m1 = Rox_telemetry.Metrics.create () in
+  let m2 = Rox_telemetry.Metrics.create () in
+  Store.observe_into store m1;
+  Store.observe_into store m2;
+  Rox_telemetry.Metrics.incr m1.Rox_telemetry.Metrics.queries_served;
+  Rox_telemetry.Metrics.incr m2.Rox_telemetry.Metrics.queries_served;
+  let total = Rox_telemetry.Metrics.create () in
+  Rox_telemetry.Metrics.add_into ~into:total m1;
+  Rox_telemetry.Metrics.add_into ~into:total m2;
+  Alcotest.(check (float 0.0))
+    "residency gauge maxed, not summed" bytes
+    total.Rox_telemetry.Metrics.cache_resident_bytes.Rox_telemetry.Metrics.g_value;
+  Alcotest.(check int)
+    "counters still add" 2
+    total.Rox_telemetry.Metrics.queries_served.Rox_telemetry.Metrics.c_value
+
 (* Cache-on vs cache-off on random documents: identical answers and an
    identical execution trace (modulo the Cache_lookup annotations), cold
    and warm, sanitizer armed so every hit is cross-checked bit-identical
@@ -389,5 +421,7 @@ let suite =
     prop_fingerprint;
     Alcotest.test_case "epoch bump invalidates" `Quick test_epoch_invalidation;
     Alcotest.test_case "repeat run replays from cache" `Quick test_estimate_reuse;
+    Alcotest.test_case "double absorb: gauges max, counters add" `Quick
+      test_double_absorb_gauge_not_summed;
     prop_cache_transparent;
   ]
