@@ -1,4 +1,4 @@
-.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke serve-smoke par-smoke check clean
+.PHONY: all build test analyze lint racecheck sanitize bench-smoke profile-smoke serve-smoke recorder-smoke par-smoke check clean
 
 all: build
 
@@ -62,6 +62,17 @@ bench-smoke:
 serve-smoke:
 	dune exec bin/rox_cli.exe -- serve --smoke
 
+# The flight-recorder acceptance loop, under the sanitizer: the serve
+# smoke script with a slow log armed at --slow-ms 0, so every request
+# writes a JSONL line (validated in-script, line count reconciled with
+# the recorder) and at least one trace is retained, fetched over TRACE,
+# and exported — then the exported file must pass the Chrome-trace
+# schema check.
+recorder-smoke:
+	ROX_SANITIZE=1 dune exec bin/rox_cli.exe -- serve --smoke \
+	  --slow-log rox_slow.jsonl --slow-ms 0
+	dune exec bin/rox_cli.exe -- trace-validate rox_slow.jsonl.trace.json
+
 # Intra-query parallelism under the sanitizer: the built-in profile
 # workload at --parallel-parts 2, so every partitioned edge kernel is
 # replayed sequentially and bit-compared (RX310 Partition_consistent)
@@ -81,7 +92,7 @@ profile-smoke:
 	  --trace-out rox_trace.json --metrics-out rox_metrics.prom
 	dune exec bin/rox_cli.exe -- trace-validate rox_trace.json
 
-check: build test analyze lint racecheck sanitize profile-smoke serve-smoke par-smoke
+check: build test analyze lint racecheck sanitize profile-smoke serve-smoke recorder-smoke par-smoke
 	-$(MAKE) bench-smoke
 
 clean:

@@ -24,6 +24,7 @@ let experiments ~full =
     ("relation", "Columnar relation kernels vs row-major reference", fun () -> Exp_relation.run ~full ());
     ("parallel", "Concurrent sessions on OCaml 5 domains, shared engine", fun () -> Exp_parallel.run ());
     ("telemetry", "Telemetry span/metric overhead on the fig5 workload", fun () -> Exp_telemetry.run ~full ());
+    ("recorder", "Flight-recorder overhead (alias: the telemetry experiment's recorder arm)", fun () -> Exp_telemetry.run ~full ());
     ("serve", "Serving front-end: saturation, open-loop latency, coalescing", fun () -> Exp_serve.run ());
     ("bechamel", "Operator kernel micro-benchmarks", fun () -> Exp_bechamel.run ());
   ]

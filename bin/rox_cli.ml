@@ -97,8 +97,11 @@ let write_file path content =
 
 let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
     deadline_ms max_sampled_rows count_only limit cache_mb cache_shards
-    cache_cost_aware cache_stats profile trace_out metrics_out =
-  let telemetry_on = profile || trace_out <> None || metrics_out <> None in
+    cache_cost_aware cache_stats profile trace_out metrics_out slow_log slow_ms =
+  (* The slow log needs span timings, so --slow-log arms the sink too. *)
+  let telemetry_on =
+    profile || trace_out <> None || metrics_out <> None || slow_log <> None
+  in
   let sink = Rox_telemetry.Sink.create ~enabled:telemetry_on () in
   let engine = Rox_storage.Engine.create () in
   List.iter
@@ -180,8 +183,34 @@ let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
       if profile then prerr_string (Rox_telemetry.Export.profile ?work_units m)
     end
   in
+  (* The flight recorder rides along only to feed the slow log here: a
+     one-shot run has no scrape surface, so it is built when (and only
+     when) --slow-log asks for the JSONL. *)
+  let recorder =
+    match slow_log with
+    | None -> None
+    | Some path ->
+      Some (Rox_telemetry.Recorder.create ?slow_ms ~slow_log:path ())
+  in
+  let cur_session = ref None in
   let t0 = Unix.gettimeofday () in
-  let answer, counter =
+  let latency_ns () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let flight session ~plan ~status =
+    match recorder with
+    | None -> ()
+    | Some rc ->
+      ignore
+        (Rox_core.Session.flight_record session rc ~query:source ~plan
+           ~latency_ns:(latency_ns ()) ~status
+          : Rox_telemetry.Recorder.record);
+      (match slow_log with
+       | Some path ->
+         Printf.eprintf "slow-log: %d line(s) written to %s\n"
+           (Rox_telemetry.Recorder.log_lines rc) path
+       | None -> ());
+      Rox_telemetry.Recorder.close rc
+  in
+  let answer, counter, plan_session =
     try
       match optimizer with
       | Opt_rox | Opt_greedy ->
@@ -191,6 +220,7 @@ let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
             ~config:(session_config (optimizer = Opt_rox))
             ~trace ?cache ~telemetry:sink ?pool ()
         in
+        cur_session := Some session;
         let answer, result = Rox_core.Optimizer.answer session compiled in
         if show_trace then begin
           List.iter
@@ -200,7 +230,8 @@ let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
                 (Rox_joingraph.Pretty.edge_line compiled.Rox_xquery.Compile.graph e))
             (Rox_joingraph.Trace.execution_order trace)
         end;
-        (answer, result.Rox_core.Optimizer.counter)
+        ( answer, result.Rox_core.Optimizer.counter,
+          (result.Rox_core.Optimizer.edge_order, session) )
       | Opt_static ->
         let order =
           Rox_classical.Classical_opt.static_order engine compiled.Rox_xquery.Compile.graph
@@ -209,25 +240,40 @@ let run docs query_file show_graph show_trace optimizer tau seed parallel_parts
           Rox_core.Session.create ~config:(session_config false) ~telemetry:sink
             ?pool ()
         in
+        cur_session := Some session;
         let answer, run = Rox_classical.Executor.answer session compiled order in
-        (answer, run.Rox_classical.Executor.counter)
+        ( answer, run.Rox_classical.Executor.counter,
+          (List.map (fun e -> e.Rox_joingraph.Edge.id) order, session) )
       | Opt_midquery ->
         let session =
           Rox_core.Session.create ~config:(session_config false) ~telemetry:sink
             ?pool ()
         in
+        cur_session := Some session;
         let answer, run = Rox_classical.Midquery.answer session compiled in
         Printf.eprintf "mid-query re-optimizations: %d\n" run.Rox_classical.Midquery.replans;
-        (answer, run.Rox_classical.Midquery.counter)
-    with Rox_algebra.Cost.Budget_exceeded _ as exn ->
+        (answer, run.Rox_classical.Midquery.counter, ([], session))
+    with Rox_algebra.Cost.Budget_exceeded { reason; _ } as exn ->
       (match Rox_algebra.Cost.budget_message exn with
        | Some m -> Printf.eprintf "aborted: %s\n" m
        | None -> ());
       emit_telemetry ();
+      (* An aborted run still slow-logs: errored records always write. *)
+      (match !cur_session with
+       | Some session ->
+         let status =
+           match reason with
+           | Rox_algebra.Cost.Deadline -> "deadline"
+           | Rox_algebra.Cost.Sampled_rows -> "sampled_rows"
+         in
+         flight session ~plan:[] ~status
+       | None -> ());
       Option.iter Rox_core.Pool.shutdown pool;
       exit 2
   in
   let dt = Unix.gettimeofday () -. t0 in
+  let plan, session = plan_session in
+  flight session ~plan ~status:"ok";
   Option.iter Rox_core.Pool.shutdown pool;
   Printf.eprintf "answer: %d nodes; work: sampling=%d execution=%d; %.3fs\n"
     (Array.length answer)
@@ -618,14 +664,23 @@ let racecheck fixture json domains iters scale =
 module Serve = Rox_serve.Server
 module Sproto = Rox_serve.Protocol
 
-let serve_smoke scale =
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let serve_smoke scale slow_log slow_ms =
   let engine = Rox_storage.Engine.create () in
   let params = Rox_workload.Xmark.scaled scale in
   ignore
     (Rox_workload.Xmark.generate ~params engine ~uri:"xmark.xml"
       : Rox_storage.Engine.docref);
   let cache = Rox_cache.Store.of_megabytes engine 8 in
-  let server = Serve.create (Serve.config ~cache ~workers:2 ~queue_capacity:16 engine) in
+  let server =
+    Serve.create
+      (Serve.config ~cache ~workers:2 ~queue_capacity:16 ?slow_ms ?slow_log
+         engine)
+  in
   let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let handler = Thread.create (fun () -> Serve.handle_connection server srv_fd) () in
   let decoder = Sproto.decoder () in
@@ -667,18 +722,126 @@ let serve_smoke scale =
   check "stats executed=3" (stat "executed" = "3");
   check "stats rejected=0" (stat "rejected" = "0");
   check "stats tenant.smoke=2" (stat "tenant.smoke" = "2");
+  (* Flight recorder: every record is visible before its reply, so the
+     counts right after the three query answers are deterministic. *)
+  check "stats records=3" (stat "records" = "3");
+  check "stats records_dropped=0" (stat "records_dropped" = "0");
+  check "stats uptime_ms present" (stat "uptime_ms" <> "<absent>");
+  check "stats started_at present" (stat "started_at" <> "<absent>");
+  check "stats traces_retained >= 1"
+    (match int_of_string_opt (stat "traces_retained") with
+     | Some n -> n >= 1
+     | None -> false);
+  send Sproto.Metrics;
+  let mtext =
+    match recv () with Sproto.Metrics_reply s -> s | _ -> ""
+  in
+  check "metrics has recorder series"
+    (contains_substring mtext "rox_recorder_records_total");
+  check "metrics has tenant series"
+    (contains_substring mtext "rox_tenant_requests_total");
+  send (Sproto.Recent 10);
+  let recent_lines =
+    match recv () with Sproto.Recent_reply l -> l | _ -> []
+  in
+  check "recent returns 3 records" (List.length recent_lines = 3);
+  let recent_json =
+    List.filter_map
+      (fun l -> Result.to_option (Rox_util.Minijson.parse l))
+      recent_lines
+  in
+  check "recent lines are JSON"
+    (List.length recent_json = List.length recent_lines);
+  (* The budget-aborted query errored, so its trace is always retained:
+     fetch it over the wire and validate the Chrome export. *)
+  let retained_id =
+    List.fold_left
+      (fun acc json ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          (match Rox_util.Minijson.member "retained" json with
+           | Some Rox_util.Minijson.Null | None -> None
+           | Some _ ->
+             Option.bind
+               (Option.bind
+                  (Rox_util.Minijson.member "trace_id" json)
+                  Rox_util.Minijson.to_num_opt)
+               (fun f -> Some (int_of_float f))))
+      None recent_json
+  in
+  check "recent shows a retained record" (retained_id <> None);
+  (match retained_id with
+   | None -> ()
+   | Some id ->
+     send (Sproto.Trace_get id);
+     (match recv () with
+      | Sproto.Trace_reply (rid, json) ->
+        check "trace id echoes" (rid = id);
+        let valid =
+          match Rox_util.Minijson.parse json with
+          | Error _ -> false
+          | Ok parsed ->
+            (match Rox_telemetry.Export.validate_chrome parsed with
+             | Ok _ -> true
+             | Error _ -> false)
+        in
+        check "trace exports valid Chrome JSON" valid;
+        (match slow_log with
+         | Some path ->
+           let out = path ^ ".trace.json" in
+           write_file out json;
+           Printf.printf "serve-smoke: wrote retained trace %d to %s\n" id out
+         | None -> ())
+      | _ -> check "trace reply" false));
+  send (Sproto.Trace_get 999_999);
+  check "unknown trace id is ERR not_found"
+    (match recv () with
+     | Sproto.Err (Sproto.Unknown_id, _) -> true
+     | _ -> false);
   send Sproto.Quit;
   check "quit acknowledged" (recv () = Sproto.Bye);
   Thread.join handler;
   Serve.shutdown server;
   check "audit self-check clean" (Serve.self_check server = []);
+  (match Serve.recorder server with
+   | None -> check "recorder present" false
+   | Some rc ->
+     check "recorder records=3 after shutdown"
+       (Rox_telemetry.Recorder.records rc = 3);
+     check "recorder RX7xx clean"
+       (A.Recorder_check.check ~submitted:3 rc = []);
+     (match slow_log with
+      | Some path ->
+        (* Every slow-log line must parse; the errored request always
+           logs, so the file is never empty. *)
+        let lines = ref [] in
+        (try
+           let ic = open_in path in
+           (try
+              while true do
+                lines := input_line ic :: !lines
+              done
+            with End_of_file -> close_in ic)
+         with Sys_error _ -> ());
+        let parsed =
+          List.filter_map
+            (fun l -> Result.to_option (Rox_util.Minijson.parse l))
+            !lines
+        in
+        check "slow-log non-empty" (!lines <> []);
+        check "slow-log lines parse as JSON"
+          (List.length parsed = List.length !lines);
+        check "slow-log reconciles with recorder"
+          (List.length !lines = Rox_telemetry.Recorder.log_lines rc)
+      | None -> ()));
   (try Unix.close cli_fd with Unix.Unix_error _ -> ());
   Printf.printf "serve-smoke: %s\n" (if !failures = 0 then "PASS" else "FAIL");
   if !failures = 0 then 0 else 1
 
 let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
-    cache_cost_aware parallel_parts smoke scale =
-  if smoke then serve_smoke scale
+    cache_cost_aware parallel_parts smoke scale slow_log slow_ms =
+  if smoke then serve_smoke scale slow_log slow_ms
   else begin
     let engine = Rox_storage.Engine.create () in
     List.iter
@@ -711,7 +874,7 @@ let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
       Serve.create
         (Serve.config ?cache ~workers ~queue_capacity:queue_cap
            ~max_connections:max_conns ~parallel_parts:(max 1 parallel_parts)
-           engine)
+           ?slow_ms ?slow_log engine)
     in
     let fd =
       match socket with
@@ -742,7 +905,8 @@ let serve_run docs socket port workers queue_cap max_conns cache_mb cache_shards
 (* profile: the built-in XMark workload under full telemetry — the self-  *)
 (* contained run behind `make profile-smoke` (no external files needed).  *)
 
-let profile_builtin trace_out metrics_out repeat scale parallel_parts =
+let profile_builtin trace_out metrics_out repeat scale parallel_parts slow_log
+    slow_ms =
   let engine = Rox_storage.Engine.create () in
   let params = Rox_workload.Xmark.scaled scale in
   ignore
@@ -750,6 +914,12 @@ let profile_builtin trace_out metrics_out repeat scale parallel_parts =
       : Rox_storage.Engine.docref);
   let sink = Rox_telemetry.Sink.create ~enabled:true () in
   let cache = Rox_cache.Store.of_megabytes engine 8 in
+  let recorder =
+    match slow_log with
+    | None -> None
+    | Some path ->
+      Some (Rox_telemetry.Recorder.create ?slow_ms ~slow_log:path ())
+  in
   let pool =
     if parallel_parts > 1 then Some (Rox_core.Pool.create ~parts:parallel_parts)
     else None
@@ -761,13 +931,30 @@ let profile_builtin trace_out metrics_out repeat scale parallel_parts =
       (fun q ->
         let compiled = Rox_xquery.Compile.compile_string ~telemetry:sink engine q in
         let session = Rox_core.Session.create ~cache ~telemetry:sink ?pool () in
+        let t0 = Unix.gettimeofday () in
         let answer, result = Rox_core.Optimizer.answer session compiled in
         ignore (answer : _ array);
         let c = result.Rox_core.Optimizer.counter in
         sampling := !sampling + Rox_algebra.Cost.read c Rox_algebra.Cost.Sampling;
-        execution := !execution + Rox_algebra.Cost.read c Rox_algebra.Cost.Execution)
+        execution := !execution + Rox_algebra.Cost.read c Rox_algebra.Cost.Execution;
+        match recorder with
+        | None -> ()
+        | Some rc ->
+          ignore
+            (Rox_core.Session.flight_record session rc ~query:q
+               ~plan:result.Rox_core.Optimizer.edge_order
+               ~latency_ns:
+                 (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+               ~status:"ok"
+              : Rox_telemetry.Recorder.record))
       queries
   done;
+  (match (recorder, slow_log) with
+   | Some rc, Some path ->
+     Printf.eprintf "slow-log: %d line(s) written to %s\n"
+       (Rox_telemetry.Recorder.log_lines rc) path;
+     Rox_telemetry.Recorder.close rc
+   | _ -> ());
   let m = Rox_telemetry.Sink.metrics sink in
   Rox_cache.Store.observe_into cache m;
   (match trace_out with
@@ -800,6 +987,86 @@ let trace_validate file =
        Printf.printf "%s: valid Chrome trace (%d complete event(s))\n" file n;
        0)
 
+(* ---------------------------------------------------------------------- *)
+(* stat: the scrape client — one request (STATS, METRICS, RECENT or       *)
+(* TRACE) against a running rox serve, result on stdout.                  *)
+
+let stat_run socket port metrics recent trace_id out =
+  let addr =
+    match socket with
+    | Some path -> Unix.ADDR_UNIX path
+    | None -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let fd =
+    let domain = match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Printf.eprintf "rox stat: cannot connect to %s: %s\n"
+        (match socket with
+         | Some p -> p
+         | None -> Printf.sprintf "127.0.0.1:%d" port)
+        (Unix.error_message e);
+      exit 2
+  in
+  let decoder = Sproto.decoder () in
+  let send req = Sproto.write_frame fd (Sproto.render_request req) in
+  let recv () =
+    match Sproto.read_frame fd decoder with
+    | `Frame payload ->
+      (match Sproto.parse_response payload with
+       | Ok r -> r
+       | Error m ->
+         Printf.eprintf "rox stat: bad response: %s\n" m;
+         exit 2)
+    | `Eof ->
+      Printf.eprintf "rox stat: server closed the connection\n";
+      exit 2
+    | `Corrupt m ->
+      Printf.eprintf "rox stat: corrupt response stream: %s\n" m;
+      exit 2
+  in
+  let req =
+    if metrics then Sproto.Metrics
+    else
+      match (recent, trace_id) with
+      | Some n, _ -> Sproto.Recent n
+      | None, Some id -> Sproto.Trace_get id
+      | None, None -> Sproto.Stats
+  in
+  send req;
+  let code =
+    match recv () with
+    | Sproto.Stats_reply kvs ->
+      List.iter (fun (k, v) -> Printf.printf "%s=%s\n" k v) kvs;
+      0
+    | Sproto.Metrics_reply text ->
+      print_string text;
+      0
+    | Sproto.Recent_reply lines ->
+      List.iter print_endline lines;
+      0
+    | Sproto.Trace_reply (id, json) ->
+      (match out with
+       | Some path ->
+         write_file path json;
+         Printf.eprintf "wrote trace %d to %s\n" id path
+       | None -> print_endline json);
+      0
+    | Sproto.Err (kind, m) ->
+      Printf.eprintf "ERR %s %s\n" (Sproto.err_kind_label kind) m;
+      1
+    | _ ->
+      Printf.eprintf "rox stat: unexpected reply\n";
+      1
+  in
+  send Sproto.Quit;
+  (match recv () with Sproto.Bye -> () | _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  code
+
 let docs_arg =
   Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"FILE"
          ~doc:"XML document to load (repeatable); referenced in the query as doc(\"basename\").")
@@ -813,6 +1080,18 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Write the metrics registry in Prometheus text exposition format \
                to $(docv).")
+
+let slow_log_arg =
+  Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+         ~doc:"Append one structured JSONL line (trace id, fingerprint, \
+               tenant, plan digest, latency, budget spend, cache counters, \
+               per-edge timings) to $(docv) for every request that errored \
+               or ran at least $(b,--slow-ms) milliseconds.")
+
+let slow_ms_arg =
+  Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
+         ~doc:"Slow-query threshold for $(b,--slow-log) in milliseconds \
+               (default 100; 0 logs every request).")
 
 let parallel_parts_arg =
   Arg.(value & opt int 1 & info [ "parallel-parts" ] ~docv:"K"
@@ -873,15 +1152,56 @@ let serve_cmd =
   in
   let doc =
     "Serve queries over a length-prefixed socket protocol (QUERY/PING/STATS/\
-     QUIT) with bounded admission, a worker-domain pool and fingerprint \
-     coalescing of concurrent identical requests. Budget overruns answer as \
-     structured ERR replies (the served counterpart of the one-shot CLI's \
-     exit 2), never as dropped connections."
+     METRICS/RECENT/TRACE/QUIT) with bounded admission, a worker-domain pool, \
+     fingerprint coalescing of concurrent identical requests, and an \
+     always-on flight recorder (request records, tail-sampled traces, \
+     optional $(b,--slow-log) JSONL). Budget overruns answer as structured \
+     ERR replies (the served counterpart of the one-shot CLI's exit 2), \
+     never as dropped connections."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve_run $ docs_arg $ socket $ port $ workers $ queue_cap
           $ max_conns $ cache_mb $ cache_shards $ cache_cost_aware
-          $ parallel_parts_arg $ smoke $ scale)
+          $ parallel_parts_arg $ smoke $ scale $ slow_log_arg $ slow_ms_arg)
+
+let stat_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Connect to a Unix-domain socket at $(docv) instead of TCP.")
+  in
+  let port =
+    Arg.(value & opt int 7077 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (default 7077; ignored with --socket).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Scrape the Prometheus text exposition (METRICS) instead of \
+                 the STATS key/value reply.")
+  in
+  let recent =
+    Arg.(value & opt (some int) None & info [ "recent" ] ~docv:"N"
+           ~doc:"Fetch the flight recorder's N newest request records as \
+                 JSONL (RECENT).")
+  in
+  let trace_id =
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"ID"
+           ~doc:"Fetch one retained trace by id as Chrome trace-event JSON \
+                 (TRACE); exits 1 with ERR not_found if the id was never \
+                 retained or has been evicted.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"With --trace, write the JSON to $(docv) instead of stdout \
+                 (feed it to $(b,rox trace-validate)).")
+  in
+  let doc =
+    "Scrape a running $(b,rox serve): STATS key/values by default, or \
+     $(b,--metrics) (Prometheus text), $(b,--recent N) (request records as \
+     JSONL), $(b,--trace ID) (one retained trace as Chrome trace-event \
+     JSON). Exits 2 when the server is unreachable, 1 on an ERR reply."
+  in
+  Cmd.v (Cmd.info "stat" ~doc)
+    Term.(const stat_run $ socket $ port $ metrics $ recent $ trace_id $ out)
 
 let profile_cmd =
   let repeat =
@@ -901,7 +1221,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const profile_builtin $ trace_out_arg $ metrics_out_arg $ repeat
-          $ scale $ parallel_parts_arg)
+          $ scale $ parallel_parts_arg $ slow_log_arg $ slow_ms_arg)
 
 let trace_validate_cmd =
   let file =
@@ -1059,17 +1379,19 @@ let cmd =
   let doc = "ROX: run-time optimization of XQueries" in
   let run_term =
     Term.(
-      const (fun docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo ->
-          run docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo;
+      const (fun docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo
+                 sl sm ->
+          run docs qf g t o tau seed pp dl msr c l cmb csh cca cst p tro mo
+            sl sm;
           0)
       $ docs $ query_file $ show_graph $ show_trace $ optimizer $ tau $ seed
       $ parallel_parts_arg $ deadline_ms $ max_sampled_rows $ count_only
       $ limit $ cache_mb $ cache_shards $ cache_cost_aware $ cache_stats
-      $ profile $ trace_out_arg $ metrics_out_arg)
+      $ profile $ trace_out_arg $ metrics_out_arg $ slow_log_arg $ slow_ms_arg)
   in
   let group =
     Cmd.group ~default:run_term (Cmd.info "rox" ~doc)
-      [ analyze_cmd; lint_cmd; racecheck_cmd; serve_cmd; profile_cmd;
+      [ analyze_cmd; lint_cmd; racecheck_cmd; serve_cmd; stat_cmd; profile_cmd;
         trace_validate_cmd ]
   in
   let legacy = Cmd.v (Cmd.info "rox" ~doc) run_term in
@@ -1088,6 +1410,7 @@ let () =
     && Sys.argv.(1) <> "lint"
     && Sys.argv.(1) <> "racecheck"
     && Sys.argv.(1) <> "serve"
+    && Sys.argv.(1) <> "stat"
     && Sys.argv.(1) <> "profile"
     && Sys.argv.(1) <> "trace-validate"
   in

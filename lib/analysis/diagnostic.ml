@@ -388,6 +388,33 @@ let registry =
          exactly once: executed by a worker, attached to an in-flight \
          twin, or rejected at admission. An imbalance means a request was \
          dropped on the floor (a hung client) or double-served." };
+    { ci_code = "RX701"; ci_severity = Error;
+      ci_summary = "flight-recorder accounting imbalance (records != submitted)";
+      ci_detail =
+        "Every admitted request — executed, coalesced onto an in-flight \
+         twin, or rejected at admission — must leave exactly one flight \
+         record, so at quiescence the recorder's observed-record total \
+         equals the RX603 audit's submitted count. An imbalance means a \
+         request path skipped (or double-ran) its record_request hook \
+         and the slow log no longer reconciles with the audit counters." };
+    { ci_code = "RX702"; ci_severity = Error;
+      ci_summary = "retained trace is not well-nested";
+      ci_detail =
+        "A span tree kept by tail sampling must satisfy the same \
+         per-lane nesting discipline RX401 enforces on live sinks: \
+         same-lane spans either nest or are disjoint, and spans never \
+         have negative durations. A violation means retention corrupted \
+         the chronological span order (or retained a half-built tree), \
+         so the exported Chrome trace would render garbage." };
+    { ci_code = "RX703"; ci_severity = Error;
+      ci_summary = "tenant series cardinality exceeds the configured bound";
+      ci_detail =
+        "Per-tenant metrics are bounded to the first tenant_cap distinct \
+         client_ids plus one shared overflow bucket, so a tenant flood \
+         cannot grow the registry without limit. More series than \
+         tenant_cap + 1 means the overflow routing broke and the scrape \
+         payload (and its memory) now scales with attacker-chosen label \
+         values." };
   ]
 
 let find_code code =

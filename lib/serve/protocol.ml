@@ -13,10 +13,18 @@ let query ?(seed = 42) ?(tau = 100) ?deadline_ms ?max_sampled_rows ?max_rows
     ?limit ?(client_id = "local") text =
   { text; seed; tau; deadline_ms; max_sampled_rows; max_rows; limit; client_id }
 
-type request = Query of query | Ping | Stats | Quit
+type request =
+  | Query of query
+  | Ping
+  | Stats
+  | Metrics
+  | Recent of int
+  | Trace_get of int
+  | Quit
 
 type err_kind =
   | Busy | Deadline | Sampled_rows | Max_rows | Bad_query | Proto | Internal
+  | Unknown_id
 
 let err_kind_label = function
   | Busy -> "busy"
@@ -26,6 +34,7 @@ let err_kind_label = function
   | Bad_query -> "bad_query"
   | Proto -> "proto"
   | Internal -> "internal"
+  | Unknown_id -> "not_found"
 
 let err_kind_of_label = function
   | "busy" -> Some Busy
@@ -35,12 +44,16 @@ let err_kind_of_label = function
   | "bad_query" -> Some Bad_query
   | "proto" -> Some Proto
   | "internal" -> Some Internal
+  | "not_found" -> Some Unknown_id
   | _ -> None
 
 type response =
   | Answer of { ids : int array; total : int; sampling : int; execution : int }
   | Pong
   | Stats_reply of (string * string) list
+  | Metrics_reply of string
+  | Recent_reply of string list
+  | Trace_reply of int * string
   | Bye
   | Err of err_kind * string
 
@@ -60,6 +73,9 @@ let render_request req =
   match req with
   | Ping -> "PING"
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
+  | Recent n -> Printf.sprintf "RECENT n=%d" n
+  | Trace_get id -> Printf.sprintf "TRACE id=%d" id
   | Quit -> "QUIT"
   | Query q ->
     let b = Buffer.create (String.length q.text + 64) in
@@ -85,6 +101,17 @@ let render_response resp =
   | Stats_reply kvs ->
     String.concat " "
       ("STATS" :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) kvs)
+  | Metrics_reply text -> "METRICS\n" ^ text
+  | Recent_reply lines ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "RECENT n=%d" (List.length lines));
+    List.iter
+      (fun line ->
+        Buffer.add_char b '\n';
+        Buffer.add_string b line)
+      lines;
+    Buffer.contents b
+  | Trace_reply (id, json) -> Printf.sprintf "TRACE id=%d\n%s" id json
   | Err (kind, msg) -> Printf.sprintf "ERR %s %s" (err_kind_label kind) msg
   | Answer { ids; total; sampling; execution } ->
     let b = Buffer.create (16 + (8 * Array.length ids)) in
@@ -170,11 +197,26 @@ let parse_query_args args body =
   | None | Some "" -> Error "QUERY needs a non-empty body (the query text)"
   | Some text -> Ok (Query { !q with text })
 
+let one_nat verb key args =
+  match args with
+  | [ w ] ->
+    let* k, v = kv w in
+    if k <> key then Error (Printf.sprintf "%s wants %s=, got %s=" verb key k)
+    else nat key v
+  | _ -> Error (Printf.sprintf "%s wants exactly %s=N" verb key)
+
 let parse_request payload =
   let head, body = split_head payload in
   match words head with
   | [ "PING" ] -> Ok Ping
   | [ "STATS" ] -> Ok Stats
+  | [ "METRICS" ] -> Ok Metrics
+  | "RECENT" :: args ->
+    let* n = one_nat "RECENT" "n" args in
+    Ok (Recent n)
+  | "TRACE" :: args ->
+    let* id = one_nat "TRACE" "id" args in
+    Ok (Trace_get id)
   | [ "QUIT" ] -> Ok Quit
   | "QUERY" :: args -> parse_query_args args body
   | verb :: _ -> Error (Printf.sprintf "unknown request verb %S" verb)
@@ -193,6 +235,24 @@ let parse_response payload =
         go (pair :: acc) rest
     in
     go [] kvs
+  | [ "METRICS" ] -> Ok (Metrics_reply (Option.value body ~default:""))
+  | "RECENT" :: args ->
+    let* n = one_nat "RECENT" "n" args in
+    let lines =
+      match body with
+      | None | Some "" -> []
+      | Some b -> String.split_on_char '\n' b
+    in
+    if List.length lines <> n then
+      Error
+        (Printf.sprintf "RECENT declared n=%d but carries %d line(s)" n
+           (List.length lines))
+    else Ok (Recent_reply lines)
+  | "TRACE" :: args ->
+    let* id = one_nat "TRACE" "id" args in
+    (match body with
+     | None | Some "" -> Error "TRACE needs a non-empty body (the trace JSON)"
+     | Some json -> Ok (Trace_reply (id, json)))
   | "ERR" :: label :: msg -> (
     match err_kind_of_label label with
     | Some kind -> Ok (Err (kind, String.concat " " msg))

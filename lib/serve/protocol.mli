@@ -16,6 +16,9 @@
           [max_rows=N] [limit=N] [client_id=ID]
     PING
     STATS
+    METRICS
+    RECENT n=N
+    TRACE id=N
     QUIT
     v}
 
@@ -25,6 +28,9 @@
     OK n=N sampling=N execution=N "\n" id id id ...
     PONG
     STATS k=v k=v ...
+    METRICS "\n" prometheus-text
+    RECENT n=N "\n" jsonl-line ... (one per record, newest first)
+    TRACE id=N "\n" chrome-trace-json
     BYE
     ERR kind message...
     v}
@@ -32,9 +38,11 @@
     where [kind] is one of [busy] (admission queue full), [deadline] /
     [sampled_rows] (a per-request budget ran out — the structured form of
     the CLI's exit-2 budget abort), [max_rows] (materialization guard),
-    [bad_query] (parse/compile rejection), [proto] (malformed frame) and
-    [internal]. A budget abort is an *answer*, never a dropped
-    connection: the server keeps serving the connection after an ERR.
+    [bad_query] (parse/compile rejection), [proto] (malformed frame),
+    [internal] and [not_found] (TRACE for an id the flight recorder has
+    not retained — never retained, or already evicted). A budget abort
+    is an *answer*, never a dropped connection: the server keeps serving
+    the connection after an ERR.
 
     Parsing is total: every malformed input returns [Error]/[`Corrupt],
     never raises. The incremental {!decoder} handles truncated frames
@@ -58,10 +66,18 @@ val query :
   ?max_rows:int -> ?limit:int -> ?client_id:string -> string -> query
 (** A QUERY request with protocol defaults for everything omitted. *)
 
-type request = Query of query | Ping | Stats | Quit
+type request =
+  | Query of query
+  | Ping
+  | Stats
+  | Metrics     (** scrape: process aggregate + recorder/tenant series *)
+  | Recent of int  (** the flight recorder's n newest request records *)
+  | Trace_get of int  (** a retained trace by id *)
+  | Quit
 
 type err_kind =
   | Busy | Deadline | Sampled_rows | Max_rows | Bad_query | Proto | Internal
+  | Unknown_id  (** wire label [not_found]: TRACE id not retained *)
 
 val err_kind_label : err_kind -> string
 val err_kind_of_label : string -> err_kind option
@@ -72,6 +88,12 @@ type response =
           [limit]-truncated prefix of it. *)
   | Pong
   | Stats_reply of (string * string) list
+  | Metrics_reply of string
+      (** Prometheus text exposition (the whole body, verbatim) *)
+  | Recent_reply of string list
+      (** one JSONL request record per line, newest first *)
+  | Trace_reply of int * string
+      (** Chrome trace-event JSON for one retained trace *)
   | Bye
   | Err of err_kind * string
 

@@ -10,6 +10,8 @@ module Sink = Rox_telemetry.Sink
 module Tm = Rox_telemetry.Metrics
 module Aggregate = Rox_telemetry.Aggregate
 module Clock = Rox_telemetry.Clock
+module Export = Rox_telemetry.Export
+module Recorder = Rox_telemetry.Recorder
 module Serve_check = Rox_analysis.Serve_check
 module Diagnostic = Rox_analysis.Diagnostic
 
@@ -23,11 +25,15 @@ type config = {
   telemetry : bool;
   max_frame : int;
   parallel_parts : int;
+  recorder : bool;
+  slow_ms : int option;
+  slow_log : string option;
 }
 
 let config ?cache ?(workers = 2) ?(queue_capacity = 64)
     ?(max_connections = 256) ?session ?(telemetry = true)
-    ?(max_frame = Protocol.default_max_frame) ?(parallel_parts = 1) engine =
+    ?(max_frame = Protocol.default_max_frame) ?(parallel_parts = 1)
+    ?(recorder = true) ?slow_ms ?slow_log engine =
   let session =
     match session with Some s -> s | None -> Session.default_config ()
   in
@@ -35,6 +41,9 @@ let config ?cache ?(workers = 2) ?(queue_capacity = 64)
   if queue_capacity < 1 then invalid_arg "Server.config: queue_capacity < 1";
   if max_connections < 1 then invalid_arg "Server.config: max_connections < 1";
   if parallel_parts < 1 then invalid_arg "Server.config: parallel_parts < 1";
+  (match slow_ms with
+   | Some n when n < 0 -> invalid_arg "Server.config: slow_ms < 0"
+   | _ -> ());
   {
     engine;
     cache;
@@ -45,6 +54,9 @@ let config ?cache ?(workers = 2) ?(queue_capacity = 64)
     telemetry;
     max_frame;
     parallel_parts;
+    recorder;
+    slow_ms;
+    slow_log;
   }
 
 (* A client that disconnects before reading its reply turns our write into
@@ -57,13 +69,25 @@ let ignore_sigpipe =
 type pending = {
   key : Fingerprint.t;
   query : Protocol.query;
+  trace_id : int;  (* flight-recorder id (0 when the recorder is off) *)
   submitted_ns : int64;
   done_c : Condition.t;
   mutable outcome : Protocol.response option;
   mutable waiters : int;
 }
 
-type ticket = { entry : pending; coalesced : bool }
+(* [tid]/[t0]/[tq] are the *waiter's* flight-record identity: a
+   coalesced request rides the entry's execution but is its own record —
+   its own trace id, submit time and query (the coalescing key excludes
+   the tenant tag, so the waiter's client_id can differ from the
+   executing entry's). *)
+type ticket = {
+  entry : pending;
+  coalesced : bool;
+  tid : int;
+  t0 : int64;
+  tq : Protocol.query;
+}
 
 type t = {
   cfg : config;
@@ -92,6 +116,12 @@ type t = {
      several worker domains can route partition tasks through it safely. *)
   pool : Rox_core.Pool.t option;
   sanitize_coalesce : bool;
+  (* The flight recorder: always-on request records, tail-sampled trace
+     retention, slow log. Its own per-domain slots and small mutexes —
+     never touched while t.mutex is held. *)
+  recorder : Recorder.t option;
+  started_ns : int64;   (* monotonic, for uptime_ms *)
+  started_at : float;   (* wall clock (epoch seconds), for STATS *)
   (* Accesslog ids; -1 (no-op) when created disarmed *)
   al_lock : int;
   al_queue : int;
@@ -136,12 +166,28 @@ let coalesce_key t (q : Protocol.query) =
 
 (* ---- execution ---------------------------------------------------------- *)
 
+(* What one served execution hands back beyond the wire response: the
+   chosen join order (for the record's plan summary), the request's sink
+   (for tail-sampled trace retention and cache counters), and the
+   deterministic budget spend — populated even when the run aborted. *)
+type exec = {
+  resp : Protocol.response;
+  plan : int list;
+  sink : Sink.t;
+  sampling : int;
+  execution : int;
+}
+
 (* One served execution: a fresh single-domain session over the shared
    engine/cache, wire-level overrides winning over the base config. Every
    failure mode maps to a structured ERR — a budget abort is an answer. *)
 let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
+  (* The recorder needs spans even when the aggregate-telemetry flag is
+     off: tail sampling decides after the fact whether this request's
+     tree was worth keeping, so every request runs with a live sink. *)
   let sink =
-    if t.cfg.telemetry then Sink.create ~enabled:true () else Sink.null ()
+    if t.cfg.telemetry || t.recorder <> None then Sink.create ~enabled:true ()
+    else Sink.null ()
   in
   let base = t.cfg.session in
   let budgets =
@@ -168,7 +214,7 @@ let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
   let session =
     Session.create ~config ?cache:t.cfg.cache ~telemetry:sink ?pool:t.pool ()
   in
-  let resp =
+  let resp, plan =
     try
       let compiled =
         Compile.compile_string ~telemetry:sink t.cfg.engine q.Protocol.text
@@ -180,40 +226,113 @@ let run_query t (q : Protocol.query) ~deadline_ms ~absorb =
         | Some l when l < total -> Array.sub ids 0 l
         | _ -> ids
       in
-      Protocol.Answer
-        {
-          ids;
-          total;
-          sampling = Cost.read result.Optimizer.counter Cost.Sampling;
-          execution = Cost.read result.Optimizer.counter Cost.Execution;
-        }
+      ( Protocol.Answer
+          {
+            ids;
+            total;
+            sampling = Cost.read result.Optimizer.counter Cost.Sampling;
+            execution = Cost.read result.Optimizer.counter Cost.Execution;
+          },
+        result.Optimizer.edge_order )
     with
     | Rox_xquery.Parser.Parse_error msg ->
-      Protocol.Err (Protocol.Bad_query, "parse error: " ^ msg)
+      (Protocol.Err (Protocol.Bad_query, "parse error: " ^ msg), [])
     | Compile.Unsupported msg ->
-      Protocol.Err (Protocol.Bad_query, "unsupported: " ^ msg)
+      (Protocol.Err (Protocol.Bad_query, "unsupported: " ^ msg), [])
     | Compile.Rejected d ->
-      Protocol.Err (Protocol.Bad_query, Diagnostic.to_string d)
+      (Protocol.Err (Protocol.Bad_query, Diagnostic.to_string d), [])
     | Cost.Budget_exceeded { reason; _ } as e ->
       let kind =
         match reason with
         | Cost.Deadline -> Protocol.Deadline
         | Cost.Sampled_rows -> Protocol.Sampled_rows
       in
-      Protocol.Err
-        (kind, Option.value (Cost.budget_message e) ~default:"budget exceeded")
+      ( Protocol.Err
+          (kind, Option.value (Cost.budget_message e) ~default:"budget exceeded"),
+        [] )
     | Rox_joingraph.Runtime.Blowup { edge; rows; limit } ->
-      Protocol.Err
-        ( Protocol.Max_rows,
-          Printf.sprintf "edge %d materialized %d rows over max_rows %d" edge
-            rows limit )
-    | exn -> Protocol.Err (Protocol.Internal, Printexc.to_string exn)
+      ( Protocol.Err
+          ( Protocol.Max_rows,
+            Printf.sprintf "edge %d materialized %d rows over max_rows %d" edge
+              rows limit ),
+        [] )
+    | exn -> (Protocol.Err (Protocol.Internal, Printexc.to_string exn), [])
   in
   (* Runs on the worker's own domain, so the absorb lands in that
      domain's Aggregate slot: per-request sinks batch into the worker's
      local registry without ever contending with other workers. *)
   if absorb && t.cfg.telemetry then Aggregate.absorb t.aggregate (Sink.metrics sink);
-  resp
+  {
+    resp;
+    plan;
+    sink;
+    (* The session counter keeps counting through an abort, so the
+       record sees the budget spend even when the answer is an ERR. *)
+    sampling = Cost.read (Session.counter session) Cost.Sampling;
+    execution = Cost.read (Session.counter session) Cost.Execution;
+  }
+
+(* ---- flight records ------------------------------------------------------ *)
+
+let fp_digest (q : Protocol.query) =
+  String.sub (Digest.to_hex (Digest.string q.Protocol.text)) 0 12
+
+let status_of_resp = function
+  | Protocol.Err (kind, _) -> Protocol.err_kind_label kind
+  | _ -> "ok"
+
+(* One flight record per submitted request — executed entries carry their
+   execution's plan/spend/span surface, coalesced and rejected ones only
+   their admission outcome, so the recorder's record count reconciles
+   with the RX601-603 audit (RX701). Never called with t.mutex held:
+   observe takes the recorder's own (leaf) mutexes and may write the
+   slow log. *)
+let record_request t ~trace_id ~(q : Protocol.query) ~outcome ~resp ~latency_ns
+    ~queue_ns ~exec =
+  match t.recorder with
+  | None -> ()
+  | Some rc ->
+    (* Per-edge timings read the raw close-order span list; the
+       chronological sort is deferred to retention, which only a sampled
+       minority of requests pays for. *)
+    let plan, sampling, execution, hits, misses, edge_ns, sink =
+      match exec with
+      | None -> ([], 0, 0, 0, 0, [], None)
+      | Some e ->
+        let m = Sink.metrics e.sink in
+        let c (x : Tm.counter) = x.Tm.c_value in
+        ( e.plan,
+          e.sampling,
+          e.execution,
+          c m.Tm.relation_cache_hits + c m.Tm.estimate_cache_hits,
+          c m.Tm.relation_cache_misses + c m.Tm.estimate_cache_misses,
+          Recorder.edge_timings_of_spans (Sink.spans e.sink),
+          Some e.sink )
+    in
+    let record =
+      {
+        Recorder.trace_id;
+        fingerprint = fp_digest q;
+        tenant = q.Protocol.client_id;
+        plan_digest = Recorder.plan_digest plan;
+        plan_edges = List.length plan;
+        latency_ns;
+        queue_ns;
+        sampling_units = sampling;
+        execution_units = execution;
+        cache_hits = hits;
+        cache_misses = misses;
+        outcome;
+        status = status_of_resp resp;
+        edge_ns;
+      }
+    in
+    (match (Recorder.observe rc record, sink) with
+     | Some reason, Some s ->
+       (match Sink.spans_chronological s with
+        | [] -> ()
+        | spans -> Recorder.retain rc record reason spans)
+     | _ -> ())
 
 let complete t entry ~wait_ns resp =
   locked t (fun () ->
@@ -230,21 +349,33 @@ let process t entry =
   let wait_ns = Clock.elapsed_ns entry.submitted_ns in
   let wait_ms = int_of_float (Clock.ms_of_ns wait_ns) in
   let q = entry.query in
-  let resp =
+  let resp, exec =
     match q.Protocol.deadline_ms with
     | Some d when wait_ms >= d ->
       (* The budget ran out while queued: answer without executing. *)
-      Protocol.Err
-        ( Protocol.Deadline,
-          Printf.sprintf
-            "deadline budget exceeded in queue: waited %d ms, budget %d ms"
-            wait_ms d )
-    | Some d -> run_query t q ~deadline_ms:(Some (d - wait_ms)) ~absorb:true
+      ( Protocol.Err
+          ( Protocol.Deadline,
+            Printf.sprintf
+              "deadline budget exceeded in queue: waited %d ms, budget %d ms"
+              wait_ms d ),
+        None )
+    | Some d ->
+      let e = run_query t q ~deadline_ms:(Some (d - wait_ms)) ~absorb:true in
+      (e.resp, Some e)
     | None ->
-      run_query t q
-        ~deadline_ms:t.cfg.session.Session.budgets.Session.deadline_ms
-        ~absorb:true
+      let e =
+        run_query t q
+          ~deadline_ms:t.cfg.session.Session.budgets.Session.deadline_ms
+          ~absorb:true
+      in
+      (e.resp, Some e)
   in
+  (* Record before waking the waiter: by the time a client reads its
+     reply, the flight record is visible (RECENT/STATS right after an
+     answer are deterministic). record_request takes only recorder leaf
+     mutexes, never t.mutex. *)
+  record_request t ~trace_id:entry.trace_id ~q ~outcome:Recorder.Executed ~resp
+    ~latency_ns:(Clock.elapsed_ns entry.submitted_ns) ~queue_ns:wait_ns ~exec;
   complete t entry ~wait_ns resp
 
 let take_locked t =
@@ -309,6 +440,13 @@ let create cfg =
            Some (Rox_core.Pool.create ~parts:cfg.parallel_parts)
          else None);
       sanitize_coalesce = Sanitize.default_mode ();
+      recorder =
+        (if cfg.recorder then
+           Some
+             (Recorder.create ?slow_ms:cfg.slow_ms ?slow_log:cfg.slow_log ())
+         else None);
+      started_ns = Clock.now_ns ();
+      started_at = Unix.gettimeofday ();
       al_lock = (if armed then Accesslog.lock ~name:"serve.mutex" else -1);
       al_queue = reg_site "serve.queue";
       al_inflight = reg_site "serve.inflight";
@@ -350,65 +488,100 @@ let shutdown t =
   (* Workers drain the queue before exiting; anything still here means
      workers = 0. Fail it as rejected so the RX603 balance holds and no
      awaiting client hangs. *)
-  locked t (fun () ->
-      while not (Queue.is_empty t.queue) do
-        Accesslog.record ~site:t.al_queue Write;
-        let e = Queue.pop t.queue in
-        Accesslog.record ~site:t.al_counts Write;
-        t.rejected <- t.rejected + 1;
-        Tm.incr t.metrics.Tm.admission_rejects;
-        Accesslog.record ~site:t.al_inflight Write;
-        Hashtbl.remove t.inflight e.key;
-        e.outcome <- Some (Protocol.Err (Protocol.Busy, "server shutting down"));
-        Condition.broadcast e.done_c
-      done;
-      set_depth_locked t)
+  let drained =
+    locked t (fun () ->
+        let acc = ref [] in
+        while not (Queue.is_empty t.queue) do
+          Accesslog.record ~site:t.al_queue Write;
+          let e = Queue.pop t.queue in
+          Accesslog.record ~site:t.al_counts Write;
+          t.rejected <- t.rejected + 1;
+          Tm.incr t.metrics.Tm.admission_rejects;
+          Accesslog.record ~site:t.al_inflight Write;
+          Hashtbl.remove t.inflight e.key;
+          e.outcome <- Some (Protocol.Err (Protocol.Busy, "server shutting down"));
+          Condition.broadcast e.done_c;
+          acc := e :: !acc
+        done;
+        set_depth_locked t;
+        !acc)
+  in
+  (* Flight-record the drained entries outside the server lock, then
+     flush the slow log: after shutdown every submitted request has its
+     record, so the RX701 reconciliation holds even for a server killed
+     with work still queued. *)
+  List.iter
+    (fun e ->
+      record_request t ~trace_id:e.trace_id ~q:e.query
+        ~outcome:Recorder.Rejected
+        ~resp:(Protocol.Err (Protocol.Busy, "server shutting down"))
+        ~latency_ns:(Clock.elapsed_ns e.submitted_ns)
+        ~queue_ns:(Clock.elapsed_ns e.submitted_ns) ~exec:None)
+    drained;
+  Option.iter Recorder.close t.recorder
 
 (* ---- admission ---------------------------------------------------------- *)
 
 let submit_async t (q : Protocol.query) =
-  locked t (fun () ->
-      Accesslog.record ~site:t.al_counts Write;
-      t.submitted <- t.submitted + 1;
-      let reject () =
-        t.rejected <- t.rejected + 1;
-        Tm.incr t.metrics.Tm.admission_rejects;
-        `Rejected
-      in
-      if t.stopping then reject ()
-      else begin
-        let key = coalesce_key t q in
-        Accesslog.record ~site:t.al_inflight Read;
-        match Hashtbl.find_opt t.inflight key with
-        | Some entry ->
-          entry.waiters <- entry.waiters + 1;
-          t.coalesced <- t.coalesced + 1;
-          Tm.incr t.metrics.Tm.coalesce_hits;
-          bump_tenant t q.Protocol.client_id;
-          `Ticket { entry; coalesced = true }
-        | None ->
-          if Queue.length t.queue >= t.cfg.queue_capacity then reject ()
-          else begin
-            let entry =
-              {
-                key;
-                query = q;
-                submitted_ns = Clock.now_ns ();
-                done_c = Condition.create ();
-                outcome = None;
-                waiters = 1;
-              }
-            in
-            Accesslog.record ~site:t.al_queue Write;
-            Queue.push entry t.queue;
-            Accesslog.record ~site:t.al_inflight Write;
-            Hashtbl.add t.inflight key entry;
-            set_depth_locked t;
+  let trace_id =
+    match t.recorder with Some rc -> Recorder.next_trace_id rc | None -> 0
+  in
+  let t0 = Clock.now_ns () in
+  let verdict =
+    locked t (fun () ->
+        Accesslog.record ~site:t.al_counts Write;
+        t.submitted <- t.submitted + 1;
+        let reject () =
+          t.rejected <- t.rejected + 1;
+          Tm.incr t.metrics.Tm.admission_rejects;
+          `Rejected
+        in
+        if t.stopping then reject ()
+        else begin
+          let key = coalesce_key t q in
+          Accesslog.record ~site:t.al_inflight Read;
+          match Hashtbl.find_opt t.inflight key with
+          | Some entry ->
+            entry.waiters <- entry.waiters + 1;
+            t.coalesced <- t.coalesced + 1;
+            Tm.incr t.metrics.Tm.coalesce_hits;
             bump_tenant t q.Protocol.client_id;
-            Condition.signal t.work;
-            `Ticket { entry; coalesced = false }
-          end
-      end)
+            `Ticket { entry; coalesced = true; tid = trace_id; t0; tq = q }
+          | None ->
+            if Queue.length t.queue >= t.cfg.queue_capacity then reject ()
+            else begin
+              let entry =
+                {
+                  key;
+                  query = q;
+                  trace_id;
+                  submitted_ns = t0;
+                  done_c = Condition.create ();
+                  outcome = None;
+                  waiters = 1;
+                }
+              in
+              Accesslog.record ~site:t.al_queue Write;
+              Queue.push entry t.queue;
+              Accesslog.record ~site:t.al_inflight Write;
+              Hashtbl.add t.inflight key entry;
+              set_depth_locked t;
+              bump_tenant t q.Protocol.client_id;
+              Condition.signal t.work;
+              `Ticket { entry; coalesced = false; tid = trace_id; t0; tq = q }
+            end
+        end)
+  in
+  (* Rejected requests are flight-recorded too (outside the server
+     lock): the recorder's record count must reconcile with submitted,
+     not with executed. *)
+  (match verdict with
+   | `Rejected ->
+     record_request t ~trace_id ~q ~outcome:Recorder.Rejected
+       ~resp:(Protocol.Err (Protocol.Busy, "admission queue full"))
+       ~latency_ns:(Clock.elapsed_ns t0) ~queue_ns:0 ~exec:None
+   | `Ticket _ -> ());
+  verdict
 
 let await t (tk : ticket) =
   let resp =
@@ -428,8 +601,9 @@ let await t (tk : ticket) =
      and say nothing about coalescing soundness. *)
   if tk.coalesced && t.sanitize_coalesce then begin
     let independent =
-      run_query t tk.entry.query
-        ~deadline_ms:tk.entry.query.Protocol.deadline_ms ~absorb:false
+      (run_query t tk.entry.query
+         ~deadline_ms:tk.entry.query.Protocol.deadline_ms ~absorb:false)
+        .resp
     in
     let diverged =
       match (resp, independent) with
@@ -442,6 +616,12 @@ let await t (tk : ticket) =
           Accesslog.record ~site:t.al_counts Write;
           t.divergence <- t.divergence + 1)
   end;
+  (* A coalesced waiter is its own flight record — its own trace id,
+     tenant and wait — with the shared execution's answer but no plan or
+     span surface (those belong to the executing entry's record). *)
+  if tk.coalesced then
+    record_request t ~trace_id:tk.tid ~q:tk.tq ~outcome:Recorder.Coalesced
+      ~resp ~latency_ns:(Clock.elapsed_ns tk.t0) ~queue_ns:0 ~exec:None;
   resp
 
 let submit t q =
@@ -499,6 +679,8 @@ let stats_kvs t =
           Hashtbl.fold (fun _ e acc -> acc + e.waiters) t.inflight 0
         in
         [
+          ("uptime_ms", string_of_int (Clock.elapsed_ns t.started_ns / 1_000_000));
+          ("started_at", Printf.sprintf "%.3f" t.started_at);
           ("requests", string_of_int t.requests);
           ("responses", string_of_int t.responses);
           ("submitted", string_of_int t.submitted);
@@ -548,16 +730,70 @@ let stats_kvs t =
       in
       member "relations" rel @ member "estimates" est
   in
-  counts @ cache_kvs
+  (* Recorder counters come from the recorder's own slot mutexes — never
+     inside the server lock. *)
+  let recorder_kvs =
+    match t.recorder with
+    | None -> []
+    | Some rc ->
+      [
+        ("records", string_of_int (Recorder.records rc));
+        ("records_dropped", string_of_int (Recorder.dropped rc));
+        ("traces_retained", string_of_int (Recorder.retained_count rc));
+      ]
+  in
+  counts @ recorder_kvs @ cache_kvs
   @ List.map (fun (k, v) -> ("tenant." ^ k, string_of_int v)) (tenants t)
 
 let aggregate t = t.aggregate
+
+let recorder t = t.recorder
 
 let metrics t =
   let snap = Tm.create () in
   locked t (fun () -> Tm.add_into ~into:snap t.metrics);
   Aggregate.with_metrics t.aggregate (fun m -> Tm.add_into ~into:snap m);
   snap
+
+(* The METRICS scrape body: the merged process aggregate in text
+   exposition format, followed by the recorder's own series (records,
+   drops, retention, adaptive threshold, per-tenant labels). *)
+let metrics_text t =
+  Export.prometheus (metrics t)
+  ^ match t.recorder with None -> "" | Some rc -> Recorder.prometheus rc
+
+let recent_lines t n =
+  match t.recorder with
+  | None -> []
+  | Some rc ->
+    List.map
+      (fun (r : Recorder.record) ->
+        (* The record itself does not store why it was retained; look the
+           reason up so RECENT marks which ids TRACE can fetch. *)
+        let reason =
+          Option.map
+            (fun (_, reason, _) -> reason)
+            (Recorder.find_trace rc r.Recorder.trace_id)
+        in
+        Rox_util.Minijson.to_string (Recorder.json_of_record ?reason r))
+      (Recorder.recent rc n)
+
+let trace_response t id =
+  match t.recorder with
+  | None ->
+    Protocol.Err (Protocol.Unknown_id, "flight recorder disabled")
+  | Some rc -> (
+    match Recorder.find_trace rc id with
+    | None ->
+      Protocol.Err
+        ( Protocol.Unknown_id,
+          Printf.sprintf "trace %d not retained (never kept, or evicted)" id )
+    | Some (_, _, spans) ->
+      Protocol.Trace_reply
+        ( id,
+          Export.chrome_trace_parts
+            ~process_name:(Printf.sprintf "rox trace %d" id)
+            [ (0, spans, 0) ] ))
 
 (* ---- connection handling ------------------------------------------------ *)
 
@@ -607,6 +843,12 @@ let handle_connection t fd =
           | Ok Protocol.Ping -> if reply_ok Protocol.Pong then loop ()
           | Ok Protocol.Stats ->
             if reply_ok (Protocol.Stats_reply (stats_kvs t)) then loop ()
+          | Ok Protocol.Metrics ->
+            if reply_ok (Protocol.Metrics_reply (metrics_text t)) then loop ()
+          | Ok (Protocol.Recent n) ->
+            if reply_ok (Protocol.Recent_reply (recent_lines t n)) then loop ()
+          | Ok (Protocol.Trace_get id) ->
+            if reply_ok (trace_response t id) then loop ()
           | Ok Protocol.Quit -> ignore (reply_ok Protocol.Bye : bool)
           | Ok (Protocol.Query q) -> (
             match submit_async t q with

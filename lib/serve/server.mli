@@ -54,16 +54,24 @@ type config = {
           so partitioned edge kernels and racing probes fan out without a
           per-request pool spawn. [1] (the default) serves strictly
           sequential sessions with no pool. *)
+  recorder : bool;
+      (** the flight recorder (default on): every submitted request —
+          executed, coalesced, or rejected — leaves one bounded record;
+          slow/errored/head-sampled span trees are retained by trace id
+          (see {!Rox_telemetry.Recorder}) *)
+  slow_ms : int option;  (** slow-log latency threshold override *)
+  slow_log : string option;  (** slow-query JSONL path (off when [None]) *)
 }
 
 val config :
   ?cache:Rox_cache.Store.t -> ?workers:int -> ?queue_capacity:int ->
   ?max_connections:int -> ?session:Rox_core.Session.config ->
   ?telemetry:bool -> ?max_frame:int -> ?parallel_parts:int ->
+  ?recorder:bool -> ?slow_ms:int -> ?slow_log:string ->
   Rox_storage.Engine.t -> config
 (** Defaults: no cache, 2 workers, capacity 64, 256 connections, default
     session config, telemetry on, {!Protocol.default_max_frame},
-    [parallel_parts = 1]. *)
+    [parallel_parts = 1], recorder on, no slow log. *)
 
 type t
 
@@ -114,10 +122,13 @@ val serve : t -> Unix.file_descr -> unit
 val queue_depth : t -> int
 
 val stats_kvs : t -> (string * string) list
-(** The STATS reply: audit counters, queue depth, in-flight entries and
-    their attached waiters ([inflight_waiters] — submitters plus coalesced
-    clients), open/bounced connections ([connections] / [conn_rejected]),
-    worker count, and per-tenant served counts as [tenant.<client_id>]. *)
+(** The STATS reply: process uptime ([uptime_ms], and [started_at] as
+    wall-clock epoch seconds), the audit counters, queue depth, in-flight
+    entries and their attached waiters ([inflight_waiters] — submitters
+    plus coalesced clients), open/bounced connections ([connections] /
+    [conn_rejected]), worker count, flight-recorder counters ([records],
+    [records_dropped], [traces_retained] — present only with the recorder
+    on), and per-tenant served counts as [tenant.<client_id>]. *)
 
 val tenants : t -> (string * int) list
 (** Per-tenant admitted-request counts, sorted by client_id. *)
@@ -137,7 +148,27 @@ val metrics : t -> Rox_telemetry.Metrics.t
 val aggregate : t -> Rox_telemetry.Aggregate.t
 (** The process aggregate per-request sinks are absorbed into. *)
 
+val recorder : t -> Rox_telemetry.Recorder.t option
+(** The flight recorder ([None] when [config.recorder] is false). *)
+
+val metrics_text : t -> string
+(** The METRICS reply body: {!metrics} in Prometheus text exposition,
+    followed by the recorder's own series (record/drop/retention
+    counters, adaptive threshold, per-tenant request/error counters and
+    latency histograms with escaped [tenant] labels). *)
+
+val recent_lines : t -> int -> string list
+(** The RECENT reply body: up to [n] newest request records as JSONL,
+    one compact object per line ([[]] with the recorder off). *)
+
+val trace_response : t -> int -> Protocol.response
+(** The TRACE reply: [Trace_reply] carrying the retained trace exported
+    as Chrome trace-event JSON, or [Err (Unknown_id, _)] when the id was
+    never retained, already evicted, or the recorder is off. *)
+
 val shutdown : t -> unit
 (** Stop admitting, drain: workers finish every queued request before
     joining ([workers = 0] leftovers are failed as [ERR busy] and counted
-    rejected, keeping the RX603 balance). Idempotent. *)
+    rejected, keeping the RX603 balance). Drained leftovers are still
+    flight-recorded (as rejected), and the slow log is flushed and
+    closed. Idempotent. *)

@@ -14,10 +14,33 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Prometheus label-value escaping: inside a label's double quotes the
+   exposition format requires backslash, double quote and line feed to
+   be escaped; everything else passes through verbatim. Required before
+   client-supplied tenant ids become label values — an unescaped
+   client_id containing a quote-brace-newline sequence would otherwise
+   inject whole fake series into the scrape. *)
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON                                            *)
 
-let chrome_trace ?(process_name = "rox") sinks =
+(* The writer takes bare [(tid, spans, dropped)] parts rather than
+   [Sink.t]s so retained flight-recorder traces — span lists that have
+   outlived their sink — export through the same code path as live
+   sinks. Spans must arrive in chronological order (the trace-event
+   contract for same-timestamp nesting). *)
+let chrome_trace_parts ?(process_name = "rox") parts =
   let buf = Buffer.create 4096 in
   let first = ref true in
   let event fields =
@@ -30,11 +53,11 @@ let chrome_trace ?(process_name = "rox") sinks =
      the Perfetto timeline anchored at ~0. *)
   let epoch =
     List.fold_left
-      (fun acc (_, sink) ->
+      (fun acc (_, spans, _) ->
         List.fold_left
           (fun acc (s : Sink.span) -> Int64.min acc s.Sink.start_ns)
-          acc (Sink.spans sink))
-      Int64.max_int sinks
+          acc spans)
+      Int64.max_int parts
   in
   let epoch = if epoch = Int64.max_int then 0L else epoch in
   let ts ns = Printf.sprintf "%.3f" (Clock.us_of_ns (Int64.sub ns epoch)) in
@@ -50,7 +73,7 @@ let chrome_trace ?(process_name = "rox") sinks =
     if s.Sink.lane = 0 then tid else 100000 + (tid * 100) + s.Sink.lane
   in
   List.iter
-    (fun (tid, sink) ->
+    (fun (tid, spans, dropped) ->
       event
         [ "\"name\": \"thread_name\""; "\"ph\": \"M\""; "\"cat\": \"__metadata\"";
           "\"ts\": 0"; "\"pid\": 0"; Printf.sprintf "\"tid\": %d" tid;
@@ -67,7 +90,7 @@ let chrome_trace ?(process_name = "rox") sinks =
                 Printf.sprintf "\"args\": {\"name\": \"session-%d-worker-%d\"}" tid
                   (s.Sink.lane - 1) ]
           end)
-        (Sink.spans sink);
+        spans;
       List.iter
         (fun (s : Sink.span) ->
           let args =
@@ -88,16 +111,23 @@ let chrome_trace ?(process_name = "rox") sinks =
               Printf.sprintf "\"ts\": %s" (ts s.Sink.start_ns);
               Printf.sprintf "\"dur\": %.3f" (Clock.us_of_ns s.Sink.dur_ns);
               "\"pid\": 0"; Printf.sprintf "\"tid\": %d" (lane_tid tid s); args ])
-        (Sink.spans_chronological sink);
-      if Sink.dropped sink > 0 then
+        spans;
+      if dropped > 0 then
         event
           [ Printf.sprintf "\"name\": \"telemetry truncated: %d spans dropped\""
-              (Sink.dropped sink);
+              dropped;
             "\"ph\": \"i\""; "\"cat\": \"rox\""; "\"s\": \"t\""; "\"ts\": 0";
             "\"pid\": 0"; Printf.sprintf "\"tid\": %d" tid; "\"args\": {}" ])
-    sinks;
+    parts;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
+
+let chrome_trace ?process_name sinks =
+  chrome_trace_parts ?process_name
+    (List.map
+       (fun (tid, sink) ->
+         (tid, Sink.spans_chronological sink, Sink.dropped sink))
+       sinks)
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                         *)

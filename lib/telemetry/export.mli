@@ -14,6 +14,20 @@ val chrome_trace :
     thread-name metadata events and, per sink with dropped spans, an
     instant event marking the truncation. *)
 
+val chrome_trace_parts :
+  ?process_name:string -> (int * Sink.span list * int) list -> string
+(** Same writer over bare parts — [(tid, spans, dropped)] — for span
+    lists that have outlived their sink (the flight recorder's retained
+    traces). Spans must be in chronological order, as
+    [Sink.spans_chronological] returns them; {!chrome_trace} is this
+    applied to live sinks. *)
+
+val escape_label : string -> string
+(** Prometheus label-value escaping: backslash, double quote and line
+    feed each gain a backslash, per the text exposition format.
+    Everything emitted inside a label value's quotes — in particular
+    client-supplied tenant ids — must pass through this. *)
+
 val prometheus : Metrics.t -> string
 (** Text exposition format: [# HELP] / [# TYPE] per instrument, counters
     as [_total], histograms as cumulative [_bucket{le="..."}] ladders

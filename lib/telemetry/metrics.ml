@@ -151,22 +151,41 @@ let observe h v =
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
+(* Log-interpolated within the holding bucket: the old upper-edge answer
+   biased every reported quantile high by up to 2x (a histogram full of
+   600ns observations reported p50 = 1023ns). Bucket [i >= 1] covers
+   [2^i, 2^(i+1)); assuming observations log-uniform within it, the
+   q-quantile sits at 2^(i + frac) where [frac] is how far into the
+   bucket's population the target rank lands. Bucket 0 is degenerate
+   (absorbs everything <= 1) and stays pinned at 1. *)
 let quantile h q =
   if h.h_count = 0 then 0.0
   else begin
     let target = q *. float_of_int h.h_count in
-    let cum = ref 0 and result = ref None in
-    Array.iteri
-      (fun i n ->
-        if !result = None then begin
-          cum := !cum + n;
-          if float_of_int !cum >= target then result := Some (bucket_upper i)
-        end)
-      h.h_buckets;
-    match !result with
-    | Some v -> float_of_int v
-    | None -> float_of_int (bucket_upper (n_buckets - 1))
+    let rec find i below =
+      if i >= n_buckets - 1 then (n_buckets - 1, below)
+      else
+        let c = below + h.h_buckets.(i) in
+        if float_of_int c >= target && h.h_buckets.(i) > 0 then (i, below)
+        else find (i + 1) c
+    in
+    let i, below = find 0 0 in
+    if i = 0 then 1.0
+    else begin
+      let in_bucket = float_of_int h.h_buckets.(i) in
+      let frac =
+        if in_bucket <= 0.0 then 1.0
+        else (target -. float_of_int below) /. in_bucket
+      in
+      let frac = Float.min 1.0 (Float.max 0.0 frac) in
+      float_of_int (1 lsl i) *. (2.0 ** frac)
+    end
   end
+
+let add_histogram ~into h =
+  into.h_count <- into.h_count + h.h_count;
+  into.h_sum <- into.h_sum + h.h_sum;
+  Array.iteri (fun i n -> into.h_buckets.(i) <- into.h_buckets.(i) + n) h.h_buckets
 
 let counters t =
   [

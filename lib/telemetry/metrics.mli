@@ -73,6 +73,13 @@ type t = {
 
 val create : unit -> t
 
+val histogram : string -> string -> histogram
+(** [histogram name help] is a standalone instrument outside any
+    registry — the flight recorder's per-tenant latency series and
+    per-slot adaptive-threshold histograms are built from these. A
+    standalone histogram never participates in {!add_into} (which only
+    merges the fixed registry shape); callers fold buckets by hand. *)
+
 val incr : ?by:int -> counter -> unit
 val set : gauge -> float -> unit
 
@@ -88,9 +95,19 @@ val bucket_upper : int -> int
     is unbounded ([max_int]). *)
 
 val quantile : histogram -> float -> float
-(** [quantile h q] approximates the [q]-quantile (0 < q ≤ 1) as the upper
-    bound of the bucket holding it — exact to within the 2x bucket
-    resolution. 0 for an empty histogram. *)
+(** [quantile h q] approximates the [q]-quantile (0 < q ≤ 1) by locating
+    the bucket holding the target rank and log-interpolating within it:
+    bucket [i ≥ 1] covers [[2^i, 2^(i+1))], so the answer is
+    [2^(i + frac)] with [frac] the fraction of the bucket's population
+    below the rank. Bucket 0 (values ≤ 1) always reports 1. Exact at
+    bucket boundaries ([frac = 1] lands on the next power of two), and —
+    unlike the upper-edge rule it replaces — unbiased in expectation for
+    log-uniform populations. 0 for an empty histogram. *)
+
+val add_histogram : into:histogram -> histogram -> unit
+(** Merge one histogram's population into another (count, sum and every
+    bucket add) — how standalone histograms from {!histogram} are folded
+    across the recorder's per-domain slots. *)
 
 val counters : t -> counter list
 val gauges : t -> gauge list

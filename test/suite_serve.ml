@@ -10,6 +10,11 @@ module A = Rox_analysis
 let codes diags =
   List.sort_uniq compare (List.map (fun d -> d.A.Diagnostic.code) diags)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* ---------- fixture ---------------------------------------------------- *)
 
 let library_xml =
@@ -100,6 +105,50 @@ let test_request_rejects () =
     Alcotest.(check string) "client_id" "ok_id.1-x" q.P.client_id;
     Alcotest.(check string) "body" "body" q.P.text
   | _ -> Alcotest.fail "valid QUERY rejected"
+
+(* ---------- protocol: the scrape verbs (METRICS / RECENT / TRACE) ------ *)
+
+let test_scrape_roundtrip () =
+  let req r =
+    match P.parse_request (P.render_request r) with
+    | Ok r' -> Alcotest.(check bool) "request round-trip" true (r = r')
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  req P.Metrics;
+  req (P.Recent 0);
+  req (P.Recent 10);
+  req (P.Trace_get 42);
+  let resp r =
+    match P.parse_response (P.render_response r) with
+    | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  resp (P.Metrics_reply "# HELP x y\n# TYPE x counter\nx 1\n");
+  resp (P.Metrics_reply "");
+  resp (P.Recent_reply [ {|{"trace_id":1}|}; {|{"trace_id":2}|} ]);
+  resp (P.Recent_reply []);
+  resp (P.Trace_reply (7, {|{"traceEvents":[]}|}));
+  resp (P.Err (P.Unknown_id, "trace 9 not retained"));
+  Alcotest.(check bool) "Unknown_id wire label" true
+    (contains
+       (P.render_response (P.Err (P.Unknown_id, "x")))
+       "not_found");
+  let bad payload =
+    match P.parse_request payload with
+    | Ok _ -> Alcotest.failf "accepted %S" payload
+    | Error _ -> ()
+  in
+  bad "RECENT";          (* missing count *)
+  bad "RECENT n=";       (* empty count *)
+  bad "RECENT n=-1";     (* negative *)
+  bad "RECENT n=abc";    (* junk *)
+  bad "TRACE";           (* missing id *)
+  bad "TRACE id=junk";
+  bad "METRICS now";     (* METRICS takes no argument *)
+  (* A RECENT reply must carry exactly as many lines as it declares. *)
+  match P.parse_response "RECENT n=2\nonly-one-line" with
+  | Ok _ -> Alcotest.fail "line-count mismatch must be rejected"
+  | Error _ -> ()
 
 (* ---------- protocol: incremental decoder ------------------------------ *)
 
@@ -482,6 +531,154 @@ let test_server_metrics () =
   Alcotest.(check bool) "absorbed session registries served 2 queries" true
     (m.Tm.queries_served.Tm.c_value = 2)
 
+(* ---------- flight recorder over the serve API ------------------------- *)
+
+let test_flight_recorder_scrape () =
+  let engine = library_engine () in
+  let server = S.create (S.config ~workers:1 ~queue_capacity:8 engine) in
+  ignore (S.submit server (P.query ~client_id:"alpha" library_query));
+  ignore (S.submit server (P.query ~client_id:"beta" other_query));
+  (* The third request aborts on its sampling budget: an errored record,
+     which the tail sampler always retains. *)
+  (match
+     S.submit server
+       (P.query ~client_id:"gamma" ~max_sampled_rows:1 library_query)
+   with
+   | P.Err (P.Sampled_rows, _) -> ()
+   | r -> Alcotest.failf "want ERR sampled_rows, got %s" (P.render_response r));
+  (* STATS: the new uptime and recorder keys. *)
+  let kvs = S.stats_kvs server in
+  Alcotest.(check string) "records" "3" (List.assoc "records" kvs);
+  Alcotest.(check string) "records_dropped" "0"
+    (List.assoc "records_dropped" kvs);
+  Alcotest.(check bool) "uptime_ms present" true
+    (List.mem_assoc "uptime_ms" kvs);
+  Alcotest.(check bool) "started_at present" true
+    (List.mem_assoc "started_at" kvs);
+  Alcotest.(check bool) "errored request is retained" true
+    (int_of_string (List.assoc "traces_retained" kvs) >= 1);
+  (* METRICS: the exposition page carries the recorder and tenant series
+     after the process aggregate. *)
+  let page = S.metrics_text server in
+  Alcotest.(check bool) "recorder records series" true
+    (contains page "rox_recorder_records_total 3");
+  Alcotest.(check bool) "tenant series" true
+    (contains page "rox_tenant_requests_total{tenant=\"alpha\"} 1");
+  Alcotest.(check bool) "tenant errors series" true
+    (contains page "rox_tenant_errors_total{tenant=\"gamma\"} 1");
+  (* RECENT: JSONL, newest first, the errored record on top. *)
+  let lines = S.recent_lines server 10 in
+  Alcotest.(check int) "one line per request" 3 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Rox_util.Minijson.parse line with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "RECENT line must parse: %s" m)
+      lines
+  in
+  let module J = Rox_util.Minijson in
+  (match parsed with
+   | newest :: _ ->
+     Alcotest.(check bool) "newest first" true
+       (Option.bind (J.member "trace_id" newest) J.to_num_opt = Some 3.0);
+     Alcotest.(check bool) "errored status surfaces" true
+       (Option.bind (J.member "status" newest) J.to_string_opt
+       = Some "sampled_rows");
+     Alcotest.(check bool) "retention reason surfaces" true
+       (Option.bind (J.member "retained" newest) J.to_string_opt
+       = Some "errored")
+   | [] -> Alcotest.fail "unreachable");
+  Alcotest.(check int) "RECENT honours n" 1 (List.length (S.recent_lines server 1));
+  (* TRACE: a retained id exports a valid Chrome trace; an unknown id is
+     ERR not_found. *)
+  let rc =
+    match S.recorder server with
+    | Some rc -> rc
+    | None -> Alcotest.fail "recorder is on by default"
+  in
+  let retained_id =
+    match Rox_telemetry.Recorder.traces rc with
+    | (id, _, _, _) :: _ -> id
+    | [] -> Alcotest.fail "at least one trace must be retained"
+  in
+  (match S.trace_response server retained_id with
+   | P.Trace_reply (id, body) ->
+     Alcotest.(check int) "id echoes" retained_id id;
+     (match J.parse body with
+      | Ok j -> (
+        match Rox_telemetry.Export.validate_chrome j with
+        | Ok n -> Alcotest.(check bool) "has complete events" true (n >= 1)
+        | Error m -> Alcotest.failf "invalid chrome trace: %s" m)
+      | Error m -> Alcotest.failf "trace body must parse: %s" m)
+   | r -> Alcotest.failf "want TRACE reply, got %s" (P.render_response r));
+  (match S.trace_response server 999_999 with
+   | P.Err (P.Unknown_id, _) -> ()
+   | r ->
+     Alcotest.failf "unknown id must ERR not_found, got %s"
+       (P.render_response r));
+  S.shutdown server;
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server));
+  Alcotest.(check (list string)) "recorder accounting balances" []
+    (codes (A.Recorder_check.check ~submitted:3 rc))
+
+(* The scrape verbs over the wire, plus TRACE's error path end-to-end. *)
+let test_socketpair_scrape_session () =
+  let engine = library_engine () in
+  let server = S.create (S.config ~workers:2 ~queue_capacity:8 engine) in
+  let srv_fd, cli_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let client =
+    Domain.spawn (fun () ->
+        let d = P.decoder () in
+        let send r = P.write_frame cli_fd (P.render_request r) in
+        let recv () =
+          match P.read_frame cli_fd d with
+          | `Frame payload -> (
+            match P.parse_response payload with
+            | Ok r -> r
+            | Error m -> failwith m)
+          | `Eof -> failwith "eof"
+          | `Corrupt m -> failwith m
+        in
+        send (P.Query (P.query ~client_id:"scrape" library_query));
+        let answer = recv () in
+        send P.Metrics;
+        let metrics = recv () in
+        send (P.Recent 5);
+        let recent = recv () in
+        send (P.Trace_get 424_242);
+        let missing = recv () in
+        send P.Quit;
+        let bye = recv () in
+        Unix.close cli_fd;
+        (answer, metrics, recent, missing, bye))
+  in
+  S.handle_connection server srv_fd;
+  let answer, metrics, recent, missing, bye = Domain.join client in
+  S.shutdown server;
+  (match answer with
+   | P.Answer _ -> ()
+   | r -> Alcotest.failf "want answer, got %s" (P.render_response r));
+  (match metrics with
+   | P.Metrics_reply page ->
+     Alcotest.(check bool) "recorder series over the wire" true
+       (contains page "rox_recorder_records_total 1")
+   | r -> Alcotest.failf "want METRICS reply, got %s" (P.render_response r));
+  (match recent with
+   | P.Recent_reply [ line ] -> (
+     match Rox_util.Minijson.parse line with
+     | Ok j ->
+       let module J = Rox_util.Minijson in
+       Alcotest.(check bool) "tenant over the wire" true
+         (Option.bind (J.member "tenant" j) J.to_string_opt = Some "scrape")
+     | Error m -> Alcotest.failf "RECENT line must parse: %s" m)
+   | r -> Alcotest.failf "want one RECENT line, got %s" (P.render_response r));
+  (match missing with
+   | P.Err (P.Unknown_id, _) -> ()
+   | r -> Alcotest.failf "want ERR not_found, got %s" (P.render_response r));
+  Alcotest.(check bool) "bye" true (bye = P.Bye);
+  Alcotest.(check (list string)) "audit clean" [] (codes (S.self_check server))
+
 let suite =
   [
     Alcotest.test_case "protocol: request round-trip" `Quick test_request_roundtrip;
@@ -501,4 +698,7 @@ let suite =
     Alcotest.test_case "client disconnect is a normal close" `Quick test_client_disconnects_mid_session;
     Alcotest.test_case "connection cap bounces with ERR busy" `Quick test_connection_cap;
     Alcotest.test_case "server metrics snapshot" `Quick test_server_metrics;
+    Alcotest.test_case "protocol: scrape verbs round-trip" `Quick test_scrape_roundtrip;
+    Alcotest.test_case "flight recorder: STATS/METRICS/RECENT/TRACE" `Quick test_flight_recorder_scrape;
+    Alcotest.test_case "e2e: scrape verbs over a socketpair" `Quick test_socketpair_scrape_session;
   ]

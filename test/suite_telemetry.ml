@@ -58,10 +58,12 @@ let test_observe_and_quantile () =
   check_int "bucket 0 holds the 1s" 99 h.Metrics.h_buckets.(0);
   check_int "bucket_of 1000" 9 (Metrics.bucket_of 1000);
   check_int "bucket 9 holds the 1000" 1 h.Metrics.h_buckets.(9);
-  (* Quantiles resolve to the upper bound of the holding bucket. *)
+  (* Quantiles log-interpolate within the holding bucket: bucket 0 pins
+     to 1.0, and a rank landing at the top of bucket i resolves to
+     2^(i+1) (the next power of two), not the inclusive upper bound. *)
   check_int "p50" 1 (int_of_float (Metrics.quantile h 0.5));
   check_int "p99" 1 (int_of_float (Metrics.quantile h 0.99));
-  check_int "p100" 1023 (int_of_float (Metrics.quantile h 1.0));
+  check_int "p100" 1024 (int_of_float (Metrics.quantile h 1.0));
   (* Negative / zero observations land in bucket 0, contribute 0 to sum. *)
   Metrics.observe h (-5);
   check_int "neg counted" 101 h.Metrics.h_count;
@@ -425,6 +427,299 @@ return $o|}
   check_int "verifier clean on a real run" 0
     (List.length (A.Telemetry_check.check ~trace sink))
 
+(* ---------- Quantile interpolation (satellite: upper-bound bias fix) --- *)
+
+let test_quantile_interpolation () =
+  (* A lone sample in bucket 9 ([512, 1024)): the rank interpolates
+     log-linearly across the bucket, so q=0 pins to the lower bound 2^9
+     and q=1 to the next power of two — never the old inclusive upper
+     bound 1023. *)
+  let one = Metrics.histogram "q" "interpolation probe" in
+  Metrics.observe one 1000;
+  check_int "q0 pins to 2^i" 512 (int_of_float (Metrics.quantile one 0.0));
+  check_int "q1 pins to 2^(i+1)" 1024 (int_of_float (Metrics.quantile one 1.0));
+  let mid = Metrics.quantile one 0.5 in
+  check_bool "q0.5 lands strictly inside the bucket" true
+    (mid > 512.0 && mid < 1024.0);
+  (* Bucket 0 has no width to interpolate: it always reads 1.0. *)
+  let low = Metrics.histogram "q" "bucket-0 probe" in
+  List.iter (fun v -> Metrics.observe low v) [ 0; 1; 1 ];
+  List.iter
+    (fun q ->
+      check_int
+        (Printf.sprintf "bucket 0 pins q=%.2f" q)
+        1
+        (int_of_float (Metrics.quantile low q)))
+    [ 0.0; 0.5; 1.0 ];
+  (* A rank at the top of a sparse holding bucket resolves to that
+     bucket's 2^(i+1), skipping empty buckets on the way. *)
+  let multi = Metrics.histogram "q" "sparse probe" in
+  List.iter (fun v -> Metrics.observe multi v) [ 2; 2; 8 ];
+  check_int "p100 tops out the holding bucket" 16
+    (int_of_float (Metrics.quantile multi 1.0));
+  let p50 = Metrics.quantile multi 0.5 in
+  check_bool "p50 interpolates inside [2,4)" true (p50 >= 2.0 && p50 < 4.0);
+  (* Monotone in q — the property the adaptive threshold leans on. *)
+  let spread = Metrics.histogram "q" "monotone probe" in
+  List.iter (fun v -> Metrics.observe spread v) [ 1; 3; 9; 120; 5000; 70000 ];
+  let last = ref 0.0 in
+  for step = 0 to 20 do
+    let v = Metrics.quantile spread (float_of_int step /. 20.0) in
+    check_bool "quantile is monotone in q" true (v >= !last);
+    last := v
+  done
+
+(* ---------- Prometheus label escaping (satellite: hostile tenants) ----- *)
+
+let test_escape_label () =
+  check_string "backslash" {|a\\b|} (Export.escape_label {|a\b|});
+  check_string "quote" {|say \"hi\"|} (Export.escape_label {|say "hi"|});
+  check_string "newline" {|line1\nline2|} (Export.escape_label "line1\nline2");
+  check_string "clean ids pass through" "tenant-1.a"
+    (Export.escape_label "tenant-1.a");
+  check_string "all three at once" "\\\\\\\"\\n" (Export.escape_label "\\\"\n")
+
+(* ---------- Flight recorder -------------------------------------------- *)
+
+let mk_record ?(tenant = "local") ?(outcome = Recorder.Executed)
+    ?(status = "ok") ?(latency_ns = 1_000) rc () =
+  {
+    Recorder.trace_id = Recorder.next_trace_id rc;
+    fingerprint = "fp0123456789";
+    tenant;
+    plan_digest = Recorder.plan_digest [ 1; 2 ];
+    plan_edges = 2;
+    latency_ns;
+    queue_ns = 0;
+    sampling_units = 5;
+    execution_units = 7;
+    cache_hits = 1;
+    cache_misses = 2;
+    outcome;
+    status;
+    edge_ns = [ (1, 400); (2, 600) ];
+  }
+
+let test_recorder_ring_wrap () =
+  let rc = Recorder.create ~cap:4 ~head_every:0 () in
+  for _ = 1 to 10 do
+    ignore (Recorder.observe rc (mk_record rc ()) : Recorder.reason option)
+  done;
+  check_int "records counts every append" 10 (Recorder.records rc);
+  check_int "dropped = observed - cap" 6 (Recorder.dropped rc);
+  let recent = Recorder.recent rc 100 in
+  check_int "ring keeps cap survivors" 4 (List.length recent);
+  Alcotest.(check (list int))
+    "survivors are the newest, newest first" [ 10; 9; 8; 7 ]
+    (List.map (fun r -> r.Recorder.trace_id) recent);
+  check_int "recent honours n" 2 (List.length (Recorder.recent rc 2));
+  (* RX701: the record count must balance the submissions. *)
+  Alcotest.(check (list string)) "RX701 clean when balanced" []
+    (List.map
+       (fun d -> d.A.Diagnostic.code)
+       (A.Recorder_check.check ~submitted:10 rc));
+  check_bool "RX701 fires on imbalance" true
+    (List.exists
+       (fun d -> d.A.Diagnostic.code = "RX701")
+       (A.Recorder_check.check ~submitted:11 rc))
+
+let test_recorder_threshold_monotone () =
+  let rc =
+    Recorder.create ~warmup:8 ~quantile:0.5 ~floor_ns:1000 ~head_every:0 ()
+  in
+  check_int "unarmed threshold is the floor" 1000 (Recorder.threshold_ns rc);
+  for _ = 1 to 7 do
+    ignore (Recorder.observe rc (mk_record rc ~latency_ns:1_000_000 ()))
+  done;
+  check_int "below warmup still the floor" 1000 (Recorder.threshold_ns rc);
+  ignore (Recorder.observe rc (mk_record rc ~latency_ns:1_000_000 ()));
+  let armed = Recorder.threshold_ns rc in
+  check_bool "warmup arms the quantile above the floor" true (armed > 1000);
+  (* Feeding ever-slower batches can only raise the bar: the median of a
+     right-shifted mass never moves left. *)
+  let last = ref armed in
+  List.iter
+    (fun lat ->
+      for _ = 1 to 8 do
+        ignore (Recorder.observe rc (mk_record rc ~latency_ns:lat ()))
+      done;
+      let now = Recorder.threshold_ns rc in
+      check_bool "threshold never decreases under slower load" true
+        (now >= !last);
+      last := now)
+    [ 2_000_000; 8_000_000; 32_000_000 ]
+
+let mk_span ?(name = "query") ?(start_ns = 0L) ?(dur_ns = 10L) ?(depth = 0) () =
+  { Sink.name; start_ns; dur_ns; depth; lane = 0; attrs = [] }
+
+let test_recorder_retention () =
+  (* warmup never reached and head sampling off: only Errored and the
+     floor-crossing Slow path can retain. *)
+  let rc =
+    Recorder.create ~retain_cap:2 ~head_every:0 ~floor_ns:1000 ~warmup:1000 ()
+  in
+  let err = mk_record rc ~status:"deadline" ~latency_ns:1 () in
+  (match Recorder.observe rc err with
+   | Some Recorder.Errored -> ()
+   | _ -> Alcotest.fail "errored must retain whatever its latency");
+  let slow = mk_record rc ~latency_ns:5_000 () in
+  (match Recorder.observe rc slow with
+   | Some Recorder.Slow -> ()
+   | _ -> Alcotest.fail "latency past the floor must retain");
+  (match
+     Recorder.observe rc
+       (mk_record rc ~outcome:Recorder.Rejected ~latency_ns:5_000 ())
+   with
+   | None -> ()
+   | Some _ -> Alcotest.fail "a rejection's latency is not service time");
+  (match Recorder.observe rc (mk_record rc ~latency_ns:10 ()) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "fast ok request must not retain");
+  (* Retention storage: addressable by id, FIFO-evicted, re-retain no-op. *)
+  Recorder.retain rc err Recorder.Errored [ mk_span ~name:"first" () ];
+  Recorder.retain rc slow Recorder.Slow [ mk_span () ];
+  check_int "two retained" 2 (Recorder.retained_count rc);
+  (match Recorder.find_trace rc err.Recorder.trace_id with
+   | Some (r, Recorder.Errored, [ s ]) ->
+     check_int "record rides along" err.Recorder.trace_id r.Recorder.trace_id;
+     check_string "spans ride along" "first" s.Sink.name
+   | _ -> Alcotest.fail "errored trace must be addressable");
+  Recorder.retain rc err Recorder.Slow [ mk_span ~name:"dupe" () ];
+  (match Recorder.find_trace rc err.Recorder.trace_id with
+   | Some (_, Recorder.Errored, [ s ]) ->
+     check_string "re-retain is a no-op" "first" s.Sink.name
+   | _ -> Alcotest.fail "re-retain must keep the original");
+  let third = mk_record rc ~status:"busy" ~latency_ns:1 () in
+  ignore (Recorder.observe rc third);
+  Recorder.retain rc third Recorder.Errored [ mk_span () ];
+  check_int "retain_cap holds" 2 (Recorder.retained_count rc);
+  check_bool "oldest is FIFO-evicted" true
+    (Recorder.find_trace rc err.Recorder.trace_id = None);
+  check_bool "newest survives" true
+    (Recorder.find_trace rc third.Recorder.trace_id <> None);
+  check_bool "unknown id is None" true (Recorder.find_trace rc 999_999 = None);
+  (* Retained well-nested spans keep RX702 quiet. *)
+  Alcotest.(check (list string)) "RX702 clean" []
+    (List.map (fun d -> d.A.Diagnostic.code) (A.Recorder_check.check rc))
+
+let test_recorder_head_sampling () =
+  (* Slow retention pushed out of reach: only the 1-in-4 head sample by
+     trace id fires. Ids are 1-based, so the 4th and 8th records hit. *)
+  let rc = Recorder.create ~head_every:4 ~floor_ns:max_int ~warmup:max_int () in
+  let hits = ref [] in
+  for _ = 1 to 8 do
+    let r = mk_record rc () in
+    match Recorder.observe rc r with
+    | Some Recorder.Head_sampled -> hits := r.Recorder.trace_id :: !hits
+    | Some _ -> Alcotest.fail "only head sampling can fire here"
+    | None -> ()
+  done;
+  Alcotest.(check (list int)) "1-in-4 by trace id" [ 4; 8 ] (List.rev !hits)
+
+let test_recorder_tenant_bound () =
+  let rc = Recorder.create ~tenant_cap:2 ~head_every:0 () in
+  List.iter
+    (fun tenant -> ignore (Recorder.observe rc (mk_record rc ~tenant ())))
+    [ "a"; "b"; "c"; "d"; "a" ];
+  (* Four distinct tenants, cap 2: c and d fold into "other". *)
+  check_int "registry bounded to cap + other" 3 (Recorder.tenant_count rc);
+  ignore (Recorder.observe rc (mk_record rc ~tenant:"other" ~status:"busy" ()));
+  let stats = Recorder.tenant_stats rc in
+  Alcotest.(check (list (pair string int)))
+    "first-seen order, overflow folded"
+    [ ("a", 2); ("b", 1); ("other", 3) ]
+    (List.map (fun s -> (s.Recorder.tenant, s.Recorder.requests)) stats);
+  let other = List.find (fun s -> s.Recorder.tenant = "other") stats in
+  check_int "errors land on the overflow series" 1 other.Recorder.errors;
+  check_int "latency histogram follows" 3
+    other.Recorder.serve_ns.Metrics.h_count;
+  (* The bound holds under a flood, and RX703 agrees. *)
+  for i = 1 to 50 do
+    ignore
+      (Recorder.observe rc (mk_record rc ~tenant:(Printf.sprintf "t%d" i) ()))
+  done;
+  check_int "flood cannot grow the registry" 3 (Recorder.tenant_count rc);
+  Alcotest.(check (list string)) "RX703 clean" []
+    (List.map (fun d -> d.A.Diagnostic.code) (A.Recorder_check.check rc))
+
+let test_recorder_hostile_tenant_label () =
+  let rc = Recorder.create ~head_every:0 () in
+  let hostile = "evil\"tenant\\x\nboom" in
+  ignore (Recorder.observe rc (mk_record rc ~tenant:hostile ()));
+  let page = Recorder.prometheus rc in
+  check_bool "escaped label emitted" true
+    (contains page
+       "rox_tenant_requests_total{tenant=\"evil\\\"tenant\\\\x\\nboom\"} 1");
+  (* The raw quote/newline never reach the page unescaped: every line
+     stays a single well-formed sample. *)
+  check_bool "no unescaped quote" true (not (contains page "evil\"tenant"));
+  String.split_on_char '\n' page
+  |> List.iter (fun line ->
+         check_bool "no line is a bare continuation" true
+           (line = "" || String.length line > 1))
+
+let test_recorder_json_shape () =
+  let module J = Rox_util.Minijson in
+  let rc = Recorder.create () in
+  let r = mk_record rc ~latency_ns:2_000_000 ~status:"ok" () in
+  let s = J.to_string (Recorder.json_of_record ~reason:Recorder.Slow r) in
+  let j =
+    match J.parse s with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "slow-log line must be valid JSON: %s" m
+  in
+  let num k = Option.bind (J.member k j) J.to_num_opt in
+  let str k = Option.bind (J.member k j) J.to_string_opt in
+  check_bool "trace_id" true (num "trace_id" = Some (float_of_int r.Recorder.trace_id));
+  check_bool "fingerprint" true (str "fingerprint" = Some "fp0123456789");
+  check_bool "latency in ms" true (num "latency_ms" = Some 2.0);
+  check_bool "outcome label" true (str "outcome" = Some "executed");
+  check_bool "retained reason" true (str "retained" = Some "slow");
+  (match Option.bind (J.member "edges" j) J.to_list_opt with
+   | Some [ e1; _ ] ->
+     check_bool "edge id" true (Option.bind (J.member "edge" e1) J.to_num_opt = Some 1.0);
+     check_bool "edge ns" true (Option.bind (J.member "ns" e1) J.to_num_opt = Some 400.0)
+   | _ -> Alcotest.fail "edges must be a 2-element array");
+  (* Without a reason the retained field is null, not absent — RECENT
+     consumers can rely on the key. *)
+  let bare = J.to_string (Recorder.json_of_record r) in
+  (match J.parse bare with
+   | Ok v -> check_bool "retained null" true (J.member "retained" v = Some J.Null)
+   | Error m -> Alcotest.failf "bare line must parse: %s" m)
+
+let test_recorder_slow_log_file () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rox_recorder_log_%d.jsonl" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let rc = Recorder.create ~slow_log:path ~slow_ms:1 ~head_every:0 () in
+  ignore (Recorder.observe rc (mk_record rc ~latency_ns:2_000_000 ()));
+  ignore (Recorder.observe rc (mk_record rc ~latency_ns:10 ()));
+  ignore (Recorder.observe rc (mk_record rc ~latency_ns:10 ~status:"busy" ()));
+  check_int "slow + errored logged, fast skipped" 2 (Recorder.log_lines rc);
+  Recorder.close rc;
+  Recorder.close rc (* idempotent *);
+  ignore (Recorder.observe rc (mk_record rc ~latency_ns:2_000_000 ()));
+  check_int "closed log stops counting" 2 (Recorder.log_lines rc);
+  check_int "but records keep flowing" 4 (Recorder.records rc);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  check_int "file carries one line per logged record" 2 (List.length !lines);
+  List.iter
+    (fun line ->
+      match Rox_util.Minijson.parse line with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "slow-log line must parse: %s" m)
+    !lines
+
 let suite =
   [
     ("bucket boundaries", `Quick, test_bucket_boundaries);
@@ -448,4 +743,14 @@ let suite =
     ("add_into merge", `Quick, test_add_into);
     ("2-domain aggregate sum", `Quick, test_two_domain_aggregate);
     ("real run under enabled sink", `Quick, test_session_run_records);
+    ("quantile log-interpolation pins", `Quick, test_quantile_interpolation);
+    ("prometheus label escaping", `Quick, test_escape_label);
+    ("recorder: ring wraparound + RX701", `Quick, test_recorder_ring_wrap);
+    ("recorder: adaptive threshold monotone", `Quick, test_recorder_threshold_monotone);
+    ("recorder: retention reasons + FIFO", `Quick, test_recorder_retention);
+    ("recorder: head sampling 1-in-N", `Quick, test_recorder_head_sampling);
+    ("recorder: tenant cardinality bound", `Quick, test_recorder_tenant_bound);
+    ("recorder: hostile tenant labels", `Quick, test_recorder_hostile_tenant_label);
+    ("recorder: slow-log JSON shape", `Quick, test_recorder_json_shape);
+    ("recorder: slow-log file lifecycle", `Quick, test_recorder_slow_log_file);
   ]
